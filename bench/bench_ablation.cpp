@@ -1,0 +1,211 @@
+// bench_ablation — experiment X2 of DESIGN.md: the design choices inside
+// ABS are load-bearing. Three ablations:
+//
+//  1. Shrink the 1-bit threshold from 4R^2+3R toward 3R: the asymmetry
+//     that lets 0-stations silence 1-stations disappears and elections
+//     start failing (no clean single winner) under asynchrony.
+//  2. Underestimate R (protocol constants computed from R_est < r): the
+//     phase-alignment invariant (Lemma 1) breaks.
+//  3. Overestimate R: correctness is kept (the thresholds are upper
+//     bounds) but the slot complexity grows quadratically — quantifying
+//     the cost of a pessimistic R.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/sync_binary_le.h"
+#include "harness.h"
+
+namespace {
+
+using namespace asyncmac;
+using namespace asyncmac::bench;
+
+struct ElectionOutcome {
+  bool solved = false;
+  std::uint32_t winners = 0;
+  std::uint32_t dangling = 0;  // still active after a success
+  std::uint64_t worst_slots = 0;
+};
+
+ElectionOutcome run_election(std::uint32_t n, std::uint32_t true_r,
+                             std::uint64_t t0, std::uint64_t t1) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.bound_r = true_r;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  for (std::uint32_t i = 0; i < n; ++i)
+    ps.push_back(std::make_unique<core::AbsProtocol>(t0, t1));
+  sim::Engine e(cfg, std::move(ps), per_station_policy(n, true_r),
+                messages(n));
+  sim::StopCondition stop;
+  stop.max_time = static_cast<Tick>(40 * core::abs_slot_bound(n, true_r)) *
+                  static_cast<Tick>(true_r) * U;
+  stop.predicate = [](const sim::Engine& eng) {
+    return eng.channel_stats().successful >= 1;
+  };
+  e.run(stop);
+  e.run(sim::until(e.now()));
+
+  ElectionOutcome out;
+  out.solved = e.channel_stats().successful >= 1;
+  for (StationId id = 1; id <= n; ++id) {
+    const auto* abs =
+        dynamic_cast<const core::AbsProtocol&>(e.protocol(id)).automaton();
+    if (!abs) continue;
+    out.worst_slots = std::max(out.worst_slots, abs->slots());
+    if (abs->outcome() == core::AbsAutomaton::Outcome::kWon) ++out.winners;
+    if (abs->outcome() == core::AbsAutomaton::Outcome::kActive)
+      ++out.dangling;
+  }
+  return out;
+}
+
+void print_threshold_ablation() {
+  const std::uint32_t n = 16, R = 4;
+  util::Table t({"threshold1", "solved", "winners", "dangling",
+                 "worst slots", "healthy"});
+  const std::uint64_t t0 = core::abs_threshold0(R);
+  const std::uint64_t full = core::abs_threshold1(R);
+  for (std::uint64_t t1 : {full, full / 2, full / 4, t0 + 2, t0}) {
+    const auto out = run_election(n, R, t0, t1);
+    const bool healthy = out.solved && out.winners == 1 && out.dangling == 0;
+    t.row(t1, out.solved, out.winners, out.dangling, out.worst_slots,
+          healthy);
+  }
+  std::cout << "== Ablation 1: shrinking ABS's 1-bit listening threshold "
+               "(paper value "
+            << full << " = 4R^2+3R at R=" << R << ") ==\n"
+            << t.to_string()
+            << "(only the paper value is guaranteed for every adversary; "
+               "under this particular schedule smaller thresholds limp "
+               "along until the asymmetry vanishes entirely — the bottom "
+               "row deadlocks with no winner)\n\n";
+}
+
+void print_r_estimate_ablation() {
+  const std::uint32_t n = 8, true_r = 4;
+  util::Table t({"R_est", "solved", "winners", "dangling", "worst slots",
+                 "healthy"});
+  for (std::uint32_t r_est : {1u, 2u, 4u, 8u, 16u}) {
+    const auto out = run_election(n, true_r, core::abs_threshold0(r_est),
+                                  core::abs_threshold1(r_est));
+    const bool healthy = out.solved && out.winners == 1 && out.dangling == 0;
+    t.row(r_est, out.solved, out.winners, out.dangling, out.worst_slots,
+          healthy);
+  }
+  std::cout << "== Ablation 2/3: protocol built for R_est while the true "
+               "bound is r = 4 ==\n"
+            << t.to_string()
+            << "(R_est < 4 may break the election; R_est > 4 stays "
+               "correct and pays ~R_est^2 slots)\n\n";
+}
+
+void print_long_silence_ablation() {
+  // AO-ARRoW with a too-small long-silence threshold concludes "no
+  // election in progress" during an election's legitimate quiet periods
+  // and re-synchronizes into it: extra collisions and duplicate
+  // elections. Sweep the threshold downward at fixed sync countdown.
+  const std::uint64_t paper = core::long_silence_threshold(2);
+  util::Table t({"long-silence threshold (slots)", "max queue (units)",
+                 "collisions", "delivered frac"});
+  for (std::uint64_t thr : {paper, paper / 2, paper / 4, paper / 8,
+                            std::uint64_t{4}}) {
+    core::AoArrowProtocol::Tuning tuning;
+    tuning.long_silence_slots = thr;
+    tuning.sync_countdown_slots = 2 * thr;
+    sim::EngineConfig cfg;
+    cfg.n = 4;
+    cfg.bound_r = 2;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    for (int i = 0; i < 4; ++i)
+      ps.push_back(std::make_unique<core::AoArrowProtocol>(tuning));
+    sim::Engine e(cfg, std::move(ps), per_station_policy(4, 2),
+                  saturating(util::Ratio(1, 2), 16 * U));
+    e.run(sim::until(200000 * U));
+    const auto& st = e.stats();
+    t.row(thr, to_units(st.max_queued_cost),
+          e.channel_stats().collided,
+          st.injected_packets
+              ? static_cast<double>(st.delivered_packets) /
+                    static_cast<double>(st.injected_packets)
+              : 1.0);
+  }
+  std::cout << "== Ablation 3b: AO-ARRoW's long-silence threshold (paper "
+               "value "
+            << paper << " slots at R = 2) ==\n"
+            << t.to_string()
+            << "(small thresholds re-enter live elections: collision "
+               "counts rise; the paper value keeps the box-7 deduction "
+               "sound)\n\n";
+}
+
+void print_subroutine_ablation() {
+  // Theorem 3 parameterizes AO-ARRoW by its Leader_Election(R); swap the
+  // classic synchronous binary search in and the elections misfire under
+  // drifting schedules — visible as an order of magnitude more
+  // collisions on the identical workload (the AO wrapper's recovery
+  // paths keep deliveries going, which is itself a measured finding).
+  auto run_with = [](core::LeaderElectionFactory le, const char* which) {
+    sim::EngineConfig cfg;
+    cfg.n = 4;
+    cfg.bound_r = 2;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    for (int i = 0; i < 4; ++i)
+      ps.push_back(std::make_unique<core::AoArrowProtocol>(le));
+    std::vector<Tick> pattern{U, 2 * U};
+    auto e = std::make_unique<sim::Engine>(
+        cfg, std::move(ps),
+        std::make_unique<adversary::CyclicSlotPolicy>(pattern),
+        saturating(util::Ratio(1, 2), 8 * U));
+    e->run(sim::until(200000 * U));
+    (void)which;
+    return e;
+  };
+  auto with_abs = run_with(core::AbsAutomaton::factory(), "ABS");
+  auto with_sync =
+      run_with(baselines::SyncBinaryLeAutomaton::factory(), "sync-LE");
+
+  util::Table t({"Leader_Election(R)", "collisions", "delivered frac",
+                 "final queue (units)"});
+  auto add = [&](const char* name, const sim::Engine& e) {
+    const auto& s = e.stats();
+    t.row(name, e.channel_stats().collided,
+          s.injected_packets
+              ? static_cast<double>(s.delivered_packets) /
+                    static_cast<double>(s.injected_packets)
+              : 1.0,
+          to_units(s.queued_cost));
+  };
+  add("ABS (paper)", *with_abs);
+  add("sync binary search", *with_sync);
+  std::cout << "== Ablation 4: the Leader_Election(R) subroutine "
+               "(drifting cyclic schedule, R = 2, rho = 0.5) ==\n"
+            << t.to_string()
+            << "(the asynchrony-safe ABS is load-bearing: the synchronous "
+               "search misfires into collisions)\n\n";
+}
+
+void BM_AblatedElection(benchmark::State& state) {
+  const auto r_est = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto out = run_election(8, 4, core::abs_threshold0(r_est),
+                                  core::abs_threshold1(r_est));
+    benchmark::DoNotOptimize(out.winners);
+  }
+}
+BENCHMARK(BM_AblatedElection)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "bench_ablation — design-choice ablations for ABS "
+               "(experiment X2 of DESIGN.md)\n\n";
+  print_threshold_ablation();
+  print_r_estimate_ablation();
+  print_long_silence_ablation();
+  print_subroutine_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// bench_ao_arrow — regenerates the Theorem-3 evaluation: AO-ARRoW's
+// measured worst-case total queue cost versus the closed-form bound L
+// across the injection-rate axis (the stability "hockey stick" as
+// rho -> 1), and across n and R.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "harness.h"
+
+namespace {
+
+using namespace asyncmac;
+using namespace asyncmac::bench;
+
+constexpr Tick kHorizon = 400000 * U;
+
+void print_rho_series() {
+  util::Table t({"rho", "max queue (units)", "final queue", "bound L",
+                 "delivered frac", "wasted frac"});
+  util::CsvWriter csv("bench_ao_arrow.csv",
+                      {"rho", "max_queue", "final_queue", "bound_L",
+                       "delivered_frac", "wasted_frac"});
+  for (int pct : {10, 30, 50, 70, 80, 90, 95}) {
+    const util::Ratio rho(pct, 100);
+    const Tick burst = 16 * U;
+    const auto res =
+        run_pt<core::AoArrowProtocol>(4, 2, rho, burst, kHorizon);
+    const auto b = core::arrow_bounds(4, 2, 2, rho, to_units(burst));
+    t.row(pct / 100.0, res.max_queue_cost_units, res.final_queue_cost_units,
+          b.L, res.delivered_fraction, res.wasted_fraction);
+    csv.row(pct / 100.0, res.max_queue_cost_units,
+            res.final_queue_cost_units, b.L, res.delivered_fraction,
+            res.wasted_fraction);
+  }
+  std::cout << "== Theorem 3: AO-ARRoW queue cost vs rho "
+               "(n=4, R=2, horizon="
+            << to_units(kHorizon) << " units) ==\n"
+            << t.to_string()
+            << "(measured max queue must stay below L for every rho < 1; "
+               "series in bench_ao_arrow.csv)\n\n";
+}
+
+void print_nr_matrix() {
+  util::Table t({"n", "R", "max queue (units)", "bound L", "within bound"});
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    for (std::uint32_t R : {1u, 2u, 4u}) {
+      const util::Ratio rho(7, 10);
+      const Tick burst = 8 * static_cast<Tick>(R) * U;
+      const auto res = run_pt<core::AoArrowProtocol>(n, R, rho, burst,
+                                                     kHorizon);
+      const auto b = core::arrow_bounds(n, R, R, rho, to_units(burst));
+      t.row(n, R, res.max_queue_cost_units, b.L,
+            res.max_queue_cost_units < b.L);
+    }
+  }
+  std::cout << "== AO-ARRoW at rho = 0.7 across (n, R) ==\n" << t.to_string()
+            << "\n";
+}
+
+void print_burstiness_series() {
+  util::Table t({"burst b (units)", "max queue (units)", "bound L"});
+  for (Tick b_units : {4, 16, 64, 256}) {
+    const util::Ratio rho(8, 10);
+    const auto res = run_pt<core::AoArrowProtocol>(4, 2, rho, b_units * U,
+                                                   kHorizon);
+    const auto b = core::arrow_bounds(4, 2, 2, rho,
+                                      static_cast<double>(b_units));
+    t.row(b_units, res.max_queue_cost_units, b.L);
+  }
+  std::cout << "== AO-ARRoW queue vs burstiness (rho = 0.8) ==\n"
+            << t.to_string() << "\n";
+}
+
+void BM_AoArrowThroughput(benchmark::State& state) {
+  const int pct = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const auto res = run_pt<core::AoArrowProtocol>(
+        4, 2, util::Ratio(pct, 100), 16 * U, 50000 * U);
+    delivered = res.delivered;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_AoArrowThroughput)->Arg(50)->Arg(90);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "bench_ao_arrow — reproduces the Theorem 3 evaluation\n\n";
+  print_rho_series();
+  print_nr_matrix();
+  print_burstiness_series();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// bench/harness.h
+//
+// Shared construction and reporting helpers for the benchmark binaries.
+// Each bench binary regenerates one of the paper's artifacts (Table I, a
+// theorem's sweep, or a figure) as an ASCII table plus a CSV file, and
+// additionally registers google-benchmark timings of the underlying
+// simulations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "core/abs.h"
+#include "core/ao_arrow.h"
+#include "core/bounds.h"
+#include "core/ca_arrow.h"
+#include "sim/engine.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace asyncmac::bench {
+
+inline constexpr Tick U = kTicksPerUnit;
+
+/// One protocol instance per station, all of type T.
+template <typename T, typename... Args>
+std::vector<std::unique_ptr<sim::Protocol>> protocols(std::uint32_t n,
+                                                      Args&&... args) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(std::make_unique<T>(args...));
+  return out;
+}
+
+/// The canonical asynchronous slot policy for stability benches: each
+/// station's slots fixed at 1 + (id-1) mod R units (exact Def.-1 costs).
+inline std::unique_ptr<sim::SlotPolicy> per_station_policy(std::uint32_t n,
+                                                           std::uint32_t R) {
+  std::vector<Tick> lens(n);
+  for (std::uint32_t i = 0; i < n; ++i) lens[i] = (1 + (i % R)) * U;
+  return std::make_unique<adversary::PerStationSlotPolicy>(std::move(lens));
+}
+
+inline std::unique_ptr<sim::SlotPolicy> sync_policy() {
+  return std::make_unique<adversary::UniformSlotPolicy>(U);
+}
+
+/// Round-robin bucket-saturating workload at rate rho with burst b.
+inline std::unique_ptr<sim::InjectionPolicy> saturating(util::Ratio rho,
+                                                        Tick burst) {
+  return std::make_unique<adversary::SaturatingInjector>(
+      rho, burst, adversary::TargetPattern::kRoundRobin);
+}
+
+/// One SST message per participating station at time 0.
+inline std::unique_ptr<sim::InjectionPolicy> messages(std::uint32_t n) {
+  std::vector<sim::Injection> script;
+  for (StationId s = 1; s <= n; ++s) script.push_back({0, s, U});
+  return std::make_unique<adversary::ScriptedInjector>(std::move(script));
+}
+
+/// Outcome of a packet-transmission (PT) stability run.
+struct PtResult {
+  double max_queue_cost_units = 0;  ///< high-water total queue cost
+  double final_queue_cost_units = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t control_msgs = 0;
+  double delivered_fraction = 0;
+  double wasted_fraction = 0;  ///< Def. 2: time with no successful packet tx
+};
+
+template <typename P>
+PtResult run_pt(std::uint32_t n, std::uint32_t R, util::Ratio rho, Tick burst,
+                Tick horizon, bool synchronous = false,
+                std::unique_ptr<sim::InjectionPolicy> injector = nullptr) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.bound_r = R;
+  auto engine = std::make_unique<sim::Engine>(
+      cfg, protocols<P>(n),
+      synchronous ? sync_policy() : per_station_policy(n, R),
+      injector ? std::move(injector) : saturating(rho, burst));
+  engine->run(sim::until(horizon));
+
+  PtResult out;
+  const auto& s = engine->stats();
+  out.max_queue_cost_units = to_units(s.max_queued_cost);
+  out.final_queue_cost_units = to_units(s.queued_cost);
+  out.delivered = s.delivered_packets;
+  out.injected = s.injected_packets;
+  out.collisions = engine->channel_stats().collided;
+  out.control_msgs = engine->channel_stats().control_transmissions;
+  out.delivered_fraction =
+      s.injected_packets
+          ? static_cast<double>(s.delivered_packets) /
+                static_cast<double>(s.injected_packets)
+          : 1.0;
+  out.wasted_fraction =
+      1.0 - to_units(engine->channel_stats().successful_packet_time) /
+                to_units(engine->now());
+  return out;
+}
+
+/// Outcome of an SST run (ABS or a baseline leader election).
+struct SstResult {
+  bool solved = false;
+  std::uint32_t winners = 0;
+  std::uint64_t max_slots = 0;  ///< max slots any participant spent
+  double solved_at_units = 0;
+};
+
+}  // namespace asyncmac::bench

@@ -1,0 +1,30 @@
+// examples/grid_report — the declarative experiment API: describe a
+// parameter sweep once, get a uniform table and a CSV out. This is the
+// programmatic counterpart of tools/asyncmac_cli for batch studies.
+#include <iostream>
+
+#include "analysis/experiment.h"
+
+int main() {
+  using namespace asyncmac;
+
+  analysis::ExperimentSpec spec;
+  spec.protocols = {"ao-arrow", "ca-arrow", "rrw", "aloha"};
+  spec.station_counts = {4};
+  spec.bounds_r = {1, 2};
+  spec.rho_percents = {40, 80};
+  spec.slot_policies = {"perstation"};
+  spec.horizon_units = 60000;
+
+  std::cout << "grid_report: " << spec.protocols.size()
+            << " protocols x R in {1,2} x rho in {0.4, 0.8} "
+               "(perstation slots, 60k units)\n\n";
+
+  const auto records = analysis::run_grid(spec);
+  std::cout << analysis::to_table(records);
+  analysis::write_csv(records, "grid_report.csv");
+  std::cout << "\n(rows with delivered frac << 1 are the unstable cells: "
+               "RRW at R = 2, ALOHA at rho = 0.8 — written to "
+               "grid_report.csv)\n";
+  return records.empty() ? 1 : 0;
+}

@@ -1,0 +1,92 @@
+// examples/msr_explorer — use the analysis library to answer the paper's
+// headline question for your own configuration: "what injection rate can
+// this MAC sustain?" Edit the constants, rebuild, run.
+//
+// The example compares AO-ARRoW against slotted ALOHA on the same channel
+// and prints the measured Max Stable Rate of each, plus a backlog trace
+// at a rate between the two — the regime where the deterministic
+// protocol is stable and the randomized one has already collapsed.
+#include <iostream>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "analysis/msr.h"
+#include "baselines/aloha.h"
+#include "core/ao_arrow.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace asyncmac;
+constexpr Tick U = kTicksPerUnit;
+
+// ---- edit me -------------------------------------------------------
+constexpr std::uint32_t kStations = 4;
+constexpr std::uint32_t kBoundR = 2;
+// ---------------------------------------------------------------------
+
+template <typename P>
+analysis::RateEngineFactory factory() {
+  return [](util::Ratio rho, std::uint64_t seed) {
+    sim::EngineConfig cfg;
+    cfg.n = kStations;
+    cfg.bound_r = kBoundR;
+    cfg.seed = seed;
+    std::vector<Tick> lens;
+    for (std::uint32_t i = 0; i < kStations; ++i)
+      lens.push_back((1 + i % kBoundR) * U);
+    std::vector<std::unique_ptr<sim::Protocol>> protocols;
+    for (std::uint32_t i = 0; i < kStations; ++i)
+      protocols.push_back(std::make_unique<P>());
+    return std::make_unique<sim::Engine>(
+        cfg, std::move(protocols),
+        std::make_unique<adversary::PerStationSlotPolicy>(std::move(lens)),
+        std::make_unique<adversary::SaturatingInjector>(
+            rho, 10 * U, adversary::TargetPattern::kRoundRobin, 1,
+            seed + 1));
+  };
+}
+
+}  // namespace
+
+int main() {
+  analysis::MsrConfig cfg;
+  cfg.probe.horizon = 120000 * U;
+  cfg.seeds = 1;
+
+  std::cout << "msr_explorer: n = " << kStations << ", R = " << kBoundR
+            << ", round-robin leaky-bucket workload\n\n";
+
+  const auto arrow = analysis::estimate_msr(factory<core::AoArrowProtocol>(),
+                                            cfg);
+  std::cout << "AO-ARRoW      measured MSR = " << arrow.msr_pct << "% ("
+            << arrow.probes << " probes)\n";
+
+  analysis::MsrConfig aloha_cfg = cfg;
+  aloha_cfg.seeds = 3;  // randomized protocol: majority over seeds
+  const auto aloha = analysis::estimate_msr(
+      factory<baselines::SlottedAlohaProtocol>(), aloha_cfg);
+  std::cout << "slotted ALOHA measured MSR = " << aloha.msr_pct << "% ("
+            << aloha.probes << " probes)\n\n";
+
+  // A rate between the two: ALOHA drowns, AO-ARRoW cruises.
+  const int mid_pct = (arrow.msr_pct + aloha.msr_pct) / 2;
+  std::cout << "Backlog at rho = " << mid_pct << "% over time:\n";
+  std::cout << "  t (units) | AO-ARRoW backlog | ALOHA backlog (packets)\n";
+  auto ao_engine = factory<core::AoArrowProtocol>()(
+      util::Ratio(mid_pct, 100), 1);
+  auto al_engine = factory<baselines::SlottedAlohaProtocol>()(
+      util::Ratio(mid_pct, 100), 1);
+  for (int chunk = 1; chunk <= 6; ++chunk) {
+    const Tick t = chunk * 20000 * U;
+    ao_engine->run(sim::until(t));
+    al_engine->run(sim::until(t));
+    std::cout << "  " << to_units(t) << " | "
+              << ao_engine->stats().queued_packets << " | "
+              << al_engine->stats().queued_packets << "\n";
+  }
+  std::cout << "\nAO-ARRoW's backlog plateaus; ALOHA's grows without "
+               "bound — the deterministic stable-throughput advantage the "
+               "paper establishes.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// examples/sensor_swarm — the paper's motivating scenario of weak devices
+// that cannot afford tight clock synchronization (Section I cites sensor
+// networks [13]): eight battery-powered sensors share one radio channel.
+// Their cheap oscillators drift, so their "slots" stretch and shrink
+// between 1x and 3x — exactly the bounded-asynchrony model with R = 3.
+//
+// Traffic is event-driven and bursty: long quiet stretches, then a burst
+// of readings when something happens. AO-ARRoW fits the hardware budget
+// because it never spends energy on control transmissions — only genuine
+// readings are ever sent.
+#include <iostream>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "core/ao_arrow.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace asyncmac;
+  constexpr Tick U = kTicksPerUnit;
+  constexpr std::uint32_t kSensors = 8;
+  constexpr std::uint32_t kDrift = 3;  // R: worst-case clock stretch
+
+  sim::EngineConfig cfg;
+  cfg.n = kSensors;
+  cfg.bound_r = kDrift;
+  cfg.seed = 2024;
+
+  // Each sensor's oscillator wanders through a periodic drift pattern,
+  // phase-shifted per sensor so no two sensors ever stay aligned.
+  auto drift = std::make_unique<adversary::CyclicSlotPolicy>(
+      std::vector<Tick>{1 * U, 2 * U, 3 * U, 2 * U, 1 * U, 3 * U},
+      /*shift_per_station=*/true);
+
+  // Event bursts: the bucket fills at a modest average rate (rho = 0.35)
+  // but is emptied in dumps every ~2000 time units — a storm of readings
+  // landing on all sensors at once.
+  auto events = std::make_unique<adversary::BurstyInjector>(
+      util::Ratio(35, 100), /*burst=*/60 * U, /*period=*/2000 * U,
+      adversary::TargetPattern::kRoundRobin);
+
+  std::vector<std::unique_ptr<sim::Protocol>> sensors;
+  for (std::uint32_t i = 0; i < kSensors; ++i)
+    sensors.push_back(std::make_unique<core::AoArrowProtocol>());
+
+  sim::Engine engine(cfg, std::move(sensors), std::move(drift),
+                     std::move(events));
+  engine.run(sim::until(200000 * U));
+
+  const auto& s = engine.stats();
+  std::cout << "sensor_swarm: " << kSensors
+            << " drifting sensors (R = " << kDrift << "), bursty events\n\n";
+  std::cout << "  readings injected  : " << s.injected_packets << "\n"
+            << "  readings delivered : " << s.delivered_packets << "\n"
+            << "  backlog at the end : " << s.queued_packets << "\n"
+            << "  worst backlog cost : " << to_units(s.max_queued_cost)
+            << " time units\n"
+            << "  control messages   : "
+            << engine.channel_stats().control_transmissions
+            << " (always 0: AO-ARRoW transmits only real readings)\n\n";
+
+  std::cout << "  per-sensor deliveries (no sensor starves):\n";
+  for (std::uint32_t i = 0; i < kSensors; ++i)
+    std::cout << "    sensor " << i + 1 << ": "
+              << s.station[i].delivered << " delivered, "
+              << s.station[i].queued << " queued\n";
+
+  std::cout << "\n  delivery latency: p50 = "
+            << to_units(s.latency.quantile(0.5)) << " units, max = "
+            << to_units(s.latency.max()) << " units\n";
+  return s.queued_packets < 100 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+#include "adversary/bucket_validator.h"
+
+#include "util/check.h"
+
+namespace asyncmac::adversary {
+
+namespace {
+
+// Shared scan: computes max over i <= j of
+//   den*(P_j - P_{i-1}) - num*(t_j - t_i)
+// i.e. the scaled worst window excess, together with the witnessing
+// window. b is compliant iff excess <= den*b.
+struct Excess {
+  __int128 scaled = 0;  // max excess * den (0 when log empty)
+  Tick begin = 0, end = 0;
+  Tick cost = 0;
+};
+
+Excess worst_window(const std::vector<sim::Injection>& log,
+                    util::Ratio rho) {
+  Excess best;
+  if (log.empty()) return best;
+  __int128 prefix = 0;  // P_{i-1} style running sum
+  // Track, over candidate window starts i, the max of num*t_i - den*P_{i-1}
+  // together with the start time (for reporting).
+  __int128 best_start_val = static_cast<__int128>(rho.num) * log[0].time;
+  Tick best_start_time = log[0].time;
+  __int128 best_start_prefix = 0;
+  bool have = false;
+  for (std::size_t j = 0; j < log.size(); ++j) {
+    AM_CHECK(j == 0 || log[j - 1].time <= log[j].time);
+    // A window may start at t_j (including only injection j), so update
+    // the start candidate BEFORE closing windows at j.
+    const __int128 start_val =
+        static_cast<__int128>(rho.num) * log[j].time -
+        static_cast<__int128>(rho.den) * prefix;
+    if (!have || start_val > best_start_val) {
+      best_start_val = start_val;
+      best_start_time = log[j].time;
+      best_start_prefix = prefix;
+      have = true;
+    }
+    prefix += log[j].cost;
+    const __int128 excess = static_cast<__int128>(rho.den) * prefix -
+                            static_cast<__int128>(rho.num) * log[j].time +
+                            best_start_val;
+    if (excess > best.scaled) {
+      best.scaled = excess;
+      best.begin = best_start_time;
+      best.end = log[j].time;
+      best.cost = static_cast<Tick>(prefix - best_start_prefix);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BucketViolation check_leaky_bucket(const std::vector<sim::Injection>& log,
+                                   util::Ratio rho, Tick burst) {
+  BucketViolation out;
+  const Excess worst = worst_window(log, rho);
+  const __int128 allowed_scaled = static_cast<__int128>(burst) * rho.den;
+  if (worst.scaled > allowed_scaled) {
+    out.violated = true;
+    out.window_begin = worst.begin;
+    out.window_end = worst.end;
+    out.cost_in_window = worst.cost;
+    out.allowed = rho.mul_floor(worst.end - worst.begin) + burst;
+  }
+  return out;
+}
+
+Tick effective_burstiness(const std::vector<sim::Injection>& log,
+                          util::Ratio rho) {
+  const Excess worst = worst_window(log, rho);
+  // ceil(scaled / den)
+  const __int128 den = rho.den;
+  return static_cast<Tick>((worst.scaled + den - 1) / den);
+}
+
+}  // namespace asyncmac::adversary

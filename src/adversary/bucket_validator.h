@@ -1,0 +1,43 @@
+// asyncmac/adversary/bucket_validator.h
+//
+// Post-hoc verifier of the Def.-1 leaky-bucket constraint: given the
+// sequence of injections of a run (with either declared or realized
+// costs), confirm that every time window [t_i, t_j] received at most
+// rho * (t_j - t_i) + b cost. Used by tests to prove that the workload
+// generators really belong to the adversary class the theorems quantify
+// over, and to cross-check realized costs under variable slot policies.
+#pragma once
+
+#include <vector>
+
+#include "sim/injection.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace asyncmac::adversary {
+
+struct BucketViolation {
+  bool violated = false;
+  Tick window_begin = 0;
+  Tick window_end = 0;
+  Tick cost_in_window = 0;
+  Tick allowed = 0;
+};
+
+/// Exact O(k) check. Injections must be sorted by time (the engine
+/// enforces this ordering during the run).
+///
+/// The constraint "sum of costs in any window <= rho*t + b" is violated
+/// iff for some i <= j:  P_j - P_{i-1} > rho*(t_j - t_i) + b, where P is
+/// the cost prefix sum. Scanning j while keeping the maximum of
+/// (rho * t_i - P_{i-1}) over i <= j decides this in one pass with
+/// 128-bit intermediates.
+BucketViolation check_leaky_bucket(const std::vector<sim::Injection>& log,
+                                   util::Ratio rho, Tick burst);
+
+/// Maximum burst parameter b that would make the log compliant at rate
+/// rho (the log's "effective burstiness"). Returns 0 for an empty log.
+Tick effective_burstiness(const std::vector<sim::Injection>& log,
+                          util::Ratio rho);
+
+}  // namespace asyncmac::adversary

@@ -1,0 +1,223 @@
+#include "adversary/injectors.h"
+
+#include "util/check.h"
+
+namespace asyncmac::adversary {
+
+// ---------------------------------------------------------------- bucket
+
+CostBucket::CostBucket(util::Ratio rho, Tick burst_cost)
+    : rho_(rho), burst_(burst_cost) {
+  AM_REQUIRE(burst_cost >= 0, "burstiness must be non-negative");
+  tokens_scaled_ = static_cast<__int128>(burst_) * rho_.den;
+}
+
+void CostBucket::advance(Tick now) {
+  AM_CHECK(now >= last_);
+  const __int128 cap = static_cast<__int128>(burst_) * rho_.den;
+  tokens_scaled_ += static_cast<__int128>(rho_.num) * (now - last_);
+  if (tokens_scaled_ > cap) tokens_scaled_ = cap;
+  last_ = now;
+}
+
+bool CostBucket::can_afford(Tick cost) const {
+  return tokens_scaled_ >= static_cast<__int128>(cost) * rho_.den;
+}
+
+void CostBucket::spend(Tick cost) {
+  AM_CHECK(can_afford(cost));
+  tokens_scaled_ -= static_cast<__int128>(cost) * rho_.den;
+}
+
+Tick CostBucket::tokens() const {
+  return static_cast<Tick>(tokens_scaled_ / rho_.den);
+}
+
+// ---------------------------------------------------------------- helpers
+
+Tick packet_cost_for(const sim::EngineView& view, StationId station) {
+  const Tick fixed = view.fixed_slot_length(station);
+  return fixed > 0 ? fixed : kTicksPerUnit;
+}
+
+// ---------------------------------------------------------- SaturatingInjector
+
+SaturatingInjector::SaturatingInjector(util::Ratio rho, Tick burst_cost,
+                                       TargetPattern pattern,
+                                       StationId single_target,
+                                       std::uint64_t seed)
+    : bucket_(rho, burst_cost),
+      pattern_(pattern),
+      single_target_(single_target),
+      rng_(seed) {}
+
+StationId SaturatingInjector::pick(const sim::EngineView& view) {
+  switch (pattern_) {
+    case TargetPattern::kSingle:
+      return single_target_;
+    case TargetPattern::kRandom:
+      return static_cast<StationId>(1 + rng_.below(view.n()));
+    case TargetPattern::kRoundRobin:
+    default: {
+      const StationId s = rr_next_;
+      rr_next_ = (rr_next_ % view.n()) + 1;
+      return s;
+    }
+  }
+}
+
+void SaturatingInjector::poll(Tick now, const sim::EngineView& view,
+                              std::vector<sim::Injection>& out) {
+  bucket_.advance(now);
+  for (;;) {
+    // Peek the next target's cost without consuming the pattern state
+    // unless we actually inject.
+    const StationId candidate =
+        (pattern_ == TargetPattern::kRoundRobin) ? rr_next_
+        : (pattern_ == TargetPattern::kSingle)   ? single_target_
+                                                 : kInvalidStation;
+    StationId target = candidate;
+    Tick cost;
+    if (pattern_ == TargetPattern::kRandom) {
+      // Random pattern: affordability is checked against the cheapest
+      // possible cost; the draw itself happens only if we can inject the
+      // drawn station's packet (re-checked below).
+      if (!bucket_.can_afford(kTicksPerUnit)) break;
+      target = static_cast<StationId>(1 + rng_.below(view.n()));
+      cost = packet_cost_for(view, target);
+      if (!bucket_.can_afford(cost)) break;  // drawn target too expensive
+    } else {
+      cost = packet_cost_for(view, target);
+      if (!bucket_.can_afford(cost)) break;
+      if (pattern_ == TargetPattern::kRoundRobin)
+        rr_next_ = (rr_next_ % view.n()) + 1;
+    }
+    bucket_.spend(cost);
+    const sim::Injection inj{now, target, cost};
+    out.push_back(inj);
+    injected_cost_ += cost;
+    if (keep_log_) log_.push_back(inj);
+  }
+}
+
+std::string SaturatingInjector::name() const {
+  return "saturating(rho=" + bucket_.rate().str() + ")";
+}
+
+// ------------------------------------------------------------- BurstyInjector
+
+BurstyInjector::BurstyInjector(util::Ratio rho, Tick burst_cost,
+                               Tick period_ticks, TargetPattern pattern,
+                               StationId single_target, std::uint64_t seed)
+    : bucket_(rho, burst_cost),
+      period_(period_ticks),
+      pattern_(pattern),
+      single_target_(single_target),
+      rng_(seed) {
+  AM_REQUIRE(period_ticks > 0, "burst period must be positive");
+}
+
+StationId BurstyInjector::pick(const sim::EngineView& view) {
+  switch (pattern_) {
+    case TargetPattern::kSingle:
+      return single_target_;
+    case TargetPattern::kRandom:
+      return static_cast<StationId>(1 + rng_.below(view.n()));
+    case TargetPattern::kRoundRobin:
+    default: {
+      const StationId s = rr_next_;
+      rr_next_ = (rr_next_ % view.n()) + 1;
+      return s;
+    }
+  }
+}
+
+void BurstyInjector::poll(Tick now, const sim::EngineView& view,
+                          std::vector<sim::Injection>& out) {
+  if (now < next_burst_) return;
+  bucket_.advance(now);
+  for (;;) {
+    const StationId target = pick(view);
+    const Tick cost = packet_cost_for(view, target);
+    if (!bucket_.can_afford(cost)) break;
+    bucket_.spend(cost);
+    out.push_back({now, target, cost});
+  }
+  next_burst_ = now + period_;
+}
+
+std::string BurstyInjector::name() const {
+  return "bursty(rho=" + bucket_.rate().str() + ")";
+}
+
+// -------------------------------------------------------- DrainChasingInjector
+
+DrainChasingInjector::DrainChasingInjector(util::Ratio rho, Tick burst_cost,
+                                           StationId a, StationId b)
+    : bucket_(rho, burst_cost), a_(a), b_(b) {
+  AM_REQUIRE(a != b, "chasing needs two distinct stations");
+}
+
+void DrainChasingInjector::poll(Tick now, const sim::EngineView& view,
+                                std::vector<sim::Injection>& out) {
+  bucket_.advance(now);
+  // Target whichever of {a, b} did NOT just transmit successfully, so the
+  // protocol must keep switching the withheld channel between them.
+  const StationId busy = view.last_successful_station();
+  const StationId target = (busy == a_) ? b_ : a_;
+  for (;;) {
+    const Tick cost = packet_cost_for(view, target);
+    if (!bucket_.can_afford(cost)) break;
+    bucket_.spend(cost);
+    out.push_back({now, target, cost});
+  }
+}
+
+std::string DrainChasingInjector::name() const {
+  return "drain-chasing(rho=" + bucket_.rate().str() + ")";
+}
+
+// ------------------------------------------------------------ MaxQueueInjector
+
+MaxQueueInjector::MaxQueueInjector(util::Ratio rho, Tick burst_cost)
+    : bucket_(rho, burst_cost) {}
+
+void MaxQueueInjector::poll(Tick now, const sim::EngineView& view,
+                            std::vector<sim::Injection>& out) {
+  bucket_.advance(now);
+  for (;;) {
+    StationId target = 1;
+    Tick worst = -1;
+    for (StationId s = 1; s <= view.n(); ++s) {
+      if (view.queue_cost(s) > worst) {
+        worst = view.queue_cost(s);
+        target = s;
+      }
+    }
+    const Tick cost = packet_cost_for(view, target);
+    if (!bucket_.can_afford(cost)) break;
+    bucket_.spend(cost);
+    out.push_back({now, target, cost});
+  }
+}
+
+std::string MaxQueueInjector::name() const {
+  return "max-queue(rho=" + bucket_.rate().str() + ")";
+}
+
+// ------------------------------------------------------------ ScriptedInjector
+
+ScriptedInjector::ScriptedInjector(std::vector<sim::Injection> script)
+    : script_(std::move(script)) {
+  for (std::size_t i = 1; i < script_.size(); ++i)
+    AM_REQUIRE(script_[i - 1].time <= script_[i].time,
+               "script must be sorted by time");
+}
+
+void ScriptedInjector::poll(Tick now, const sim::EngineView&,
+                            std::vector<sim::Injection>& out) {
+  while (next_ < script_.size() && script_[next_].time <= now)
+    out.push_back(script_[next_++]);
+}
+
+}  // namespace asyncmac::adversary

@@ -1,0 +1,18 @@
+// asyncmac/adversary/protocol_factory.h
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/protocol.h"
+#include "util/types.h"
+
+namespace asyncmac::adversary {
+
+/// Creates a fresh protocol instance for a given station. Drivers that
+/// construct whole executions (mirror lower bound, collision forcer) need
+/// to instantiate protocols repeatedly and in virtual copies.
+using ProtocolFactory =
+    std::function<std::unique_ptr<sim::Protocol>(StationId)>;
+
+}  // namespace asyncmac::adversary

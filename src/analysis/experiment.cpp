@@ -1,0 +1,105 @@
+#include "analysis/experiment.h"
+
+#include <memory>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "analysis/registry.h"
+#include "sim/engine.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace asyncmac::analysis {
+
+namespace {
+
+ExperimentRecord run_cell(const std::string& protocol, std::uint32_t n,
+                          std::uint32_t bound_r, int rho_pct,
+                          const std::string& policy, Tick burst_units,
+                          Tick horizon_units, std::uint64_t seed) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.bound_r = bound_r;
+  cfg.seed = seed;
+  sim::Engine engine(
+      cfg, make_protocols(protocol, n),
+      adversary::make_slot_policy(policy, n, bound_r, seed),
+      std::make_unique<adversary::SaturatingInjector>(
+          util::Ratio(rho_pct, 100), burst_units * kTicksPerUnit,
+          adversary::TargetPattern::kRoundRobin, 1, seed + 1));
+  engine.run(sim::until(horizon_units * kTicksPerUnit));
+
+  ExperimentRecord rec;
+  rec.protocol = protocol;
+  rec.n = n;
+  rec.bound_r = bound_r;
+  rec.rho_pct = rho_pct;
+  rec.slot_policy = policy;
+  rec.seed = seed;
+  const auto& s = engine.stats();
+  rec.injected = s.injected_packets;
+  rec.delivered = s.delivered_packets;
+  rec.queued = s.queued_packets;
+  rec.max_queue_cost_units = to_units(s.max_queued_cost);
+  rec.final_queue_cost_units = to_units(s.queued_cost);
+  rec.collisions = engine.channel_stats().collided;
+  rec.control_msgs = engine.channel_stats().control_transmissions;
+  rec.delivered_fraction =
+      s.injected_packets ? static_cast<double>(s.delivered_packets) /
+                               static_cast<double>(s.injected_packets)
+                         : 1.0;
+  rec.p99_latency_units =
+      s.latency.empty() ? 0.0 : to_units(s.latency.quantile(0.99));
+  return rec;
+}
+
+}  // namespace
+
+std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
+  AM_REQUIRE(!spec.protocols.empty() && !spec.station_counts.empty() &&
+                 !spec.bounds_r.empty() && !spec.rho_percents.empty() &&
+                 !spec.slot_policies.empty(),
+             "every sweep dimension needs at least one value");
+  AM_REQUIRE(spec.seeds >= 1, "need at least one seed");
+  AM_REQUIRE(spec.horizon_units > 0, "horizon must be positive");
+
+  std::vector<ExperimentRecord> records;
+  for (const auto& protocol : spec.protocols)
+    for (std::uint32_t n : spec.station_counts)
+      for (std::uint32_t r : spec.bounds_r)
+        for (int rho : spec.rho_percents)
+          for (const auto& policy : spec.slot_policies)
+            for (int s = 0; s < spec.seeds; ++s)
+              records.push_back(run_cell(
+                  protocol, n, r, rho, policy, spec.burst_units,
+                  spec.horizon_units,
+                  spec.seed + static_cast<std::uint64_t>(s) * 1000003));
+  return records;
+}
+
+std::string to_table(const std::vector<ExperimentRecord>& records) {
+  util::Table t({"protocol", "n", "R", "rho%", "policy", "seed",
+                 "delivered frac", "max queue (units)", "collisions",
+                 "control", "p99 latency"});
+  for (const auto& r : records)
+    t.row(r.protocol, r.n, r.bound_r, r.rho_pct, r.slot_policy, r.seed,
+          r.delivered_fraction, r.max_queue_cost_units, r.collisions,
+          r.control_msgs, r.p99_latency_units);
+  return t.to_string();
+}
+
+void write_csv(const std::vector<ExperimentRecord>& records,
+               const std::string& path) {
+  util::CsvWriter csv(
+      path, {"protocol", "n", "R", "rho_pct", "policy", "seed", "injected",
+             "delivered", "queued", "max_queue_units", "final_queue_units",
+             "collisions", "control_msgs", "p99_latency_units"});
+  for (const auto& r : records)
+    csv.row(r.protocol, r.n, r.bound_r, r.rho_pct, r.slot_policy, r.seed,
+            r.injected, r.delivered, r.queued, r.max_queue_cost_units,
+            r.final_queue_cost_units, r.collisions, r.control_msgs,
+            r.p99_latency_units);
+}
+
+}  // namespace asyncmac::analysis

@@ -1,0 +1,64 @@
+// asyncmac/analysis/experiment.h
+//
+// Declarative experiment grids: describe a sweep (protocol x n x R x rho
+// x slot policy) once, run it, and get uniform records back for table or
+// CSV rendering. This is the machinery behind reproducible parameter
+// studies on top of the simulator — the benches use hand-rolled loops for
+// paper fidelity; downstream users get this instead.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace asyncmac::analysis {
+
+struct ExperimentSpec {
+  /// Registry names to sweep (see analysis/registry.h).
+  std::vector<std::string> protocols{"ao-arrow"};
+  std::vector<std::uint32_t> station_counts{4};
+  std::vector<std::uint32_t> bounds_r{2};
+  std::vector<int> rho_percents{50};
+  /// Slot-policy names (see adversary::make_slot_policy).
+  std::vector<std::string> slot_policies{"perstation"};
+  Tick burst_units = 16;
+  Tick horizon_units = 100000;
+  std::uint64_t seed = 1;
+  /// Repetitions with derived seeds; records report per-seed results.
+  int seeds = 1;
+};
+
+struct ExperimentRecord {
+  // Parameters.
+  std::string protocol;
+  std::uint32_t n = 0;
+  std::uint32_t bound_r = 0;
+  int rho_pct = 0;
+  std::string slot_policy;
+  std::uint64_t seed = 0;
+  // Results.
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queued = 0;
+  double max_queue_cost_units = 0;
+  double final_queue_cost_units = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t control_msgs = 0;
+  double delivered_fraction = 0;
+  double p99_latency_units = 0;
+};
+
+/// Run the full cross product. Record order: protocols x n x R x rho x
+/// policy x seed (innermost last) — deterministic.
+std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec);
+
+/// Render records as an aligned ASCII table / CSV file.
+std::string to_table(const std::vector<ExperimentRecord>& records);
+void write_csv(const std::vector<ExperimentRecord>& records,
+               const std::string& path);
+
+}  // namespace asyncmac::analysis

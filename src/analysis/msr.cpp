@@ -1,0 +1,65 @@
+#include "analysis/msr.h"
+
+#include "util/check.h"
+
+namespace asyncmac::analysis {
+
+namespace {
+
+bool stable_probe(const RateEngineFactory& factory, util::Ratio rho,
+                  const MsrConfig& config, int* probes) {
+  int stable_votes = 0;
+  for (int s = 0; s < config.seeds; ++s) {
+    const std::uint64_t seed = config.base_seed + static_cast<unsigned>(s);
+    const auto report = probe_stability(
+        [&] { return factory(rho, seed); }, config.probe);
+    if (probes) ++*probes;
+    if (report.verdict == Verdict::kStable) ++stable_votes;
+  }
+  return 2 * stable_votes > config.seeds;
+}
+
+}  // namespace
+
+bool stable_at(const RateEngineFactory& factory, util::Ratio rho,
+               const MsrConfig& config) {
+  return stable_probe(factory, rho, config, nullptr);
+}
+
+MsrResult estimate_msr(const RateEngineFactory& factory,
+                       const MsrConfig& config) {
+  AM_REQUIRE(config.lo_pct >= 1 && config.hi_pct <= 99 &&
+                 config.lo_pct <= config.hi_pct,
+             "search range must lie in [1, 99]");
+  AM_REQUIRE(config.seeds >= 1, "need at least one seed");
+
+  MsrResult result;
+
+  // If even the lowest rate is unstable, MSR is (empirically) zero.
+  if (!stable_probe(factory, util::Ratio(config.lo_pct, 100), config,
+                    &result.probes)) {
+    result.msr_pct = 0;
+    return result;
+  }
+  // If the highest rate is stable, report it directly.
+  if (stable_probe(factory, util::Ratio(config.hi_pct, 100), config,
+                   &result.probes)) {
+    result.msr_pct = config.hi_pct;
+    return result;
+  }
+  // Invariant: stable at lo, unstable at hi.
+  int lo = config.lo_pct, hi = config.hi_pct;
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    if (stable_probe(factory, util::Ratio(mid, 100), config,
+                     &result.probes)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.msr_pct = lo;
+  return result;
+}
+
+}  // namespace asyncmac::analysis

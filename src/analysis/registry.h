@@ -1,0 +1,36 @@
+// asyncmac/analysis/registry.h
+//
+// Name -> protocol factory registry over everything the library ships —
+// the paper's algorithms, the experimental extension and every baseline.
+// Shared by the CLI, the experiment grid runner and the benches, so
+// experiment descriptions can be purely declarative.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace asyncmac::analysis {
+
+using ProtocolMaker = std::function<std::unique_ptr<sim::Protocol>()>;
+
+/// Factory for a registered protocol name; throws std::invalid_argument
+/// on an unknown name. Names:
+///   ao-arrow, ca-arrow, adaptive-abs, abs,
+///   rrw, mbtf, aloha, beb, silence-tdma, sync-binary-le, listen
+ProtocolMaker protocol_maker(const std::string& name);
+
+/// Convenience: one instance.
+std::unique_ptr<sim::Protocol> make_protocol(const std::string& name);
+
+/// Convenience: n instances (one per station).
+std::vector<std::unique_ptr<sim::Protocol>> make_protocols(
+    const std::string& name, std::uint32_t n);
+
+/// All registered names, sorted.
+std::vector<std::string> protocol_names();
+
+}  // namespace asyncmac::analysis

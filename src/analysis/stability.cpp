@@ -1,0 +1,64 @@
+#include "analysis/stability.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace asyncmac::analysis {
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kStable: return "stable";
+    case Verdict::kGrowing: return "growing";
+    case Verdict::kSaturated: return "saturated";
+  }
+  return "?";
+}
+
+StabilityReport probe_stability(const EngineFactory& factory,
+                                const StabilityConfig& config) {
+  AM_REQUIRE(config.chunks >= 4, "need at least 4 sampling chunks");
+  AM_REQUIRE(config.horizon > 0, "horizon must be positive");
+
+  auto engine = factory();
+  AM_REQUIRE(engine != nullptr, "factory returned null engine");
+
+  StabilityReport report;
+  const Tick step = config.horizon / config.chunks;
+  for (int c = 1; c <= config.chunks; ++c) {
+    engine->run(sim::until(step * c));
+    report.samples.push_back(engine->stats().queued_cost);
+    if (engine->stats().queued_cost > config.ceiling) {
+      report.verdict = Verdict::kSaturated;
+      break;
+    }
+  }
+  report.max_queued = engine->stats().max_queued_cost;
+  report.delivered = engine->stats().delivered_packets;
+  report.injected = engine->stats().injected_packets;
+  report.collisions = engine->channel_stats().collided;
+  if (report.verdict == Verdict::kSaturated) return report;
+
+  // Tail-growth test: compare the mean backlog of the last quarter of
+  // samples against the mean of the quarter around the middle. A stable
+  // system's backlog plateaus; an overloaded one keeps climbing.
+  const auto n = report.samples.size();
+  const std::size_t q = std::max<std::size_t>(1, n / 4);
+  auto mean = [&](std::size_t from, std::size_t count) {
+    double total = 0;
+    for (std::size_t i = from; i < from + count; ++i)
+      total += static_cast<double>(report.samples[i]);
+    return total / static_cast<double>(count);
+  };
+  const double early = mean(0, q);
+  const double mid = mean(n / 2 - q / 2 > 0 ? n / 2 - q / 2 : 0, q);
+  const double tail = mean(n - q, q);
+  if (tail > static_cast<double>(config.noise_floor) &&
+      (tail > mid * config.growth_tolerance ||
+       tail > early * config.early_tolerance)) {
+    report.verdict = Verdict::kGrowing;
+  }
+  return report;
+}
+
+}  // namespace asyncmac::analysis

@@ -1,0 +1,66 @@
+// asyncmac/analysis/stability.h
+//
+// Empirical stability classification. The paper's stability notion (an
+// upper bound on queued-but-undelivered cost over the infinite execution)
+// is not directly observable from a finite run, so the probe uses the
+// standard finite-horizon proxy: run the system across several equal
+// time chunks, sample the total queued cost at each boundary, and
+// classify the tail behaviour —
+//   * kStable   — the backlog stops growing (late samples comparable to
+//                 middle samples) and stays below an absolute ceiling;
+//   * kGrowing  — the backlog keeps climbing chunk over chunk;
+//   * kSaturated— the backlog exceeded the ceiling outright (divergence
+//                 faster than the growth test needs).
+// The MSR estimator binary-searches on top of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/types.h"
+
+namespace asyncmac::analysis {
+
+enum class Verdict : std::uint8_t { kStable, kGrowing, kSaturated };
+
+const char* to_string(Verdict v) noexcept;
+
+struct StabilityConfig {
+  Tick horizon = 400000 * kTicksPerUnit;  ///< total simulated time
+  int chunks = 8;                         ///< sampling points
+  /// Absolute backlog ceiling (cost ticks); crossing it is kSaturated.
+  Tick ceiling = 50000 * kTicksPerUnit;
+  /// Tail growth tolerance: mean of the last quarter of samples may
+  /// exceed the mean of the middle quarter by this factor before the
+  /// probe says kGrowing.
+  double growth_tolerance = 1.3;
+  /// Sub-linear divergence (e.g. sqrt(t) backlog under a rate-1 adversary)
+  /// grows too slowly chunk-over-chunk to trip the tail/middle test, but
+  /// the tail/early ratio still exposes it: flag kGrowing when the tail
+  /// mean exceeds the first-quarter mean by this factor. (sqrt(t) backlog
+  /// over 8 chunks gives a ratio of about sqrt(8) / sqrt(1.5) ~ 2.3.)
+  double early_tolerance = 2.0;
+  /// Minimum backlog (cost ticks) below which growth is ignored (noise).
+  Tick noise_floor = 200 * kTicksPerUnit;
+};
+
+struct StabilityReport {
+  Verdict verdict = Verdict::kStable;
+  std::vector<Tick> samples;  ///< queued cost at each chunk boundary
+  Tick max_queued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t collisions = 0;
+};
+
+/// Builds a fresh Engine for each probe (the estimator runs many).
+using EngineFactory = std::function<std::unique_ptr<sim::Engine>()>;
+
+/// Run one probe and classify.
+StabilityReport probe_stability(const EngineFactory& factory,
+                                const StabilityConfig& config = {});
+
+}  // namespace asyncmac::analysis

@@ -1,0 +1,4 @@
+#include "baselines/aloha.h"
+
+// SlottedAlohaProtocol is header-only; this file anchors the translation
+// unit for the baselines library target.

@@ -1,0 +1,40 @@
+// asyncmac/baselines/aloha.h
+//
+// Slotted ALOHA (Abramson / Roberts; refs. [1], [12] of the paper): the
+// classic randomized baseline the introduction contrasts against. A
+// station with a non-empty queue transmits its head-of-line packet in
+// each slot independently with probability p (default 1/n). Stable only
+// for low arrival rates (throughput at most 1/e in the classic analysis);
+// included so benchmarks can show the deterministic ARRoW protocols
+// sustaining rates ALOHA cannot.
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace asyncmac::baselines {
+
+class SlottedAlohaProtocol final : public sim::Protocol {
+ public:
+  /// p <= 0 selects the classic 1/n.
+  explicit SlottedAlohaProtocol(double transmit_probability = 0.0)
+      : p_(transmit_probability) {}
+
+  std::unique_ptr<sim::Protocol> clone() const override {
+    return std::make_unique<SlottedAlohaProtocol>(*this);
+  }
+
+  SlotAction next_action(const std::optional<sim::SlotResult>&,
+                         sim::StationContext& ctx) override {
+    if (ctx.queue_empty()) return SlotAction::kListen;
+    const double p = p_ > 0 ? p_ : 1.0 / static_cast<double>(ctx.n());
+    return ctx.rng().chance(p) ? SlotAction::kTransmitPacket
+                               : SlotAction::kListen;
+  }
+
+  std::string name() const override { return "slotted-ALOHA"; }
+
+ private:
+  double p_;
+};
+
+}  // namespace asyncmac::baselines

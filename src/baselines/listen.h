@@ -1,0 +1,24 @@
+// asyncmac/baselines/listen.h
+//
+// A station that only ever listens. Used for non-participating stations in
+// SST experiments (the paper's SST instance activates an adversarial
+// subset of the n stations).
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace asyncmac::baselines {
+
+class ListenProtocol final : public sim::Protocol {
+ public:
+  std::unique_ptr<sim::Protocol> clone() const override {
+    return std::make_unique<ListenProtocol>(*this);
+  }
+  SlotAction next_action(const std::optional<sim::SlotResult>&,
+                         sim::StationContext&) override {
+    return SlotAction::kListen;
+  }
+  std::string name() const override { return "listen"; }
+};
+
+}  // namespace asyncmac::baselines

@@ -1,0 +1,18 @@
+#include "baselines/rrw.h"
+
+namespace asyncmac::baselines {
+
+std::unique_ptr<sim::Protocol> RrwProtocol::clone() const {
+  return std::make_unique<RrwProtocol>(*this);
+}
+
+SlotAction RrwProtocol::next_action(const std::optional<sim::SlotResult>& prev,
+                                    sim::StationContext& ctx) {
+  if (prev && prev->feedback == Feedback::kSilence)
+    turn_ = (turn_ % ctx.n()) + 1;
+  if (turn_ == ctx.id() && !ctx.queue_empty())
+    return SlotAction::kTransmitPacket;
+  return SlotAction::kListen;
+}
+
+}  // namespace asyncmac::baselines

@@ -1,0 +1,38 @@
+// asyncmac/baselines/rrw.h
+//
+// RRW — Round-Robin Withholding (Chlebus, Kowalski, Rokicki, "Adversarial
+// queuing on the multiple access channel", ref. [11] of the paper): the
+// synchronous state of the art for the most restrictive model row of
+// Table I (no control messages, collision-free).
+//
+// Stations take turns; the holder *withholds* the channel while its queue
+// is non-empty, one packet per slot; a globally silent slot passes the
+// turn. On the synchronous channel (R = 1) every slot is silent or busy
+// for everyone simultaneously, so the shared `turn` counter stays
+// consistent, the protocol is collision-free without any control traffic,
+// and it is universally stable for every rho < 1.
+//
+// Under bounded asynchrony (R > 1) stations observe silence in different
+// slots, `turn` diverges, and the protocol collides and destabilizes —
+// the behaviour Theorem 4 proves is unavoidable for this model row, and
+// the contrast row of Table I.
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace asyncmac::baselines {
+
+class RrwProtocol final : public sim::Protocol {
+ public:
+  std::unique_ptr<sim::Protocol> clone() const override;
+  SlotAction next_action(const std::optional<sim::SlotResult>& prev,
+                         sim::StationContext& ctx) override;
+  std::string name() const override { return "RRW"; }
+
+  StationId turn() const noexcept { return turn_; }
+
+ private:
+  StationId turn_ = 1;
+};
+
+}  // namespace asyncmac::baselines

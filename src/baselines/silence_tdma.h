@@ -1,0 +1,37 @@
+// asyncmac/baselines/silence_tdma.h
+//
+// SilenceCountTdma — a natural collision-free, no-control-message
+// protocol used to exhibit Theorem 4 (Section V): the channel's run of
+// consecutive silent slots is common knowledge on a synchronous channel
+// (every slot is globally silent or globally busy), so stations implement
+// TDMA over it — station i transmits one packet exactly when the silent
+// run length is congruent to i modulo n and its queue is non-empty; any
+// transmission resets everyone's run counter.
+//
+// On the synchronous channel at most one residue class fires per slot, so
+// the protocol never collides, uses no control messages, and sustains a
+// positive stable rate (TDMA round of n slots). Under bounded asynchrony
+// the run counters of different stations drift apart; Theorem 4's
+// adversary stretches two stations' slots so their first transmissions
+// coincide in real time, forcing a collision — or, if a protocol delays
+// transmissions to avoid that, unbounded queues.
+// adversary/collision_forcer.h implements that construction against this
+// protocol.
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace asyncmac::baselines {
+
+class SilenceCountTdmaProtocol final : public sim::Protocol {
+ public:
+  std::unique_ptr<sim::Protocol> clone() const override;
+  SlotAction next_action(const std::optional<sim::SlotResult>& prev,
+                         sim::StationContext& ctx) override;
+  std::string name() const override { return "silence-count-TDMA"; }
+
+ private:
+  std::uint64_t silent_run_ = 0;
+};
+
+}  // namespace asyncmac::baselines

@@ -1,0 +1,118 @@
+#include "channel/ledger.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asyncmac::channel {
+
+void Ledger::add(Transmission t) {
+  AM_CHECK_MSG(t.begin >= last_begin_,
+               "transmissions must be added in begin order: " << t.begin
+                                                              << " < "
+                                                              << last_begin_);
+  AM_CHECK(t.end > t.begin);
+  AM_CHECK(t.station != kInvalidStation);
+  t.decided = false;
+  t.successful = false;
+  last_begin_ = t.begin;
+  latest_end_ = std::max(latest_end_, t.end);
+  max_duration_ = std::max(max_duration_, t.duration());
+  ++stats_.transmissions;
+  if (t.is_control) ++stats_.control_transmissions;
+  window_.push_back(t);
+}
+
+bool Ledger::overlaps_other(const Transmission& t) const {
+  // window_ is sorted by begin. Only a bounded neighborhood can overlap t:
+  // predecessors whose begin is within max_duration_ of t.begin, and
+  // successors whose begin precedes t.end.
+  auto lo = std::lower_bound(
+      window_.begin(), window_.end(), t.begin,
+      [](const Transmission& a, Tick b) { return a.begin < b; });
+  for (auto it = lo; it != window_.begin();) {
+    --it;
+    if (it->begin + max_duration_ <= t.begin) break;
+    if (it->end > t.begin &&
+        !(it->station == t.station && it->begin == t.begin &&
+          it->end == t.end))
+      return true;
+  }
+  for (auto it = lo; it != window_.end(); ++it) {
+    if (it->begin >= t.end) break;
+    if (it->station == t.station && it->begin == t.begin && it->end == t.end)
+      continue;  // t itself
+    if (intervals_overlap(it->begin, it->end, t.begin, t.end)) return true;
+  }
+  return false;
+}
+
+void Ledger::finalize_until(Tick now) {
+  // Begins are non-decreasing but ends are not, so decidable entries can be
+  // interleaved with pending ones; walk the undecided suffix and flip each
+  // entry whose end has passed, then advance the decided prefix marker.
+  for (std::size_t i = finalized_; i < window_.size(); ++i) {
+    Transmission& t = window_[i];
+    if (t.decided || t.end > now) continue;
+    t.successful = !overlaps_other(t);
+    t.decided = true;
+    if (t.successful) {
+      ++stats_.successful;
+      if (t.is_control) {
+        stats_.successful_control_time += t.duration();
+      } else {
+        ++stats_.successful_packets;
+        stats_.successful_packet_time += t.duration();
+      }
+    } else {
+      ++stats_.collided;
+    }
+  }
+  while (finalized_ < window_.size() && window_[finalized_].decided)
+    ++finalized_;
+}
+
+Feedback Ledger::feedback(Tick s, Tick t) {
+  AM_CHECK(s < t);
+  finalize_until(t);
+  bool any_overlap = false;
+  // Transmissions relevant to slot [s, t): begin < t. The window is begin-
+  // sorted, so stop at the first entry with begin >= t.
+  for (const auto& tx : window_) {
+    if (tx.begin >= t) break;
+    if (tx.end > s && tx.end <= t) {
+      AM_CHECK(tx.decided);  // end <= t means finalize_until(t) decided it
+      if (tx.successful) return Feedback::kAck;
+    }
+    if (intervals_overlap(tx.begin, tx.end, s, t)) any_overlap = true;
+  }
+  return any_overlap ? Feedback::kBusy : Feedback::kSilence;
+}
+
+void Ledger::prune_before(Tick horizon) {
+  finalize_until(horizon);
+  while (!window_.empty() && window_.front().decided &&
+         window_.front().end <= horizon) {
+    if (keep_history_) history_.push_back(window_.front());
+    window_.pop_front();
+    AM_CHECK(finalized_ > 0);
+    --finalized_;
+  }
+}
+
+bool Ledger::transmission_successful(StationId station, Tick end) const {
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (it->station == station && it->end == end) {
+      AM_CHECK(it->decided);
+      return it->successful;
+    }
+    // Sorted by begin: once begins are so old they cannot reach `end`,
+    // no earlier entry can have this end time.
+    if (it->begin + max_duration_ < end) break;
+  }
+  AM_CHECK_MSG(false, "no transmission of station " << station
+                                                    << " ending at " << end);
+  return false;
+}
+
+}  // namespace asyncmac::channel

@@ -1,0 +1,110 @@
+// asyncmac/channel/ledger.h
+//
+// The transmission ledger is the heart of the channel model: it records
+// every transmission interval and answers, exactly, the two questions the
+// paper's feedback model poses at the end of each station slot [s, t):
+//
+//   ack     — did a *successful* transmission end at a time e in (s, t] ?
+//   busy    — otherwise, did any transmission overlap [s, t) ?
+//   silence — otherwise.
+//
+// (Every instant of a station's timeline belongs to exactly one of its
+// slots because end times are charged to the slot via the half-open rule
+// e in (s, t].)
+//
+// A transmission T = [a, b) is successful iff no other transmission
+// overlaps it (Section II). Success is decidable at time b: any
+// transmission starting at or after b cannot overlap a past half-open
+// interval. The ledger therefore finalizes transmissions lazily once the
+// caller's clock passes their end.
+//
+// Contract with the engine: transmissions are added in non-decreasing
+// order of begin time, and feedback(s, t) is only queried when every
+// transmission with begin < t has already been added. The simulation
+// engine meets this by processing slot boundaries in time order
+// (a transmission is registered at its slot's start event).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "channel/transmission.h"
+#include "util/types.h"
+
+namespace asyncmac::channel {
+
+/// Cumulative channel statistics (survive pruning).
+struct LedgerStats {
+  std::uint64_t transmissions = 0;        ///< total transmissions registered
+  std::uint64_t successful = 0;           ///< finalized successful
+  std::uint64_t collided = 0;             ///< finalized unsuccessful
+  std::uint64_t control_transmissions = 0;///< control ("empty signal") slots
+  std::uint64_t successful_packets = 0;   ///< successful non-control
+  Tick successful_packet_time = 0;  ///< total duration of successful
+                                    ///< packet transmissions; the complement
+                                    ///< is the paper's "wasted time" (Def. 2)
+  Tick successful_control_time = 0;
+};
+
+class Ledger {
+ public:
+  /// When keep_history is true every finalized transmission is retained in
+  /// full_history() for trace rendering; otherwise finalized transmissions
+  /// are pruned once out of range.
+  explicit Ledger(bool keep_history = false) : keep_history_(keep_history) {}
+
+  /// Register a transmission occupying [t.begin, t.end). Begins must be
+  /// non-decreasing across calls and durations strictly positive.
+  /// Precondition (engine-guaranteed): one station's transmissions never
+  /// overlap each other — a station occupies one slot at a time — so a
+  /// (station, begin, end) triple identifies a transmission uniquely.
+  void add(Transmission t);
+
+  /// Exact feedback for a slot [s, t). Uniform for transmitters and
+  /// listeners: a transmitter's own (whole-slot) transmission makes the
+  /// rule yield ack exactly when that transmission succeeded and busy
+  /// when it collided. Requires t <= the latest safe query time (all
+  /// transmissions beginning before t already added).
+  Feedback feedback(Tick s, Tick t);
+
+  /// Finalize the success flag of all transmissions with end <= now.
+  void finalize_until(Tick now);
+
+  /// Drop finalized transmissions with end <= horizon; the engine passes
+  /// the minimum current-slot start over all stations, so no future
+  /// feedback query can reference a pruned interval.
+  void prune_before(Tick horizon);
+
+  /// Was the most recently finalized transmission of `station` ending
+  /// exactly at time `end` successful? Used by the engine to decide packet
+  /// delivery for a transmit slot that just ended.
+  bool transmission_successful(StationId station, Tick end) const;
+
+  const LedgerStats& stats() const noexcept { return stats_; }
+
+  /// Live window (unpruned), ordered by begin.
+  const std::deque<Transmission>& window() const noexcept { return window_; }
+
+  /// All finalized transmissions ever (empty unless keep_history).
+  const std::vector<Transmission>& full_history() const noexcept {
+    return history_;
+  }
+
+  /// Largest end time among registered transmissions (0 when none yet).
+  Tick latest_end() const noexcept { return latest_end_; }
+
+ private:
+  bool overlaps_other(const Transmission& t) const;
+
+  std::deque<Transmission> window_;
+  std::size_t finalized_ = 0;  ///< window_[0..finalized_) have final flags
+  std::vector<Transmission> history_;
+  LedgerStats stats_;
+  Tick last_begin_ = 0;
+  Tick latest_end_ = 0;
+  Tick max_duration_ = 0;
+  bool keep_history_;
+};
+
+}  // namespace asyncmac::channel

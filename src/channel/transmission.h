@@ -1,0 +1,41 @@
+// asyncmac/channel/transmission.h
+//
+// A single transmission interval on the shared channel. In the paper's
+// model a transmitting slot of a station occupies exactly the slot
+// interval [begin, end), and the transmission is *successful* iff no other
+// transmission overlaps it in continuous time (Section II).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace asyncmac::channel {
+
+struct Transmission {
+  StationId station = kInvalidStation;
+  Tick begin = 0;  ///< inclusive start (base-station continuous time, ticks)
+  Tick end = 0;    ///< exclusive end
+  /// True when the transmission carries no packet (an "empty signal");
+  /// only protocols in the control-message model may set this.
+  bool is_control = false;
+  /// Sequence number of the carried packet (meaningless when is_control).
+  PacketSeq packet = 0;
+  /// Filled in by the ledger once decidable (at time >= end).
+  bool successful = false;
+  /// Ledger-internal: true once `successful` has been finalized.
+  bool decided = false;
+
+  Tick duration() const noexcept { return end - begin; }
+};
+
+/// Half-open interval overlap: [a1,a2) and [b1,b2) overlap iff each starts
+/// before the other ends. Touching endpoints do NOT overlap — two
+/// back-to-back transmissions are both successful, matching the
+/// continuous-time base station of the paper.
+inline constexpr bool intervals_overlap(Tick a1, Tick a2, Tick b1,
+                                        Tick b2) noexcept {
+  return a1 < b2 && b1 < a2;
+}
+
+}  // namespace asyncmac::channel

@@ -1,0 +1,88 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace asyncmac::core {
+
+std::uint64_t abs_threshold0(std::uint32_t R) { return 3ULL * R; }
+
+std::uint64_t abs_threshold1(std::uint32_t R) {
+  return 4ULL * R * R + 3ULL * R;
+}
+
+std::uint64_t abs_slots_per_phase(std::uint32_t R) {
+  return (R + 1ULL) + abs_threshold1(R) + 1ULL;
+}
+
+std::uint32_t abs_phases(std::uint32_t n) {
+  AM_REQUIRE(n >= 1, "n must be >= 1");
+  return static_cast<std::uint32_t>(std::bit_width(n)) + 1;
+}
+
+std::uint64_t abs_slot_bound(std::uint32_t n, std::uint32_t R) {
+  return static_cast<std::uint64_t>(abs_phases(n)) * abs_slots_per_phase(R);
+}
+
+double sst_lower_bound_slots(std::uint32_t n, std::uint32_t r) {
+  AM_REQUIRE(r >= 2, "lower-bound formula needs r >= 2");
+  return static_cast<double>(r) *
+         (std::log2(static_cast<double>(n)) /
+              std::log2(static_cast<double>(r)) +
+          1.0);
+}
+
+std::uint64_t abs_max_silent_slots(std::uint32_t R) {
+  return 4ULL * R * R + 4ULL * R + 2ULL;
+}
+
+std::uint64_t long_silence_threshold(std::uint32_t R) {
+  return R * abs_max_silent_slots(R);
+}
+
+std::uint64_t sync_countdown_slots(std::uint32_t R) {
+  return R * long_silence_threshold(R);
+}
+
+std::uint64_t arrow_A(std::uint32_t n, std::uint32_t R) {
+  return abs_slot_bound(n, R);
+}
+
+double arrow_B(std::uint32_t r, std::uint32_t R) {
+  // Paper's closed form; our protocol constants are slightly more
+  // conservative, so scale from our thresholds instead:
+  // worst observed long silence <= (threshold + countdown + 1) slots of up
+  // to r time units each.
+  const double slots = static_cast<double>(long_silence_threshold(R) +
+                                           sync_countdown_slots(R) + 1);
+  return static_cast<double>(r) * slots + 2.0;
+}
+
+ArrowBounds arrow_bounds(std::uint32_t n, std::uint32_t R, std::uint32_t r,
+                         util::Ratio rho, double b_units) {
+  AM_REQUIRE(rho < util::Ratio::one(), "Theorem 3 requires rho < 1");
+  ArrowBounds out;
+  const double p = rho.to_double();
+  const double Rn = static_cast<double>(R);
+  out.A = static_cast<double>(arrow_A(n, R));
+  out.B = arrow_B(r, R);
+  const double nRA = static_cast<double>(n) * Rn * out.A;
+  out.S = (nRA + b_units + out.B) / (1.0 - p);
+  out.L0 = out.S + ((nRA + out.S) * p + b_units) / (1.0 - p);
+  out.L1 = (out.S * p + nRA * p + b_units + out.B) +
+           (static_cast<double>(n) + 1.0) * Rn * out.A * p + Rn * p + b_units;
+  out.L = std::max(out.L0, out.L1);
+  return out;
+}
+
+double ca_arrow_bound(std::uint32_t n, std::uint32_t R, util::Ratio rho,
+                      double b_units) {
+  AM_REQUIRE(rho < util::Ratio::one(), "Theorem 6 requires rho < 1");
+  const double p = rho.to_double();
+  return (2.0 * n * R * R * (1.0 + p) + b_units) / (1.0 - p);
+}
+
+}  // namespace asyncmac::core

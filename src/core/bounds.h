@@ -1,0 +1,95 @@
+// asyncmac/core/bounds.h
+//
+// Closed-form bounds from the paper, used two ways:
+//  * protocol constants — the ABS listening thresholds (Section III-A) and
+//    the AO-ARRoW long-silence / synchronization thresholds (Section IV)
+//    are *part of the algorithms* and are defined here once;
+//  * reporting — the queue-size bounds L (Theorem 3), the CA-ARRoW bound
+//    (Theorem 6) and the SST slot bounds (Theorems 1 and 2) are what the
+//    benchmark harnesses print next to measured values.
+//
+// Units: "slots" counts a station's own slots; "time" is in model time
+// units (multiply by kTicksPerUnit for ticks). r is the realized supremum
+// of slot lengths, R the known bound; r <= R.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace asyncmac::core {
+
+// ------------------------------------------------------------------ ABS
+
+/// Listening threshold for a 0-bit phase: 3R slots (Fig. 3, box 3).
+std::uint64_t abs_threshold0(std::uint32_t R);
+
+/// Listening threshold for a 1-bit phase: 4R^2 + 3R slots (Fig. 3, box 4).
+std::uint64_t abs_threshold1(std::uint32_t R);
+
+/// Upper bound on the slots of a single ABS phase (Lemma 5):
+/// box 1 takes at most R+1 slots, the listening loop at most 4R^2 + 3R,
+/// plus one transmitting slot.
+std::uint64_t abs_slots_per_phase(std::uint32_t R);
+
+/// Upper bound on the number of ABS phases: one per ID bit plus the final
+/// winning phase (Theorem 1's O(log n)).
+std::uint32_t abs_phases(std::uint32_t n);
+
+/// Theorem 1: total per-station slot bound O(R^2 log n) with our constants.
+std::uint64_t abs_slot_bound(std::uint32_t n, std::uint32_t R);
+
+/// Theorem 2 lower bound on slots for any deterministic SST algorithm:
+/// r * (log n / log r + 1), valid for r >= 2 (as double, asymptotic form).
+double sst_lower_bound_slots(std::uint32_t n, std::uint32_t r);
+
+// ------------------------------------------------------------ AO-ARRoW
+
+/// Longest possible run of consecutive silent *alive-station* slots inside
+/// one leader election (box 1 of Fig. 3 plus the long listening loop, with
+/// slack): 4R^2 + 4R + 2.
+std::uint64_t abs_max_silent_slots(std::uint32_t R);
+
+/// AO-ARRoW long-silence threshold (Fig. 5 box 3 -> 7): the number of
+/// consecutive silent slots an observer must count before concluding that
+/// no leader election is in progress. One alive-station slot can span up
+/// to R observer slots, hence the factor R.
+std::uint64_t long_silence_threshold(std::uint32_t R);
+
+/// AO-ARRoW rejoin synchronization countdown (Fig. 5 box 9):
+/// threshold * R further slots before the synchronizing transmission.
+std::uint64_t sync_countdown_slots(std::uint32_t R);
+
+/// A — per-station slot length of one Leader_Election(R) call when the
+/// subroutine is ABS (Theorem 3's discussion).
+std::uint64_t arrow_A(std::uint32_t n, std::uint32_t R);
+
+/// B — upper bound on the *time* (in units) any station can spend in a
+/// long silence with a non-empty queue; r is the realized slot bound.
+/// Paper: B = r(4R^2+3R) * R(R+1) + 2 = O(r R^4).
+double arrow_B(std::uint32_t r, std::uint32_t R);
+
+/// The Theorem-3 queue bounds, all in time units.
+struct ArrowBounds {
+  double A = 0;  ///< slots per leader election
+  double B = 0;  ///< long-silence time bound
+  double S = 0;  ///< subphase pivot: (nRA + b + B) / (1 - rho)
+  double L0 = 0;
+  double L1 = 0;
+  double L = 0;  ///< max(L0, L1): Theorem 3's bound on total queued cost
+};
+
+/// Compute Theorem 3's L for injection rate rho < 1 and burstiness b
+/// (time units). r is the realized slot-length bound used inside B.
+ArrowBounds arrow_bounds(std::uint32_t n, std::uint32_t R, std::uint32_t r,
+                         util::Ratio rho, double b_units);
+
+// ------------------------------------------------------------ CA-ARRoW
+
+/// Theorem 6: total queued cost never exceeds
+/// (2 n R^2 (1 + rho) + b) / (1 - rho) (time units).
+double ca_arrow_bound(std::uint32_t n, std::uint32_t R, util::Ratio rho,
+                      double b_units);
+
+}  // namespace asyncmac::core

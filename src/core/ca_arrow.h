@@ -1,0 +1,66 @@
+// asyncmac/core/ca_arrow.h
+//
+// CA-ARRoW — Collision-Avoidance Asynchronous Round Robin Withholding
+// (Section VI, Fig. 6): dynamic packet transmission that NEVER generates a
+// collision, at the price of control messages ("empty signals" by stations
+// with empty queues). Universally stable (Theorem 6) with total queued
+// cost bounded by (2nR^2(1+rho) + b) / (1-rho).
+//
+// All stations cycle a shared `turn` variable, kept consistent purely from
+// channel feedback:
+//  * the turn holder listens 2R of its own slots, then transmits — all of
+//    its queued packets back-to-back, or a single empty signal when its
+//    queue is empty — and advances its own turn immediately after;
+//  * every other station listens until "the next sequence of consecutive
+//    transmissions ends" (at least one busy/ack slot followed by a silent
+//    slot) and then advances its turn.
+//
+// Why no listener can miscount sequences: transmissions inside one turn
+// are contiguous in continuous time, so no listener slot inside the
+// sequence is silent; and the 2R-slot wait of the next holder creates a
+// gap of at least 2R time units, which (listener slots being at most R)
+// contains at least one fully silent slot of every listener. Hence all
+// stations agree on `turn`, only the holder ever transmits, and no two
+// transmissions overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/protocol.h"
+
+namespace asyncmac::core {
+
+class CaArrowProtocol final : public sim::Protocol {
+ public:
+  enum class State : std::uint8_t {
+    kInit,
+    kCountdown,         ///< our turn: waiting 2R slots before transmitting
+    kDrain,             ///< our turn: transmitting all queued packets
+    kNoise,             ///< our turn: the single empty-signal slot in flight
+    kAwaitSequenceEnd,  ///< not our turn: listening for busy...silence
+  };
+
+  CaArrowProtocol() = default;
+
+  std::unique_ptr<sim::Protocol> clone() const override;
+  SlotAction next_action(const std::optional<sim::SlotResult>& prev,
+                         sim::StationContext& ctx) override;
+  std::string name() const override { return "CA-ARRoW"; }
+  bool uses_control_messages() const override { return true; }
+
+  State state() const noexcept { return state_; }
+  StationId turn() const noexcept { return turn_; }
+  std::uint64_t turns_taken() const noexcept { return turns_taken_; }
+
+ private:
+  SlotAction begin_phase(sim::StationContext& ctx);
+  void advance_turn(const sim::StationContext& ctx);
+
+  State state_ = State::kInit;
+  StationId turn_ = 1;
+  std::uint64_t countdown_ = 0;
+  bool heard_transmission_ = false;
+  std::uint64_t turns_taken_ = 0;
+};
+
+}  // namespace asyncmac::core

@@ -1,0 +1,48 @@
+// asyncmac/core/leader_election.h
+//
+// The abstract leader-election subroutine. Theorem 3 is stated for
+// AO-ARRoW with *any* Leader_Election(R) of per-station slot length A
+// ("Let A be the length in slots of subroutine Leader_Election(R)…");
+// the closed-form constants simply plug in ABS's A. Making the
+// subroutine pluggable lets the benchmarks demonstrate why an
+// asynchrony-safe election is load-bearing: AO-ARRoW over the classic
+// synchronous binary search works at R = 1 and falls apart at R > 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/protocol.h"
+#include "util/types.h"
+
+namespace asyncmac::core {
+
+class LeaderElection {
+ public:
+  enum class Outcome : std::uint8_t { kActive, kWon, kEliminated };
+
+  virtual ~LeaderElection() = default;
+
+  /// Drive one slot boundary (nullopt before the election's first slot).
+  /// A returned kTransmitPacket is abstract "transmit"; the caller remaps
+  /// it to control when it has no packet to send.
+  virtual SlotAction next(const std::optional<sim::SlotResult>& prev) = 0;
+
+  virtual Outcome outcome() const = 0;
+  bool active() const { return outcome() == Outcome::kActive; }
+
+  /// Slots consumed while active (the paper's A, measured).
+  virtual std::uint64_t slots() const = 0;
+
+  /// Deep copy including all automaton state (protocols embedding an
+  /// election must themselves be cloneable).
+  virtual std::unique_ptr<LeaderElection> clone() const = 0;
+};
+
+/// Creates a fresh election instance for a station about to compete.
+using LeaderElectionFactory = std::function<std::unique_ptr<LeaderElection>(
+    StationId id, std::uint32_t n, std::uint32_t bound_r)>;
+
+}  // namespace asyncmac::core

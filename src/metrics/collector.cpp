@@ -1,0 +1,72 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asyncmac::metrics {
+
+Collector::Collector(std::uint32_t n) { stats_.station.resize(n); }
+
+StationStats& Collector::st(StationId id) {
+  AM_CHECK(id >= 1 && id <= stats_.station.size());
+  return stats_.station[id - 1];
+}
+
+void Collector::on_injection(StationId station, Tick cost, Tick now) {
+  (void)now;
+  AM_CHECK(cost > 0);
+  ++stats_.injected_packets;
+  stats_.injected_cost += cost;
+  ++stats_.queued_packets;
+  stats_.queued_cost += cost;
+  stats_.max_queued_packets =
+      std::max(stats_.max_queued_packets, stats_.queued_packets);
+  stats_.max_queued_cost = std::max(stats_.max_queued_cost, stats_.queued_cost);
+
+  auto& s = st(station);
+  ++s.injected;
+  ++s.queued;
+  s.queued_cost += cost;
+  s.max_queued = std::max(s.max_queued, s.queued);
+  s.max_queued_cost = std::max(s.max_queued_cost, s.queued_cost);
+}
+
+void Collector::on_delivery(StationId station, Tick declared_cost,
+                            Tick injected_at, Tick realized, Tick now) {
+  ++stats_.delivered_packets;
+  stats_.delivered_cost += declared_cost;
+  stats_.realized_cost += realized;
+  AM_CHECK(stats_.queued_packets > 0);
+  --stats_.queued_packets;
+  stats_.queued_cost -= declared_cost;
+  stats_.latency.add(now - injected_at);
+
+  auto& s = st(station);
+  ++s.delivered;
+  AM_CHECK(s.queued > 0);
+  --s.queued;
+  s.queued_cost -= declared_cost;
+}
+
+void Collector::on_slot_end(StationId station, SlotAction action) {
+  ++stats_.total_slots;
+  auto& s = st(station);
+  ++s.slots;
+  switch (action) {
+    case SlotAction::kListen:
+      ++stats_.listen_slots;
+      break;
+    case SlotAction::kTransmitPacket:
+      ++stats_.transmit_slots;
+      ++s.transmit_slots;
+      break;
+    case SlotAction::kTransmitControl:
+      ++stats_.transmit_slots;
+      ++stats_.control_slots;
+      ++s.transmit_slots;
+      break;
+  }
+}
+
+}  // namespace asyncmac::metrics

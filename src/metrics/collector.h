@@ -1,0 +1,34 @@
+// asyncmac/metrics/collector.h
+//
+// Event sink fed by the simulation engine. Pure accounting — no channel or
+// protocol logic lives here, so the numbers it reports are independent of
+// the machinery being measured.
+#pragma once
+
+#include "metrics/run_stats.h"
+#include "util/types.h"
+
+namespace asyncmac::metrics {
+
+class Collector {
+ public:
+  explicit Collector(std::uint32_t n);
+
+  void on_injection(StationId station, Tick cost, Tick now);
+  /// `realized` is the actual duration of the slot that delivered the
+  /// packet; `declared_cost` and `injected_at` come from the packet.
+  void on_delivery(StationId station, Tick declared_cost, Tick injected_at,
+                   Tick realized, Tick now);
+  void on_slot_end(StationId station, SlotAction action);
+
+  const RunStats& stats() const noexcept { return stats_; }
+
+  /// Current total queue cost across all stations (ticks).
+  Tick queued_cost() const noexcept { return stats_.queued_cost; }
+
+ private:
+  StationStats& st(StationId id);
+  RunStats stats_;
+};
+
+}  // namespace asyncmac::metrics

@@ -1,0 +1,120 @@
+#include "metrics/json.h"
+
+#include <sstream>
+
+namespace asyncmac::metrics {
+
+namespace {
+
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostringstream& os, int indent = 0)
+      : os_(os), indent_(indent) {
+    os_ << "{";
+  }
+  ~JsonObject() {
+    os_ << "\n" << std::string(static_cast<std::size_t>(indent_), ' ')
+        << "}";
+  }
+
+  template <typename T>
+  void field(const char* key, const T& value) {
+    sep();
+    os_ << '"' << key << "\": " << value;
+  }
+
+  void raw_field(const char* key, const std::string& value) {
+    sep();
+    os_ << '"' << key << "\": " << value;
+  }
+
+ private:
+  void sep() {
+    os_ << (first_ ? "\n" : ",\n")
+        << std::string(static_cast<std::size_t>(indent_) + 2, ' ');
+    first_ = false;
+  }
+
+  std::ostringstream& os_;
+  int indent_;
+  bool first_ = true;
+};
+
+std::string station_json(const StationStats& s, int indent) {
+  std::ostringstream os;
+  {
+    JsonObject o(os, indent);
+    o.field("slots", s.slots);
+    o.field("transmit_slots", s.transmit_slots);
+    o.field("injected", s.injected);
+    o.field("delivered", s.delivered);
+    o.field("queued", s.queued);
+    o.field("queued_cost", s.queued_cost);
+    o.field("max_queued", s.max_queued);
+    o.field("max_queued_cost", s.max_queued_cost);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_json(const RunStats& stats,
+                    const channel::LedgerStats* channel,
+                    bool include_stations) {
+  std::ostringstream os;
+  {
+    JsonObject o(os);
+    o.field("ticks_per_unit", kTicksPerUnit);
+    o.field("injected_packets", stats.injected_packets);
+    o.field("injected_cost", stats.injected_cost);
+    o.field("delivered_packets", stats.delivered_packets);
+    o.field("delivered_cost", stats.delivered_cost);
+    o.field("realized_cost", stats.realized_cost);
+    o.field("queued_packets", stats.queued_packets);
+    o.field("queued_cost", stats.queued_cost);
+    o.field("max_queued_packets", stats.max_queued_packets);
+    o.field("max_queued_cost", stats.max_queued_cost);
+    o.field("total_slots", stats.total_slots);
+    o.field("listen_slots", stats.listen_slots);
+    o.field("transmit_slots", stats.transmit_slots);
+    o.field("control_slots", stats.control_slots);
+    if (!stats.latency.empty()) {
+      std::ostringstream lat;
+      {
+        JsonObject l(lat, 2);
+        l.field("count", stats.latency.count());
+        l.field("min", stats.latency.min());
+        l.field("p50", stats.latency.quantile(0.5));
+        l.field("p99", stats.latency.quantile(0.99));
+        l.field("max", stats.latency.max());
+      }
+      o.raw_field("latency", lat.str());
+    }
+    if (channel != nullptr) {
+      std::ostringstream ch;
+      {
+        JsonObject c(ch, 2);
+        c.field("transmissions", channel->transmissions);
+        c.field("successful", channel->successful);
+        c.field("collided", channel->collided);
+        c.field("control_transmissions", channel->control_transmissions);
+        c.field("successful_packet_time", channel->successful_packet_time);
+      }
+      o.raw_field("channel", ch.str());
+    }
+    if (include_stations) {
+      std::ostringstream arr;
+      arr << "[";
+      for (std::size_t i = 0; i < stats.station.size(); ++i) {
+        if (i) arr << ",";
+        arr << "\n    " << station_json(stats.station[i], 4);
+      }
+      arr << "\n  ]";
+      o.raw_field("stations", arr.str());
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace asyncmac::metrics

@@ -1,0 +1,22 @@
+// asyncmac/metrics/json.h
+//
+// JSON export of run statistics, for dashboards and scripted analysis of
+// CLI/benchmark output. Hand-rolled (the values are all numbers and fixed
+// keys, no escaping subtleties) to keep the library dependency-free.
+#pragma once
+
+#include <string>
+
+#include "channel/ledger.h"
+#include "metrics/run_stats.h"
+
+namespace asyncmac::metrics {
+
+/// Serialize a RunStats (+ optional channel stats) to a JSON object.
+/// Times are reported in ticks; kTicksPerUnit is included so consumers
+/// can convert.
+std::string to_json(const RunStats& stats,
+                    const channel::LedgerStats* channel = nullptr,
+                    bool include_stations = true);
+
+}  // namespace asyncmac::metrics

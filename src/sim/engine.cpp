@@ -1,0 +1,203 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asyncmac::sim {
+
+Engine::Engine(EngineConfig cfg,
+               std::vector<std::unique_ptr<Protocol>> protocols,
+               std::unique_ptr<SlotPolicy> slot_policy,
+               std::unique_ptr<InjectionPolicy> injection)
+    : cfg_(cfg),
+      slot_policy_(std::move(slot_policy)),
+      injection_(std::move(injection)),
+      ledger_(cfg.keep_channel_history),
+      metrics_(cfg.n) {
+  AM_REQUIRE(cfg_.n >= 1, "need at least one station");
+  AM_REQUIRE(cfg_.bound_r >= 1, "R must be >= 1");
+  AM_REQUIRE(protocols.size() == cfg_.n, "one protocol per station");
+  AM_REQUIRE(slot_policy_ != nullptr, "slot policy is required");
+
+  util::Rng seeder(cfg_.seed);
+  stations_.reserve(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    AM_REQUIRE(protocols[i] != nullptr, "protocol must not be null");
+    stations_.emplace_back(static_cast<StationId>(i + 1), cfg_.n,
+                           cfg_.bound_r, seeder.next(),
+                           std::move(protocols[i]));
+  }
+
+  // Packets injected at time 0 are visible to the very first decision.
+  poll_injections(0);
+
+  // All stations wake up simultaneously at time 0 (Section II / Lemma 1's
+  // base case) and commit their first slot.
+  for (auto& s : stations_) {
+    const SlotAction first = s.protocol->next_action(std::nullopt, s.ctx);
+    begin_slot(s, /*begin=*/0, first);
+  }
+}
+
+Engine::~Engine() = default;
+
+Engine::StationRuntime& Engine::rt(StationId id) {
+  AM_CHECK(id >= 1 && id <= stations_.size());
+  return stations_[id - 1];
+}
+
+const Engine::StationRuntime& Engine::rt(StationId id) const {
+  AM_CHECK(id >= 1 && id <= stations_.size());
+  return stations_[id - 1];
+}
+
+void Engine::begin_slot(StationRuntime& s, Tick begin, SlotAction action) {
+  if (action == SlotAction::kTransmitPacket)
+    AM_CHECK_MSG(!s.ctx.queue_empty(),
+                 "station " << s.ctx.id() << " transmits with empty queue");
+  if (action == SlotAction::kTransmitControl)
+    AM_CHECK_MSG(cfg_.allow_control,
+                 "control message in a no-control model (station "
+                     << s.ctx.id() << ")");
+
+  ++s.slot_index;
+  s.slot_begin = begin;
+  s.action = action;
+  const Tick len =
+      slot_policy_->slot_length(s.ctx.id(), s.slot_index, begin, action);
+  AM_CHECK_MSG(len >= kTicksPerUnit &&
+                   len <= static_cast<Tick>(cfg_.bound_r) * kTicksPerUnit,
+               "slot policy returned length " << len << " outside [1, R] for "
+                                              << "station " << s.ctx.id());
+  s.slot_end = begin + len;
+
+  if (is_transmit(action)) {
+    channel::Transmission tx;
+    tx.station = s.ctx.id();
+    tx.begin = begin;
+    tx.end = s.slot_end;
+    tx.is_control = (action == SlotAction::kTransmitControl);
+    tx.packet = tx.is_control ? 0 : s.ctx.front().seq;
+    ledger_.add(tx);
+  }
+  events_.emplace(s.slot_end, s.ctx.id());
+}
+
+void Engine::poll_injections(Tick now) {
+  if (!injection_) return;
+  injection_buffer_.clear();
+  injection_->poll(now, *this, injection_buffer_);
+  for (const Injection& inj : injection_buffer_) {
+    AM_CHECK_MSG(inj.time <= now, "injection in the future");
+    AM_CHECK_MSG(inj.time >= last_injection_time_,
+                 "injection times must be non-decreasing");
+    AM_CHECK(inj.station >= 1 && inj.station <= cfg_.n);
+    AM_CHECK_MSG(inj.cost >= kTicksPerUnit &&
+                     inj.cost <=
+                         static_cast<Tick>(cfg_.bound_r) * kTicksPerUnit,
+                 "packet cost must lie in [1, R] time units");
+    last_injection_time_ = inj.time;
+    Packet p;
+    p.seq = next_seq_++;
+    p.station = inj.station;
+    p.injected_at = inj.time;
+    p.cost = inj.cost;
+    rt(inj.station).ctx.push(p);
+    metrics_.on_injection(inj.station, inj.cost, now);
+  }
+}
+
+bool Engine::step() {
+  if (events_.empty()) return false;
+  const auto [t, id] = events_.top();
+  events_.pop();
+  now_ = t;
+  poll_injections(t);
+
+  StationRuntime& s = rt(id);
+  AM_CHECK(s.slot_end == t);
+
+  const Feedback fb = ledger_.feedback(s.slot_begin, s.slot_end);
+  bool delivered = false;
+  if (s.action == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
+    // A transmitter's ack can only come from its own transmission (any
+    // other successful end inside its slot would overlap it).
+    const Packet p = s.ctx.pop_front();
+    delivered = true;
+    last_successful_ = id;
+    const Tick realized = s.slot_end - s.slot_begin;
+    metrics_.on_delivery(id, p.cost, p.injected_at, realized, t);
+    if (cfg_.record_deliveries)
+      deliveries_.push_back(
+          {p.seq, id, p.injected_at, p.cost, realized, t});
+  }
+  metrics_.on_slot_end(id, s.action);
+  if (cfg_.record_trace)
+    trace_.record({id, s.slot_index, s.slot_begin, s.slot_end, s.action, fb});
+
+  const SlotResult result{s.action, fb, delivered};
+  const SlotAction next = s.protocol->next_action(result, s.ctx);
+  begin_slot(s, /*begin=*/t, next);
+
+  maybe_prune();
+  return true;
+}
+
+void Engine::maybe_prune() {
+  if (++steps_since_prune_ < 4096 || cfg_.keep_channel_history) return;
+  steps_since_prune_ = 0;
+  Tick horizon = kTickInfinity;
+  for (const auto& s : stations_) horizon = std::min(horizon, s.slot_begin);
+  ledger_.prune_before(horizon);
+}
+
+void Engine::run(const StopCondition& stop) {
+  while (!events_.empty()) {
+    if (events_.top().first > stop.max_time) break;
+    if (stats().total_slots >= stop.max_total_slots) break;
+    if (!step()) break;
+    if (stop.predicate && stop.predicate(*this)) break;
+  }
+}
+
+std::size_t Engine::queue_size(StationId station) const {
+  return rt(station).ctx.queue_size();
+}
+
+Tick Engine::queue_cost(StationId station) const {
+  return rt(station).ctx.queue_cost();
+}
+
+const channel::LedgerStats& Engine::channel_stats() const {
+  return ledger_.stats();
+}
+
+Tick Engine::fixed_slot_length(StationId station) const {
+  return slot_policy_->fixed_length(station);
+}
+
+const Protocol& Engine::protocol(StationId station) const {
+  return *rt(station).protocol;
+}
+
+Protocol& Engine::protocol_mut(StationId station) {
+  return *rt(station).protocol;
+}
+
+const StationContext& Engine::context(StationId station) const {
+  return rt(station).ctx;
+}
+
+std::uint64_t Engine::station_slots(StationId station) const {
+  return rt(station).slot_index;
+}
+
+bool Engine::all_finished() const {
+  return std::all_of(stations_.begin(), stations_.end(),
+                     [](const StationRuntime& s) {
+                       return s.protocol->finished();
+                     });
+}
+
+}  // namespace asyncmac::sim

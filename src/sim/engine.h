@@ -1,0 +1,163 @@
+// asyncmac/sim/engine.h
+//
+// Discrete-event executor of the partially asynchronous MAC model.
+//
+// The engine owns: one StationContext + Protocol per station, the channel
+// transmission Ledger, the adversarial SlotPolicy and InjectionPolicy, a
+// metrics Collector and an optional trace Recorder. It advances a priority
+// queue of slot-end events in (time, station-id) order, which makes every
+// run bit-for-bit deterministic for a fixed configuration and seed.
+//
+// Correctness notes (why event order gives exact channel semantics):
+//  * A transmission is registered at its slot's *start*, i.e. when the
+//    preceding slot-end event of the same station is processed; since
+//    events are processed in non-decreasing time order, the ledger sees
+//    begins in non-decreasing order.
+//  * Feedback for a slot ending at time t depends only on transmissions
+//    with begin < t (intervals are half-open), all of which are already in
+//    the ledger when the event at t is handled — including ties at t,
+//    because a transmission beginning exactly at t cannot overlap [.., t).
+//  * Success of a transmission ending at time e <= t cannot be affected by
+//    transmissions that begin at time >= t, so lazy finalization is exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "channel/ledger.h"
+#include "metrics/collector.h"
+#include "sim/injection.h"
+#include "sim/protocol.h"
+#include "sim/slot_policy.h"
+#include "sim/station.h"
+#include "trace/recorder.h"
+#include "util/types.h"
+
+namespace asyncmac::sim {
+
+struct EngineConfig {
+  std::uint32_t n = 0;        ///< number of stations (IDs 1..n)
+  std::uint32_t bound_r = 1;  ///< the known asynchrony bound R >= 1
+  std::uint64_t seed = 1;     ///< master seed (per-station RNGs derive)
+  bool keep_channel_history = false;  ///< retain all transmissions
+  bool record_trace = false;          ///< record per-slot trace
+  bool record_deliveries = false;     ///< keep a delivery log (validator)
+  /// When false, a kTransmitControl action is a protocol bug (model rows
+  /// of Table I that forbid control messages).
+  bool allow_control = true;
+};
+
+struct StopCondition {
+  Tick max_time = kTickInfinity;  ///< stop before events beyond this time
+  std::uint64_t max_total_slots = UINT64_MAX;
+  /// Optional extra predicate, evaluated after every processed slot end.
+  std::function<bool(const class Engine&)> predicate;
+};
+
+/// Convenience: a StopCondition that only bounds simulated time.
+inline StopCondition until(Tick max_time) {
+  StopCondition s;
+  s.max_time = max_time;
+  return s;
+}
+
+/// Realized outcome of one delivered packet (for bucket validation and
+/// latency studies).
+struct DeliveryRecord {
+  PacketSeq seq = 0;
+  StationId station = kInvalidStation;
+  Tick injected_at = 0;
+  Tick declared_cost = 0;
+  Tick realized_cost = 0;  ///< actual duration of the delivering slot
+  Tick delivered_at = 0;   ///< end time of the delivering slot
+};
+
+class Engine final : public EngineView {
+ public:
+  /// `protocols` must have exactly cfg.n entries (index i drives station
+  /// i+1). `injection` may be null for workloads without packet arrivals
+  /// (e.g. SST runs where participation is encoded in the protocols).
+  Engine(EngineConfig cfg, std::vector<std::unique_ptr<Protocol>> protocols,
+         std::unique_ptr<SlotPolicy> slot_policy,
+         std::unique_ptr<InjectionPolicy> injection);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Advance the simulation until the stop condition triggers. May be
+  /// called repeatedly; state persists across calls.
+  void run(const StopCondition& stop);
+
+  /// Process exactly one slot-end event; returns false when the event
+  /// queue is empty (cannot happen in normal configurations).
+  bool step();
+
+  // ---- EngineView (read-only window for adaptive adversaries) ----
+  Tick now() const override { return now_; }
+  std::uint32_t n() const override { return cfg_.n; }
+  std::uint32_t bound_r() const override { return cfg_.bound_r; }
+  std::size_t queue_size(StationId station) const override;
+  Tick queue_cost(StationId station) const override;
+  const channel::LedgerStats& channel_stats() const override;
+  StationId last_successful_station() const override {
+    return last_successful_;
+  }
+  Tick fixed_slot_length(StationId station) const override;
+
+  // ---- Inspection ----
+  const metrics::RunStats& stats() const { return metrics_.stats(); }
+  const channel::Ledger& ledger() const { return ledger_; }
+  const trace::Recorder& trace() const { return trace_; }
+  const Protocol& protocol(StationId station) const;
+  Protocol& protocol_mut(StationId station);
+  const StationContext& context(StationId station) const;
+  std::uint64_t station_slots(StationId station) const;
+  const std::vector<DeliveryRecord>& deliveries() const { return deliveries_; }
+  /// True when every protocol reports finished() (one-shot tasks).
+  bool all_finished() const;
+
+ private:
+  struct StationRuntime {
+    StationContext ctx;
+    std::unique_ptr<Protocol> protocol;
+    SlotIndex slot_index = 0;  // 1-based; 0 = before first slot
+    Tick slot_begin = 0;
+    Tick slot_end = 0;
+    SlotAction action = SlotAction::kListen;
+
+    StationRuntime(StationId id, std::uint32_t n, std::uint32_t r,
+                   std::uint64_t seed, std::unique_ptr<Protocol> p)
+        : ctx(id, n, r, seed), protocol(std::move(p)) {}
+  };
+
+  void poll_injections(Tick now);
+  void begin_slot(StationRuntime& rt, Tick begin, SlotAction action);
+  void maybe_prune();
+  StationRuntime& rt(StationId id);
+  const StationRuntime& rt(StationId id) const;
+
+  EngineConfig cfg_;
+  std::vector<StationRuntime> stations_;
+  std::unique_ptr<SlotPolicy> slot_policy_;
+  std::unique_ptr<InjectionPolicy> injection_;
+  channel::Ledger ledger_;
+  metrics::Collector metrics_;
+  trace::Recorder trace_;
+  std::vector<DeliveryRecord> deliveries_;
+
+  using Event = std::pair<Tick, StationId>;  // (slot end, station)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  Tick now_ = 0;
+  Tick last_injection_time_ = 0;
+  PacketSeq next_seq_ = 1;
+  StationId last_successful_ = kInvalidStation;
+  std::uint64_t steps_since_prune_ = 0;
+  std::vector<Injection> injection_buffer_;
+};
+
+}  // namespace asyncmac::sim

@@ -1,0 +1,60 @@
+// asyncmac/sim/injection.h
+//
+// Packet-injection adversaries (the leaky-bucket adversary with cost of
+// Def. 1 and friends). Adaptive adversaries — e.g. the Theorem-5 rate-1
+// adversary that chases whichever station is currently draining — observe
+// the execution through EngineView, a read-only window the engine exposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/ledger.h"
+#include "util/types.h"
+
+namespace asyncmac::sim {
+
+struct Injection {
+  Tick time = 0;
+  StationId station = kInvalidStation;
+  /// Declared Def.-1 cost (duration of the slot that will carry the
+  /// packet). Charged against the adversary's leaky bucket.
+  Tick cost = kTicksPerUnit;
+};
+
+/// Read-only view of the running execution for adaptive adversaries.
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+  virtual Tick now() const = 0;
+  virtual std::uint32_t n() const = 0;
+  virtual std::uint32_t bound_r() const = 0;
+  virtual std::size_t queue_size(StationId station) const = 0;
+  virtual Tick queue_cost(StationId station) const = 0;
+  virtual const channel::LedgerStats& channel_stats() const = 0;
+  /// Station whose successful packet transmission ended most recently
+  /// (kInvalidStation if none yet).
+  virtual StationId last_successful_station() const = 0;
+  /// Fixed slot length of a station in ticks, when the slot policy is
+  /// per-station constant; 0 for variable policies. Lets injection
+  /// adversaries charge exact Def.-1 costs.
+  virtual Tick fixed_slot_length(StationId station) const = 0;
+};
+
+class InjectionPolicy {
+ public:
+  virtual ~InjectionPolicy() = default;
+
+  /// Called by the engine every time simulated time advances to `now`.
+  /// Append all injections with time <= now; times must be non-decreasing
+  /// across the whole run. The engine pushes the packets onto station
+  /// queues before processing the slot boundary at `now`, matching the
+  /// paper's convention that a packet injected "at the end of slot j" is
+  /// available to the protocol's decision for slot j+1.
+  virtual void poll(Tick now, const EngineView& view,
+                    std::vector<Injection>& out) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace asyncmac::sim

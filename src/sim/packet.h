@@ -1,0 +1,20 @@
+// asyncmac/sim/packet.h
+#pragma once
+
+#include "util/types.h"
+
+namespace asyncmac::sim {
+
+/// A dynamically injected packet (PT problem, Section II). `cost` is the
+/// Def.-1 cost the injection adversary charges against its leaky bucket:
+/// the duration of the slot that will eventually carry the packet. For
+/// per-station-fixed slot policies this is exact; for variable policies the
+/// adversary declares a bound and the BucketValidator checks realizations.
+struct Packet {
+  PacketSeq seq = 0;
+  StationId station = kInvalidStation;
+  Tick injected_at = 0;
+  Tick cost = kTicksPerUnit;
+};
+
+}  // namespace asyncmac::sim

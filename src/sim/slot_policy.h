@@ -1,0 +1,39 @@
+// asyncmac/sim/slot_policy.h
+//
+// The adversarial scheduler of slot lengths (Section II): each station's
+// partition of time into slots is chosen online by an adversary, subject
+// only to every length lying in [1, R] time units. Concrete policies live
+// in src/adversary/; this interface is all the engine needs.
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace asyncmac::sim {
+
+class SlotPolicy {
+ public:
+  virtual ~SlotPolicy() = default;
+
+  /// Length in ticks of station `station`'s slot with 1-based index
+  /// `index`, which begins at absolute tick `begin` and in which the
+  /// station will perform `action` (the online adversary observes
+  /// everything, including the action committed for the upcoming slot).
+  /// Must return a value in [kTicksPerUnit, R * kTicksPerUnit].
+  virtual Tick slot_length(StationId station, SlotIndex index, Tick begin,
+                           SlotAction action) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// If this policy always gives `station` the same slot length, return it
+  /// (in ticks); otherwise return 0. Injection adversaries use this to
+  /// charge exact Def.-1 costs; it is advisory and never affects the
+  /// simulation itself.
+  virtual Tick fixed_length(StationId station) const {
+    (void)station;
+    return 0;
+  }
+};
+
+}  // namespace asyncmac::sim

@@ -1,0 +1,32 @@
+#include "sim/station.h"
+
+#include "util/check.h"
+
+namespace asyncmac::sim {
+
+StationContext::StationContext(StationId id, std::uint32_t n,
+                               std::uint32_t bound_r, std::uint64_t rng_seed)
+    : id_(id), n_(n), bound_r_(bound_r), rng_(rng_seed) {
+  AM_REQUIRE(id >= 1 && id <= n, "station id must be in [1, n]");
+  AM_REQUIRE(bound_r >= 1, "R must be >= 1");
+}
+
+void StationContext::push(const Packet& p) {
+  queue_.push_back(p);
+  queue_cost_ += p.cost;
+}
+
+Packet StationContext::pop_front() {
+  AM_CHECK(!queue_.empty());
+  Packet p = queue_.front();
+  queue_.pop_front();
+  queue_cost_ -= p.cost;
+  return p;
+}
+
+const Packet& StationContext::front() const {
+  AM_CHECK(!queue_.empty());
+  return queue_.front();
+}
+
+}  // namespace asyncmac::sim

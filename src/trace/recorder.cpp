@@ -1,0 +1,12 @@
+#include "trace/recorder.h"
+
+namespace asyncmac::trace {
+
+std::vector<SlotRecord> Recorder::station_slots(StationId id) const {
+  std::vector<SlotRecord> out;
+  for (const auto& r : slots_)
+    if (r.station == id) out.push_back(r);
+  return out;
+}
+
+}  // namespace asyncmac::trace

@@ -1,0 +1,66 @@
+#include "trace/renderer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asyncmac::trace {
+
+std::string render_schedule(const std::vector<SlotRecord>& slots,
+                            const RenderOptions& options) {
+  if (slots.empty()) return "(empty trace)\n";
+  AM_REQUIRE(options.columns_per_unit > 0, "columns_per_unit must be > 0");
+
+  Tick from = options.from;
+  Tick to = 0;
+  for (const auto& r : slots) to = std::max(to, r.end);
+  to = std::min(to, options.to);
+  if (to <= from) return "(trace window empty)\n";
+
+  const double cols_per_tick = static_cast<double>(options.columns_per_unit) /
+                               static_cast<double>(kTicksPerUnit);
+  auto col_of = [&](Tick t) {
+    return static_cast<long>(static_cast<double>(t - from) * cols_per_tick);
+  };
+  long width = col_of(to) + 1;
+  width = std::min<long>(width, options.max_width);
+
+  // Group records per station, keeping station order stable.
+  std::map<StationId, std::vector<const SlotRecord*>> per_station;
+  for (const auto& r : slots) {
+    if (r.end <= from || r.begin >= to) continue;
+    per_station[r.station].push_back(&r);
+  }
+
+  if (per_station.empty()) return "(trace window empty)\n";
+
+  std::ostringstream os;
+  for (const auto& [station, records] : per_station) {
+    std::string action_row(static_cast<std::size_t>(width), ' ');
+    std::string feedback_row(static_cast<std::size_t>(width), ' ');
+    for (const auto* r : records) {
+      const long b = std::clamp(col_of(r->begin), 0L, width - 1);
+      const long e = std::clamp(col_of(r->end), 0L, width - 1);
+      char fill = '.';
+      if (r->action == SlotAction::kTransmitPacket) fill = 'T';
+      if (r->action == SlotAction::kTransmitControl) fill = 'C';
+      for (long c = b; c <= e; ++c)
+        action_row[static_cast<std::size_t>(c)] = fill;
+      action_row[static_cast<std::size_t>(b)] = '|';
+      char fb = 's';
+      if (r->feedback == Feedback::kBusy) fb = 'b';
+      if (r->feedback == Feedback::kAck) fb = 'a';
+      feedback_row[static_cast<std::size_t>(e)] = fb;
+    }
+    os << "station " << station << "\n";
+    os << "  act  " << action_row << "\n";
+    if (options.show_feedback) os << "  fbk  " << feedback_row << "\n";
+  }
+  os << "  (T=transmit packet, C=control, .=listen, |=slot start; "
+        "feedback at slot end: a=ack, b=busy, s=silence)\n";
+  return os.str();
+}
+
+}  // namespace asyncmac::trace

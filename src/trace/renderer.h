@@ -1,0 +1,32 @@
+// asyncmac/trace/renderer.h
+//
+// ASCII renderer for slot-level traces, in the spirit of the paper's
+// Fig. 2: one row pair per station — the action occupying each slot and
+// the feedback delivered at the slot's end. Time is drawn to scale
+// (columns are fractions of a time unit), so asynchronous slot stretching
+// is visible at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace asyncmac::trace {
+
+struct RenderOptions {
+  Tick from = 0;                 ///< first tick to draw
+  Tick to = kTickInfinity;       ///< last tick (clamped to trace extent)
+  int columns_per_unit = 8;      ///< horizontal resolution
+  int max_width = 600;           ///< hard cap on line width
+  bool show_feedback = true;     ///< draw the feedback row
+};
+
+/// Render the schedule of all stations appearing in the trace.
+/// Transmitting slots are drawn as `TTTT` (packets) / `CCCC` (control),
+/// listening slots as `....`, slot boundaries as `|`, and the feedback row
+/// marks each slot end with `a` (ack), `b` (busy) or `s` (silence).
+std::string render_schedule(const std::vector<SlotRecord>& slots,
+                            const RenderOptions& options = {});
+
+}  // namespace asyncmac::trace

@@ -1,0 +1,116 @@
+#include "trace/serialize.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asyncmac::trace {
+
+namespace {
+
+const char* action_name(SlotAction a) {
+  switch (a) {
+    case SlotAction::kListen: return "listen";
+    case SlotAction::kTransmitPacket: return "tx";
+    case SlotAction::kTransmitControl: return "ctl";
+  }
+  return "?";
+}
+
+SlotAction parse_action(const std::string& s) {
+  if (s == "listen") return SlotAction::kListen;
+  if (s == "tx") return SlotAction::kTransmitPacket;
+  if (s == "ctl") return SlotAction::kTransmitControl;
+  throw std::invalid_argument("unknown action: " + s);
+}
+
+const char* feedback_name(Feedback f) {
+  switch (f) {
+    case Feedback::kSilence: return "silence";
+    case Feedback::kBusy: return "busy";
+    case Feedback::kAck: return "ack";
+  }
+  return "?";
+}
+
+Feedback parse_feedback(const std::string& s) {
+  if (s == "silence") return Feedback::kSilence;
+  if (s == "busy") return Feedback::kBusy;
+  if (s == "ack") return Feedback::kAck;
+  throw std::invalid_argument("unknown feedback: " + s);
+}
+
+}  // namespace
+
+std::string serialize_trace(const TraceHeader& header,
+                            const std::vector<SlotRecord>& slots) {
+  std::ostringstream os;
+  os << "asyncmac-trace v1 n=" << header.n << " r=" << header.bound_r
+     << "\n";
+  for (const auto& s : slots) {
+    os << "slot " << s.station << ' ' << s.index << ' ' << s.begin << ' '
+       << s.end << ' ' << action_name(s.action) << ' '
+       << feedback_name(s.feedback) << "\n";
+  }
+  return os.str();
+}
+
+ParsedTrace parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  ParsedTrace out;
+
+  AM_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace text");
+  {
+    std::istringstream h(line);
+    std::string magic, version, nfield, rfield;
+    h >> magic >> version >> nfield >> rfield;
+    AM_REQUIRE(magic == "asyncmac-trace" && version == "v1",
+               "bad trace header");
+    AM_REQUIRE(nfield.rfind("n=", 0) == 0 && rfield.rfind("r=", 0) == 0,
+               "bad trace header fields");
+    out.header.n =
+        static_cast<std::uint32_t>(std::stoul(nfield.substr(2)));
+    out.header.bound_r =
+        static_cast<std::uint32_t>(std::stoul(rfield.substr(2)));
+  }
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    AM_REQUIRE(tag == "slot",
+               "line " + std::to_string(line_no) + ": unknown tag " + tag);
+    SlotRecord rec;
+    std::string action, feedback;
+    ls >> rec.station >> rec.index >> rec.begin >> rec.end >> action >>
+        feedback;
+    AM_REQUIRE(!ls.fail(),
+               "line " + std::to_string(line_no) + ": malformed slot");
+    rec.action = parse_action(action);
+    rec.feedback = parse_feedback(feedback);
+    AM_REQUIRE(rec.station >= 1 && rec.station <= out.header.n,
+               "line " + std::to_string(line_no) + ": station out of range");
+    AM_REQUIRE(rec.end > rec.begin,
+               "line " + std::to_string(line_no) + ": empty slot interval");
+    out.slots.push_back(rec);
+  }
+  return out;
+}
+
+CheckResult verify_trace_text(const std::string& text) {
+  ParsedTrace parsed;
+  try {
+    parsed = parse_trace(text);
+  } catch (const std::invalid_argument& e) {
+    return {false, e.what()};
+  }
+  if (auto contiguous = check_slot_contiguity(parsed.slots); !contiguous)
+    return contiguous;
+  return check_feedback_consistency(parsed.slots);
+}
+
+}  // namespace asyncmac::trace

@@ -1,0 +1,45 @@
+// asyncmac/trace/serialize.h
+//
+// Text (de)serialization of execution traces. One line per slot:
+//
+//   slot <station> <index> <begin> <end> <action> <feedback>
+//
+// preceded by a header line `asyncmac-trace v1 n=<n> r=<R>`. The format
+// is deliberately line-oriented and diff-friendly: traces can be stored
+// as golden files, attached to bug reports, and re-verified against the
+// exact channel model (verify_trace_text) on any machine — runs are
+// bit-deterministic, so a mismatch is always meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/invariants.h"
+#include "trace/recorder.h"
+
+namespace asyncmac::trace {
+
+struct TraceHeader {
+  std::uint32_t n = 0;
+  std::uint32_t bound_r = 0;
+};
+
+/// Serialize a recorded trace (slot-end order preserved).
+std::string serialize_trace(const TraceHeader& header,
+                            const std::vector<SlotRecord>& slots);
+
+struct ParsedTrace {
+  TraceHeader header;
+  std::vector<SlotRecord> slots;
+};
+
+/// Parse a serialized trace; throws std::invalid_argument on malformed
+/// input (wrong magic, bad field counts, unknown enum names).
+ParsedTrace parse_trace(const std::string& text);
+
+/// Parse, then re-run the slot feedback through the channel model and the
+/// structural invariants (contiguity + feedback consistency).
+CheckResult verify_trace_text(const std::string& text);
+
+}  // namespace asyncmac::trace

@@ -1,0 +1,54 @@
+// asyncmac/util/check.h
+//
+// Invariant-checking macros. AM_CHECK fires in every build type: the
+// simulator's value rests on its exactness, so internal invariants are not
+// compiled out in release builds. Configuration errors coming from user
+// input throw std::invalid_argument instead (see AM_REQUIRE).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asyncmac::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "AM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void require_failed(const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: requirement (" << expr << ") violated";
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace asyncmac::detail
+
+/// Internal invariant; logic error if violated. Always on.
+#define AM_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::asyncmac::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Internal invariant with a streamed message: AM_CHECK_MSG(x > 0, "x=" << x)
+#define AM_CHECK_MSG(expr, stream_expr)                                    \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream am_check_os_;                                     \
+      am_check_os_ << stream_expr;                                         \
+      ::asyncmac::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                       am_check_os_.str());                \
+    }                                                                      \
+  } while (0)
+
+/// Precondition on user-supplied configuration; throws invalid_argument.
+#define AM_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) ::asyncmac::detail::require_failed(#expr, (msg));         \
+  } while (0)

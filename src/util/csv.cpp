@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace asyncmac::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  AM_REQUIRE(!header.empty(), "csv needs at least one column");
+  add_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  AM_REQUIRE(cells.size() == width_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace asyncmac::util

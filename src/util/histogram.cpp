@@ -1,0 +1,116 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asyncmac::util {
+
+namespace {
+// 4 sub-buckets per power of two: resolution ~25% everywhere.
+constexpr std::size_t kSubBuckets = 4;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kSubBuckets * 64, 0) {}
+
+std::size_t Histogram::bucket_of(std::int64_t v) noexcept {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  const int log2 = 63 - std::countl_zero(u);
+  const auto sub = static_cast<std::size_t>(
+      (u >> (static_cast<unsigned>(log2) - 2)) & (kSubBuckets - 1));
+  return kSubBuckets * static_cast<std::size_t>(log2 - 1) + sub;
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t b) noexcept {
+  if (b < kSubBuckets) return static_cast<std::int64_t>(b);
+  const std::size_t log2 = b / kSubBuckets + 1;
+  const std::size_t sub = b % kSubBuckets;
+  const auto base = std::uint64_t{1} << log2;
+  const auto step = base / kSubBuckets;
+  return static_cast<std::int64_t>(base + step * (sub + 1) - 1);
+}
+
+void Histogram::add(std::int64_t sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += static_cast<double>(sample);
+  const std::size_t b = bucket_of(sample);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+std::int64_t Histogram::min() const {
+  AM_CHECK(count_ > 0);
+  return min_;
+}
+
+std::int64_t Histogram::max() const {
+  AM_CHECK(count_ > 0);
+  return max_;
+}
+
+double Histogram::mean() const {
+  AM_CHECK(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  AM_CHECK(count_ > 0);
+  AM_CHECK(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::clamp(bucket_upper(b), min_, max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << count_ << " min=" << min() << " mean=" << mean()
+     << " p50=" << quantile(0.5) << " p99=" << quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace asyncmac::util

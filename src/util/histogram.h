@@ -1,0 +1,47 @@
+// asyncmac/util/histogram.h
+//
+// Streaming histogram over non-negative integer samples (ticks, slot
+// counts, queue sizes). Exact min/max/mean plus quantiles from
+// power-of-two-ish logarithmic buckets — adequate for latency tails where
+// only the order of magnitude matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncmac::util {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void add(std::int64_t sample);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  double sum() const noexcept { return sum_; }
+
+  /// Approximate quantile q in [0,1]; exact at q=0 and q=1.
+  std::int64_t quantile(double q) const;
+
+  /// One-line human-readable summary: "n=… min=… p50=… p99=… max=…".
+  std::string summary() const;
+
+ private:
+  static std::size_t bucket_of(std::int64_t v) noexcept;
+  static std::int64_t bucket_upper(std::size_t b) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace asyncmac::util

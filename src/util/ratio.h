@@ -1,0 +1,76 @@
+// asyncmac/util/ratio.h
+//
+// Exact non-negative rational numbers for injection rates (rho) and bound
+// formulas. The stability theorems hinge on comparisons like
+// "cost injected in window <= rho * t + b"; doing this in floating point
+// would blur exactly the boundary cases (rho -> 1) the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "util/check.h"
+
+namespace asyncmac::util {
+
+struct Ratio {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  constexpr Ratio() = default;
+  Ratio(std::int64_t n, std::int64_t d) : num(n), den(d) {
+    AM_REQUIRE(d > 0, "denominator must be positive");
+    AM_REQUIRE(n >= 0, "rates are non-negative");
+    const std::int64_t g = std::gcd(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+
+  static Ratio zero() { return {}; }
+  static Ratio one() { return {1, 1}; }
+  /// Closest rational with denominator `max_den` (for user-facing doubles
+  /// like rho = 0.9 in benchmark sweeps).
+  static Ratio from_double(double v, std::int64_t max_den = 1000000);
+
+  double to_double() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+
+  /// floor(*this * t) with 128-bit intermediate (t in ticks).
+  std::int64_t mul_floor(std::int64_t t) const {
+    const __int128 p = static_cast<__int128>(num) * t;
+    return static_cast<std::int64_t>(p / den);
+  }
+
+  /// ceil(t / *this): smallest x with *this * x >= t. Requires num > 0.
+  std::int64_t div_ceil(std::int64_t t) const {
+    AM_CHECK(num > 0);
+    const __int128 p = static_cast<__int128>(t) * den;
+    return static_cast<std::int64_t>((p + num - 1) / num);
+  }
+
+  bool operator==(const Ratio& o) const {
+    return static_cast<__int128>(num) * o.den ==
+           static_cast<__int128>(o.num) * den;
+  }
+  bool operator<(const Ratio& o) const {
+    return static_cast<__int128>(num) * o.den <
+           static_cast<__int128>(o.num) * den;
+  }
+  bool operator<=(const Ratio& o) const { return *this < o || *this == o; }
+
+  std::string str() const {
+    return std::to_string(num) + "/" + std::to_string(den);
+  }
+};
+
+inline Ratio Ratio::from_double(double v, std::int64_t max_den) {
+  AM_REQUIRE(v >= 0, "rates are non-negative");
+  return {static_cast<std::int64_t>(v * static_cast<double>(max_den) + 0.5),
+          max_den};
+}
+
+}  // namespace asyncmac::util

@@ -1,0 +1,52 @@
+// asyncmac/util/rng.h
+//
+// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+// The core protocols of the paper are deterministic; randomness is used
+// only by (a) randomized baselines such as slotted ALOHA and (b) randomized
+// adversary/workload generators in tests and benchmarks. A dedicated engine
+// (instead of <random>'s unspecified distributions) keeps every run
+// reproducible across platforms and standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace asyncmac::util {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits (xoshiro256**).
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits. Reporting/workloads only.
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (e.g. one per station).
+  Rng split();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace asyncmac::util

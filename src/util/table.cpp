@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asyncmac::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AM_REQUIRE(cells.size() == headers_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_number(double v) {
+  std::ostringstream os;
+  if (std::isnan(v)) return "n/a";
+  const double a = std::fabs(v);
+  if (v == std::floor(v) && a < 1e15) {
+    os << static_cast<std::int64_t>(v);
+  } else if (a != 0 && (a < 1e-3 || a >= 1e7)) {
+    os << std::scientific << std::setprecision(3) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+std::string Table::format_number(std::int64_t v) { return std::to_string(v); }
+std::string Table::format_number(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace asyncmac::util

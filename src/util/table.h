@@ -1,0 +1,62 @@
+// asyncmac/util/table.h
+//
+// Minimal fixed-column ASCII table writer used by the benchmark harnesses
+// to print paper-style result tables (rows/series matching the paper's
+// Table I and theorem sweeps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace asyncmac::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from heterogeneous printable values.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(cell_to_string(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with aligned columns and a header separator.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    return format_number(v);
+  }
+  static std::string format_number(double v);
+  static std::string format_number(std::int64_t v);
+  static std::string format_number(std::uint64_t v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_number(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return format_number(static_cast<std::int64_t>(v));
+    else
+      return format_number(static_cast<std::uint64_t>(v));
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asyncmac::util

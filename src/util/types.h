@@ -1,0 +1,93 @@
+// asyncmac/util/types.h
+//
+// Fundamental scalar types shared by every module.
+//
+// All simulated time is integer "ticks". One *time unit* (the minimum slot
+// length of the paper's model) is `kTicksPerUnit` ticks. The value is
+// divisible by every integer in 1..16 as well as by common products of
+// small primes, so that:
+//   * slot lengths r in [1, R] with R <= 16 can be expressed exactly, even
+//     when an adversary picks rational stretch factors with denominators
+//     up to 16 (the Theorem-2 mirror adversary stretches g blocks of r
+//     slots so that their total length is exactly r*g);
+//   * no floating point appears anywhere on the simulation path, making
+//     every execution bit-for-bit deterministic and overlap tests exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asyncmac {
+
+/// Integer simulated time. Never use floating point for simulated time.
+using Tick = std::int64_t;
+
+/// Ticks per model time unit: 720720 = 2^4 * 3^2 * 5 * 7 * 11 * 13.
+/// Divisible by every integer in 1..16.
+inline constexpr Tick kTicksPerUnit = 720720;
+
+/// Sentinel "no time"/"unbounded" value.
+inline constexpr Tick kTickInfinity = std::numeric_limits<Tick>::max();
+
+/// Station identifier. The paper gives stations unique integer IDs in
+/// [n] = {1, ..., n}; we use the same 1-based convention. 0 is invalid.
+using StationId = std::uint32_t;
+
+inline constexpr StationId kInvalidStation = 0;
+
+/// Monotone per-run packet sequence number (unique across stations).
+using PacketSeq = std::uint64_t;
+
+/// 1-based index of a station's slot within its own partition of time.
+using SlotIndex = std::uint64_t;
+
+/// What a station does with one of its slots. "Idle" in the paper is
+/// equivalent to listening, so it is not a separate action.
+enum class SlotAction : std::uint8_t {
+  kListen,          ///< Sense the channel for the duration of the slot.
+  kTransmitPacket,  ///< Transmit the head-of-queue packet for the whole slot.
+  kTransmitControl, ///< Transmit a contentless signal ("empty signal").
+};
+
+/// Channel feedback delivered to a station at the end of each of its slots.
+///
+/// Ordering of precedence when classifying a slot: kAck > kBusy > kSilence.
+///  * kAck     — a successful transmission *ended* during the slot (for a
+///               transmitter: its own transmission succeeded).
+///  * kBusy    — at least one transmission overlapped the slot but no
+///               successful transmission ended in it (this includes a
+///               transmitter whose own transmission collided).
+///  * kSilence — no transmission overlapped the slot at all.
+enum class Feedback : std::uint8_t { kSilence, kBusy, kAck };
+
+inline constexpr bool is_transmit(SlotAction a) noexcept {
+  return a != SlotAction::kListen;
+}
+
+inline constexpr const char* to_string(SlotAction a) noexcept {
+  switch (a) {
+    case SlotAction::kListen: return "listen";
+    case SlotAction::kTransmitPacket: return "tx-packet";
+    case SlotAction::kTransmitControl: return "tx-control";
+  }
+  return "?";
+}
+
+inline constexpr const char* to_string(Feedback f) noexcept {
+  switch (f) {
+    case Feedback::kSilence: return "silence";
+    case Feedback::kBusy: return "busy";
+    case Feedback::kAck: return "ack";
+  }
+  return "?";
+}
+
+/// Convert a whole number of time units to ticks.
+inline constexpr Tick units(Tick n) noexcept { return n * kTicksPerUnit; }
+
+/// Ticks -> double time units (for reporting only; never for simulation).
+inline constexpr double to_units(Tick t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerUnit);
+}
+
+}  // namespace asyncmac

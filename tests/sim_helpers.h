@@ -1,0 +1,50 @@
+// tests/sim_helpers.h
+//
+// Shared construction helpers for protocol/engine tests and benches.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "sim/engine.h"
+#include "util/ratio.h"
+#include "util/types.h"
+
+namespace asyncmac::testing {
+
+/// n copies of protocol T (one per station).
+template <typename T, typename... Args>
+std::vector<std::unique_ptr<sim::Protocol>> make_protocols(std::uint32_t n,
+                                                           Args&&... args) {
+  std::vector<std::unique_ptr<sim::Protocol>> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(std::make_unique<T>(args...));
+  return out;
+}
+
+/// A slot policy by short name (see adversary::make_slot_policy).
+inline std::unique_ptr<sim::SlotPolicy> make_slot_policy(
+    const std::string& name, std::uint32_t n, std::uint32_t R,
+    std::uint64_t seed = 1) {
+  return adversary::make_slot_policy(name, n, R, seed);
+}
+
+/// All slot-policy names used by the parameterized sweeps.
+inline std::vector<std::string> all_policies() {
+  return adversary::slot_policy_names();
+}
+
+/// One packet per listed station at time 0 (SST "messages").
+inline std::unique_ptr<adversary::ScriptedInjector> sst_messages(
+    const std::vector<StationId>& stations) {
+  std::vector<sim::Injection> script;
+  for (StationId s : stations) script.push_back({0, s, kTicksPerUnit});
+  return std::make_unique<adversary::ScriptedInjector>(std::move(script));
+}
+
+}  // namespace asyncmac::testing

@@ -1,0 +1,137 @@
+// Tests for the analysis module: finite-horizon stability classification
+// and the empirical Max-Stable-Rate estimator (the paper's figure of
+// merit for the PT problem).
+#include <gtest/gtest.h>
+
+#include "analysis/msr.h"
+#include "analysis/stability.h"
+#include "baselines/aloha.h"
+#include "baselines/rrw.h"
+#include "core/ao_arrow.h"
+#include "core/ca_arrow.h"
+#include "sim_helpers.h"
+
+namespace asyncmac {
+namespace {
+
+using adversary::SaturatingInjector;
+using adversary::TargetPattern;
+using analysis::MsrConfig;
+using analysis::StabilityConfig;
+using analysis::Verdict;
+
+constexpr Tick U = kTicksPerUnit;
+
+template <typename P>
+analysis::RateEngineFactory factory(std::uint32_t n, std::uint32_t R,
+                                    const std::string& policy) {
+  return [=](util::Ratio rho, std::uint64_t seed) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.bound_r = R;
+    cfg.seed = seed;
+    return std::make_unique<sim::Engine>(
+        cfg, asyncmac::testing::make_protocols<P>(n),
+        asyncmac::testing::make_slot_policy(policy, n, R, seed),
+        std::make_unique<SaturatingInjector>(
+            rho, 8 * U, TargetPattern::kRoundRobin, 1, seed + 1));
+  };
+}
+
+StabilityConfig quick_probe() {
+  StabilityConfig c;
+  c.horizon = 100000 * U;
+  c.chunks = 8;
+  c.ceiling = 10000 * U;
+  return c;
+}
+
+TEST(Stability, VerdictNames) {
+  EXPECT_STREQ(analysis::to_string(Verdict::kStable), "stable");
+  EXPECT_STREQ(analysis::to_string(Verdict::kGrowing), "growing");
+  EXPECT_STREQ(analysis::to_string(Verdict::kSaturated), "saturated");
+}
+
+TEST(Stability, CaArrowModerateLoadIsStable) {
+  auto f = factory<core::CaArrowProtocol>(4, 2, "perstation");
+  const auto report = analysis::probe_stability(
+      [&] { return f(util::Ratio(1, 2), 1); }, quick_probe());
+  EXPECT_EQ(report.verdict, Verdict::kStable);
+  EXPECT_GT(report.delivered, 1000u);
+  EXPECT_EQ(report.samples.size(), 8u);
+}
+
+TEST(Stability, OverloadIsCaughtAsGrowingOrSaturated) {
+  // Declared rate 0.9 on 2-unit slots for half the stations: true demand
+  // above 1 — must not be classified stable.
+  auto f = [](util::Ratio, std::uint64_t seed) {
+    sim::EngineConfig cfg;
+    cfg.n = 2;
+    cfg.bound_r = 2;
+    cfg.seed = seed;
+    // Overload: rate 1 of unit-cost packets but all slots are 2 units.
+    return std::make_unique<sim::Engine>(
+        cfg, asyncmac::testing::make_protocols<core::CaArrowProtocol>(2),
+        asyncmac::testing::make_slot_policy("max", 2, 2, seed),
+        std::make_unique<SaturatingInjector>(
+            util::Ratio::one(), 8 * U, TargetPattern::kRoundRobin));
+  };
+  const auto report = analysis::probe_stability(
+      [&] { return f(util::Ratio::one(), 1); }, quick_probe());
+  EXPECT_NE(report.verdict, Verdict::kStable);
+}
+
+TEST(Stability, RejectsDegenerateConfig) {
+  StabilityConfig bad;
+  bad.chunks = 2;
+  auto f = factory<core::CaArrowProtocol>(2, 1, "sync");
+  EXPECT_THROW(analysis::probe_stability(
+                   [&] { return f(util::Ratio(1, 2), 1); }, bad),
+               std::invalid_argument);
+}
+
+TEST(Msr, CaArrowSustainsHighRates) {
+  MsrConfig cfg;
+  cfg.probe = quick_probe();
+  const auto res =
+      analysis::estimate_msr(factory<core::CaArrowProtocol>(3, 2,
+                                                            "perstation"),
+                             cfg);
+  EXPECT_GE(res.msr_pct, 85) << "CA-ARRoW should be stable almost to 1";
+  EXPECT_GT(res.probes, 0);
+}
+
+TEST(Msr, AoArrowSustainsHighRates) {
+  MsrConfig cfg;
+  cfg.probe = quick_probe();
+  const auto res = analysis::estimate_msr(
+      factory<core::AoArrowProtocol>(3, 2, "perstation"), cfg);
+  EXPECT_GE(res.msr_pct, 80);
+}
+
+TEST(Msr, SlottedAlohaCollapsesEarly) {
+  MsrConfig cfg;
+  cfg.probe = quick_probe();
+  cfg.seeds = 3;
+  const auto res = analysis::estimate_msr(
+      factory<baselines::SlottedAlohaProtocol>(4, 1, "sync"), cfg);
+  EXPECT_LT(res.msr_pct, 60) << "ALOHA must not sustain high rates";
+  EXPECT_GT(res.msr_pct, 5) << "but it does sustain light load";
+}
+
+TEST(Msr, StableAtMatchesEstimate) {
+  MsrConfig cfg;
+  cfg.probe = quick_probe();
+  auto f = factory<core::CaArrowProtocol>(2, 2, "perstation");
+  EXPECT_TRUE(analysis::stable_at(f, util::Ratio(1, 2), cfg));
+}
+
+TEST(Msr, RejectsBadRange) {
+  MsrConfig cfg;
+  cfg.lo_pct = 0;
+  auto f = factory<core::CaArrowProtocol>(2, 1, "sync");
+  EXPECT_THROW(analysis::estimate_msr(f, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncmac

@@ -1,0 +1,305 @@
+// Tests for the synchronous state-of-the-art baselines (Table I's R = 1
+// column) and their breakdown under bounded asynchrony (R > 1), which is
+// exactly the gap the paper's ARRoW protocols close.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "adversary/injectors.h"
+#include "baselines/aloha.h"
+#include "baselines/listen.h"
+#include "baselines/mbtf.h"
+#include "baselines/rrw.h"
+#include "baselines/silence_tdma.h"
+#include "baselines/sync_binary_le.h"
+#include "baselines/tree_resolution.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+
+namespace asyncmac {
+namespace {
+
+using adversary::SaturatingInjector;
+using adversary::TargetPattern;
+using sim::Engine;
+using sim::EngineConfig;
+
+constexpr Tick U = kTicksPerUnit;
+
+template <typename P>
+std::unique_ptr<Engine> make_pt(std::uint32_t n, std::uint32_t R,
+                                util::Ratio rho, Tick burst,
+                                const std::string& policy,
+                                std::uint64_t seed = 1) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.bound_r = R;
+  cfg.seed = seed;
+  auto protocols = asyncmac::testing::make_protocols<P>(n);
+  return std::make_unique<Engine>(
+      cfg, std::move(protocols),
+      asyncmac::testing::make_slot_policy(policy, n, R, seed),
+      std::make_unique<SaturatingInjector>(rho, burst,
+                                           TargetPattern::kRoundRobin, 1,
+                                           seed + 1));
+}
+
+// -------------------------------------------------------------------- RRW
+
+TEST(Rrw, StableAndCollisionFreeAtR1) {
+  for (int rho_pct : {50, 80, 95}) {
+    auto e = make_pt<baselines::RrwProtocol>(4, 1, util::Ratio(rho_pct, 100),
+                                             8 * U, "sync");
+    e->run(sim::until(100000 * U));
+    EXPECT_EQ(e->channel_stats().collided, 0u) << "rho%=" << rho_pct;
+    EXPECT_EQ(e->channel_stats().control_transmissions, 0u);
+    EXPECT_LT(e->stats().max_queued_cost, 2000 * U);
+    EXPECT_GT(e->stats().delivered_packets,
+              e->stats().injected_packets * 9 / 10);
+  }
+}
+
+TEST(Rrw, AllStationsServedAtR1) {
+  auto e = make_pt<baselines::RrwProtocol>(5, 1, util::Ratio(7, 10), 10 * U,
+                                           "sync");
+  e->run(sim::until(100000 * U));
+  for (std::uint32_t i = 0; i < 5; ++i)
+    EXPECT_GT(e->stats().station[i].delivered, 100u);
+}
+
+TEST(Rrw, BreaksUnderAsynchrony) {
+  // With R = 2 and misaligned slots, RRW's silent-slot turn passing
+  // diverges: collisions appear and/or queues blow up — the Table I
+  // "Instability" row for the no-control collision-free model.
+  auto e = make_pt<baselines::RrwProtocol>(4, 2, util::Ratio(1, 2), 8 * U,
+                                           "perstation");
+  e->run(sim::until(100000 * U));
+  const bool collided = e->channel_stats().collided > 0;
+  const bool unstable = e->stats().queued_cost > 1000 * U;
+  EXPECT_TRUE(collided || unstable)
+      << "RRW unexpectedly survived bounded asynchrony";
+}
+
+// ------------------------------------------------------------------- MBTF
+
+TEST(Mbtf, StableAtR1) {
+  for (int rho_pct : {50, 80}) {
+    auto e = make_pt<baselines::MbtfProtocol>(4, 1, util::Ratio(rho_pct, 100),
+                                              8 * U, "sync");
+    e->run(sim::until(100000 * U));
+    EXPECT_EQ(e->channel_stats().collided, 0u);
+    EXPECT_LT(e->stats().max_queued_cost, 2000 * U) << "rho%=" << rho_pct;
+    EXPECT_GT(e->stats().delivered_packets,
+              e->stats().injected_packets * 9 / 10);
+  }
+}
+
+TEST(Mbtf, HeavyStationMovesToFront) {
+  // Saturate one station only; after its first big sequence it must sit
+  // at the front of everyone's list.
+  EngineConfig cfg;
+  cfg.n = 4;
+  cfg.bound_r = 1;
+  auto protocols = asyncmac::testing::make_protocols<baselines::MbtfProtocol>(4);
+  Engine e(cfg, std::move(protocols),
+           asyncmac::testing::make_slot_policy("sync", 4, 1),
+           std::make_unique<SaturatingInjector>(util::Ratio(1, 2), 20 * U,
+                                                TargetPattern::kSingle, 3));
+  e.run(sim::until(200 * U));
+  for (StationId id = 1; id <= 4; ++id) {
+    const auto& p = dynamic_cast<const baselines::MbtfProtocol&>(
+        e.protocol(id));
+    ASSERT_FALSE(p.list().empty());
+    EXPECT_EQ(p.list().front(), 3u) << "station " << id << "'s list";
+  }
+}
+
+TEST(Mbtf, ListsStayConsistentAcrossStations) {
+  auto e = make_pt<baselines::MbtfProtocol>(4, 1, util::Ratio(6, 10), 12 * U,
+                                            "sync");
+  e->run(sim::until(50000 * U));
+  const auto& ref =
+      dynamic_cast<const baselines::MbtfProtocol&>(e->protocol(1)).list();
+  for (StationId id = 2; id <= 4; ++id)
+    EXPECT_EQ(dynamic_cast<const baselines::MbtfProtocol&>(e->protocol(id))
+                  .list(),
+              ref);
+}
+
+// ------------------------------------------------------------------ ALOHA
+
+TEST(Aloha, DeliversUnderLightLoad) {
+  auto e = make_pt<baselines::SlottedAlohaProtocol>(
+      4, 1, util::Ratio(1, 10), 4 * U, "sync");
+  e->run(sim::until(100000 * U));
+  EXPECT_GT(e->stats().delivered_packets,
+            e->stats().injected_packets * 8 / 10);
+}
+
+TEST(Aloha, CollapsesUnderHeavyLoad) {
+  // At rho = 0.8 slotted ALOHA (throughput <= 1/e) must diverge while the
+  // deterministic protocols stay stable — the paper's intro comparison.
+  auto e = make_pt<baselines::SlottedAlohaProtocol>(
+      4, 1, util::Ratio(8, 10), 8 * U, "sync");
+  e->run(sim::until(100000 * U));
+  EXPECT_GT(e->stats().queued_packets, 1000u);
+}
+
+TEST(Aloha, CollidesButStillMakesProgress) {
+  auto e = make_pt<baselines::SlottedAlohaProtocol>(
+      3, 1, util::Ratio(2, 10), 4 * U, "sync");
+  e->run(sim::until(50000 * U));
+  EXPECT_GT(e->channel_stats().collided, 0u);
+  EXPECT_GT(e->stats().delivered_packets, 100u);
+}
+
+// ------------------------------------------------------- silence-count TDMA
+
+TEST(SilenceTdma, CollisionFreeAndPositiveRateAtR1) {
+  auto e = make_pt<baselines::SilenceCountTdmaProtocol>(
+      4, 1, util::Ratio(1, 10), 4 * U, "sync");
+  e->run(sim::until(100000 * U));
+  EXPECT_EQ(e->channel_stats().collided, 0u);
+  EXPECT_EQ(e->channel_stats().control_transmissions, 0u);
+  EXPECT_GT(e->stats().delivered_packets,
+            e->stats().injected_packets * 8 / 10);
+  EXPECT_LT(e->stats().queued_packets, 100u);
+}
+
+TEST(SilenceTdma, SeedSweepStaysCollisionFreeAtR1) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto e = make_pt<baselines::SilenceCountTdmaProtocol>(
+        5, 1, util::Ratio(15, 100), 5 * U, "sync", seed);
+    e->run(sim::until(30000 * U));
+    ASSERT_EQ(e->channel_stats().collided, 0u) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------- sync binary LE
+
+TEST(SyncBinaryLe, ElectsExactlyOneAtR1) {
+  for (std::uint32_t n : {2u, 3u, 5u, 8u, 16u, 64u, 200u}) {
+    EngineConfig cfg;
+    cfg.n = n;
+    cfg.bound_r = 1;
+    auto protocols =
+        asyncmac::testing::make_protocols<baselines::SyncBinaryLeProtocol>(n);
+    std::vector<StationId> everyone;
+    for (StationId id = 1; id <= n; ++id) everyone.push_back(id);
+    Engine e(cfg, std::move(protocols),
+             asyncmac::testing::make_slot_policy("sync", n, 1),
+             asyncmac::testing::sst_messages(everyone));
+    sim::StopCondition stop;
+    stop.max_time = 1000 * U;
+    stop.predicate = [](const Engine& eng) {
+      return eng.channel_stats().successful >= 1;
+    };
+    e.run(stop);
+    e.run(sim::until(e.now()));  // drain same-timestamp events
+    std::uint32_t winners = 0;
+    std::uint64_t max_slots = 0;
+    for (StationId id = 1; id <= n; ++id) {
+      const auto& p = dynamic_cast<const baselines::SyncBinaryLeProtocol&>(
+          e.protocol(id));
+      winners += p.outcome() ==
+                 baselines::SyncBinaryLeProtocol::Outcome::kWon;
+      max_slots = std::max(max_slots, p.slots());
+    }
+    EXPECT_EQ(winners, 1u) << "n=" << n;
+    // Theta(log n): at most bit_width(n) + 1 slots.
+    EXPECT_LE(max_slots,
+              static_cast<std::uint64_t>(std::bit_width(n)) + 1)
+        << "n=" << n;
+  }
+}
+
+// ------------------------------------------------------ tree resolution
+
+TEST(TreeResolution, ElectsExactlyOneAtR1) {
+  for (std::uint32_t n : {1u, 2u, 3u, 5u, 8u, 16u, 64u, 100u}) {
+    EngineConfig cfg;
+    cfg.n = n;
+    cfg.bound_r = 1;
+    auto protocols =
+        asyncmac::testing::make_protocols<baselines::TreeResolutionProtocol>(
+            n);
+    std::vector<StationId> everyone;
+    for (StationId id = 1; id <= n; ++id) everyone.push_back(id);
+    Engine e(cfg, std::move(protocols),
+             asyncmac::testing::make_slot_policy("sync", n, 1),
+             asyncmac::testing::sst_messages(everyone));
+    sim::StopCondition stop;
+    stop.max_time = static_cast<Tick>(4 * n + 16) * U;
+    stop.predicate = [](const Engine& eng) {
+      return eng.channel_stats().successful >= 1;
+    };
+    e.run(stop);
+    e.run(sim::until(e.now()));
+    ASSERT_GE(e.channel_stats().successful, 1u) << "n=" << n;
+    std::uint32_t winners = 0;
+    std::uint64_t worst = 0;
+    for (StationId id = 1; id <= n; ++id) {
+      const auto* a =
+          dynamic_cast<const baselines::TreeResolutionProtocol&>(
+              e.protocol(id))
+              .automaton();
+      ASSERT_NE(a, nullptr);
+      worst = std::max(worst, a->slots());
+      winners += a->outcome() == core::LeaderElection::Outcome::kWon;
+    }
+    EXPECT_EQ(winners, 1u) << "n=" << n;
+    // Splitting depth <= bit width: first success within ~width+1 slots.
+    EXPECT_LE(worst, static_cast<std::uint64_t>(std::bit_width(n)) + 2)
+        << "n=" << n;
+  }
+}
+
+TEST(TreeResolution, SubsetContention) {
+  // Only stations {3, 7} contend among 8.
+  EngineConfig cfg;
+  cfg.n = 8;
+  cfg.bound_r = 1;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  for (StationId id = 1; id <= 8; ++id) {
+    if (id == 3 || id == 7)
+      ps.push_back(std::make_unique<baselines::TreeResolutionProtocol>());
+    else
+      ps.push_back(std::make_unique<baselines::ListenProtocol>());
+  }
+  Engine e(cfg, std::move(ps),
+           asyncmac::testing::make_slot_policy("sync", 8, 1),
+           asyncmac::testing::sst_messages({3, 7}));
+  sim::StopCondition stop;
+  stop.max_time = 100 * U;
+  stop.predicate = [](const Engine& eng) {
+    return eng.channel_stats().successful >= 1;
+  };
+  e.run(stop);
+  e.run(sim::until(e.now()));
+  std::uint32_t winners = 0;
+  for (StationId id : {3u, 7u})
+    winners += dynamic_cast<const baselines::TreeResolutionProtocol&>(
+                   e.protocol(id))
+                   .automaton()
+                   ->outcome() == core::LeaderElection::Outcome::kWon;
+  EXPECT_EQ(winners, 1u);
+}
+
+TEST(TreeResolution, SingleContenderWinsImmediately) {
+  EngineConfig cfg;
+  cfg.n = 4;
+  cfg.bound_r = 1;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  ps.push_back(std::make_unique<baselines::TreeResolutionProtocol>());
+  for (int i = 0; i < 3; ++i)
+    ps.push_back(std::make_unique<baselines::ListenProtocol>());
+  Engine e(cfg, std::move(ps),
+           asyncmac::testing::make_slot_policy("sync", 4, 1),
+           asyncmac::testing::sst_messages({1}));
+  e.run(sim::until(3 * U));
+  EXPECT_EQ(e.channel_stats().successful, 1u);
+  EXPECT_EQ(e.stats().delivered_packets, 1u);
+}
+
+}  // namespace
+}  // namespace asyncmac

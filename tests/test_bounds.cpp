@@ -1,0 +1,107 @@
+// Tests for the closed-form bounds of core/bounds.h — the protocol
+// constants of Sections III/IV and the reporting formulas of Theorems
+// 1, 2, 3 and 6.
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "util/ratio.h"
+
+namespace asyncmac::core {
+namespace {
+
+TEST(Bounds, AbsThresholdsMatchPaper) {
+  // Fig. 3: 3R and 4R^2 + 3R.
+  EXPECT_EQ(abs_threshold0(1), 3u);
+  EXPECT_EQ(abs_threshold1(1), 7u);
+  EXPECT_EQ(abs_threshold0(4), 12u);
+  EXPECT_EQ(abs_threshold1(4), 76u);
+}
+
+TEST(Bounds, ZeroBitListensStrictlyShorter) {
+  for (std::uint32_t R = 1; R <= 16; ++R)
+    EXPECT_LT(abs_threshold0(R), abs_threshold1(R));
+}
+
+TEST(Bounds, SlotsPerPhaseDominatesThresholdPlusWait) {
+  for (std::uint32_t R = 1; R <= 16; ++R)
+    EXPECT_GE(abs_slots_per_phase(R), abs_threshold1(R) + 2);
+}
+
+TEST(Bounds, PhaseCountLogarithmic) {
+  EXPECT_EQ(abs_phases(1), 2u);
+  EXPECT_EQ(abs_phases(2), 3u);
+  EXPECT_EQ(abs_phases(1024), 12u);
+}
+
+TEST(Bounds, SlotBoundGrowsAsR2LogN) {
+  // Quadratic in R: quadrupling R multiplies the bound by ~16 within 2x.
+  const double r2 = static_cast<double>(abs_slot_bound(64, 2));
+  const double r8 = static_cast<double>(abs_slot_bound(64, 8));
+  EXPECT_GT(r8 / r2, 8.0);
+  EXPECT_LT(r8 / r2, 32.0);
+  // Logarithmic in n.
+  const double n4 = static_cast<double>(abs_slot_bound(4, 4));
+  const double n256 = static_cast<double>(abs_slot_bound(256, 4));
+  EXPECT_LT(n256 / n4, 4.0);
+}
+
+TEST(Bounds, LowerBoundFormula) {
+  // r (log n / log r + 1); at n = r it is 2r.
+  EXPECT_NEAR(sst_lower_bound_slots(4, 4), 8.0, 1e-9);
+  EXPECT_NEAR(sst_lower_bound_slots(16, 4), 12.0, 1e-9);
+  EXPECT_GT(sst_lower_bound_slots(1024, 8),
+            sst_lower_bound_slots(1024, 2) / 4.0);
+}
+
+TEST(Bounds, LowerBoundRejectsSmallR) {
+  EXPECT_THROW(sst_lower_bound_slots(16, 1), std::invalid_argument);
+}
+
+TEST(Bounds, LongSilenceThresholdDominatesAbsSilentRuns) {
+  for (std::uint32_t R = 1; R <= 8; ++R) {
+    // One alive-station slot spans up to R observer slots.
+    EXPECT_GE(long_silence_threshold(R),
+              R * (abs_threshold1(R) + R + 1));
+    EXPECT_EQ(sync_countdown_slots(R), R * long_silence_threshold(R));
+  }
+}
+
+TEST(Bounds, ArrowBoundsFinitePositiveAndOrdered) {
+  const auto b = arrow_bounds(4, 2, 2, util::Ratio(1, 2), 10.0);
+  EXPECT_GT(b.A, 0.0);
+  EXPECT_GT(b.B, 0.0);
+  EXPECT_GT(b.S, 0.0);
+  EXPECT_GE(b.L, b.L0);
+  EXPECT_GE(b.L, b.L1);
+}
+
+TEST(Bounds, ArrowLDivergesAsRhoApproachesOne) {
+  const auto lo = arrow_bounds(4, 2, 2, util::Ratio(1, 2), 10.0);
+  const auto hi = arrow_bounds(4, 2, 2, util::Ratio(99, 100), 10.0);
+  EXPECT_GT(hi.L, 10.0 * lo.L);
+}
+
+TEST(Bounds, ArrowRejectsRhoOne) {
+  EXPECT_THROW(arrow_bounds(4, 2, 2, util::Ratio::one(), 10.0),
+               std::invalid_argument);
+}
+
+TEST(Bounds, ArrowLMonotoneInNandR) {
+  const auto base = arrow_bounds(4, 2, 2, util::Ratio(1, 2), 10.0);
+  EXPECT_GT(arrow_bounds(8, 2, 2, util::Ratio(1, 2), 10.0).L, base.L);
+  EXPECT_GT(arrow_bounds(4, 4, 4, util::Ratio(1, 2), 10.0).L, base.L);
+}
+
+TEST(Bounds, CaArrowBoundMatchesClosedForm) {
+  // (2 n R^2 (1 + rho) + b) / (1 - rho) at n=2, R=2, rho=1/2, b=8:
+  // (16 * 1.5 + 8) / 0.5 = 64.
+  EXPECT_NEAR(ca_arrow_bound(2, 2, util::Ratio(1, 2), 8.0), 64.0, 1e-9);
+}
+
+TEST(Bounds, CaArrowRejectsRhoOne) {
+  EXPECT_THROW(ca_arrow_bound(2, 2, util::Ratio::one(), 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncmac::core

@@ -1,0 +1,203 @@
+// Tests for CA-ARRoW (Section VI): zero collisions in every execution,
+// universal stability with the Theorem-6 queue bound, turn consistency,
+// and control-message usage limited to empty-queue turn holders.
+#include <gtest/gtest.h>
+
+#include "adversary/injectors.h"
+#include "core/bounds.h"
+#include "core/ca_arrow.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+
+namespace asyncmac {
+namespace {
+
+using adversary::SaturatingInjector;
+using adversary::TargetPattern;
+using core::CaArrowProtocol;
+using sim::Engine;
+using sim::EngineConfig;
+
+constexpr Tick U = kTicksPerUnit;
+
+std::unique_ptr<Engine> make_run(std::uint32_t n, std::uint32_t R,
+                                 util::Ratio rho, Tick burst,
+                                 const std::string& policy,
+                                 std::uint64_t seed = 1) {
+  EngineConfig cfg;
+  cfg.n = n;
+  cfg.bound_r = R;
+  cfg.seed = seed;
+  auto protocols = asyncmac::testing::make_protocols<CaArrowProtocol>(n);
+  std::unique_ptr<sim::InjectionPolicy> inj;
+  if (rho.num > 0 || burst > 0)
+    inj = std::make_unique<SaturatingInjector>(
+        rho, burst, TargetPattern::kRoundRobin, 1, seed + 1);
+  return std::make_unique<Engine>(
+      cfg, std::move(protocols),
+      asyncmac::testing::make_slot_policy(policy, n, R, seed),
+      std::move(inj));
+}
+
+// --------------------------------------------------------- collision-free
+
+struct CfParam {
+  std::uint32_t n;
+  std::uint32_t R;
+  int rho_pct;
+  std::string policy;
+};
+
+std::string cf_name(const ::testing::TestParamInfo<CfParam>& info) {
+  auto p = info.param;
+  std::string pol = p.policy;
+  for (auto& c : pol)
+    if (c == '-') c = '_';
+  return "n" + std::to_string(p.n) + "_R" + std::to_string(p.R) + "_rho" +
+         std::to_string(p.rho_pct) + "_" + pol;
+}
+
+class CaArrowCollisionFree : public ::testing::TestWithParam<CfParam> {};
+
+TEST_P(CaArrowCollisionFree, NeverCollides) {
+  const auto [n, R, rho_pct, policy] = GetParam();
+  auto e = make_run(n, R, util::Ratio(rho_pct, 100),
+                    8 * static_cast<Tick>(R) * U, policy);
+  e->run(sim::until(100000 * U));
+  EXPECT_EQ(e->channel_stats().collided, 0u)
+      << "CA-ARRoW generated a collision";
+  EXPECT_GT(e->channel_stats().transmissions, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaArrowCollisionFree,
+    ::testing::Values(CfParam{1, 1, 50, "sync"}, CfParam{2, 1, 50, "sync"},
+                      CfParam{2, 2, 50, "perstation"},
+                      CfParam{2, 2, 80, "cyclic"},
+                      CfParam{3, 2, 60, "random"},
+                      CfParam{4, 1, 80, "sync"},
+                      CfParam{4, 2, 60, "perstation"},
+                      CfParam{4, 3, 50, "cyclic"},
+                      CfParam{4, 4, 40, "random"},
+                      CfParam{6, 2, 50, "random"},
+                      CfParam{8, 2, 40, "perstation"},
+                      CfParam{8, 4, 30, "random"},
+                      CfParam{3, 3, 50, "stretch-tx"},
+                      CfParam{5, 2, 50, "max"},
+                      CfParam{2, 8, 40, "random"}),
+    cf_name);
+
+TEST(CaArrow, NoCollisionsEvenWithRandomSeedSweep) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto e = make_run(5, 3, util::Ratio(1, 2), 12 * U, "random", seed);
+    e->run(sim::until(40000 * U));
+    ASSERT_EQ(e->channel_stats().collided, 0u) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------- stability
+
+TEST(CaArrow, QueueBelowTheoremSixBound) {
+  struct Case {
+    std::uint32_t n, R;
+    int rho_pct;
+  };
+  for (const Case c : {Case{2, 2, 50}, Case{4, 2, 70}, Case{3, 3, 60},
+                       Case{8, 2, 40}, Case{2, 4, 50}}) {
+    const util::Ratio rho(c.rho_pct, 100);
+    const Tick burst = 8 * static_cast<Tick>(c.R) * U;
+    auto e = make_run(c.n, c.R, rho, burst, "perstation");
+    e->run(sim::until(200000 * U));
+    const double bound = core::ca_arrow_bound(c.n, c.R, rho, to_units(burst));
+    EXPECT_LT(to_units(e->stats().max_queued_cost), bound)
+        << "n=" << c.n << " R=" << c.R << " rho%=" << c.rho_pct;
+    EXPECT_GT(e->stats().delivered_packets,
+              e->stats().injected_packets / 2);
+  }
+}
+
+TEST(CaArrow, HighRateLongRunStable) {
+  const util::Ratio rho(9, 10);
+  auto e = make_run(2, 2, rho, 16 * U, "perstation");
+  const double bound = core::ca_arrow_bound(2, 2, rho, 16.0);
+  for (int chunk = 1; chunk <= 5; ++chunk) {
+    e->run(sim::until(chunk * 100000 * U));
+    ASSERT_LT(to_units(e->stats().max_queued_cost), bound);
+    ASSERT_EQ(e->channel_stats().collided, 0u);
+  }
+  EXPECT_GT(e->stats().delivered_packets, 10000u);
+}
+
+// ------------------------------------------------------------- mechanics
+
+TEST(CaArrow, EmptySystemCyclesControlSignals) {
+  // With no packets at all, the turn still rotates via empty signals.
+  auto e = make_run(3, 2, util::Ratio::zero(), 0, "perstation");
+  e->run(sim::until(5000 * U));
+  const auto& cs = e->channel_stats();
+  EXPECT_GT(cs.control_transmissions, 10u);
+  EXPECT_EQ(cs.collided, 0u);
+  EXPECT_EQ(cs.transmissions, cs.control_transmissions);
+}
+
+TEST(CaArrow, ControlOnlyFromEmptyQueueHolders) {
+  // Under saturation every station has packets at its turn: no control
+  // messages should appear (after warm-up the queues are never empty).
+  auto e = make_run(3, 2, util::Ratio(8, 10), 30 * U, "perstation");
+  e->run(sim::until(100000 * U));
+  const auto& cs = e->channel_stats();
+  // Allow only a handful of early empty signals before queues fill.
+  EXPECT_LT(cs.control_transmissions, 20u);
+  EXPECT_GT(cs.successful_packets, 1000u);
+}
+
+TEST(CaArrow, TurnsRotateFairly) {
+  auto e = make_run(4, 2, util::Ratio(6, 10), 8 * U, "perstation");
+  e->run(sim::until(100000 * U));
+  std::uint64_t min_turns = UINT64_MAX, max_turns = 0;
+  for (StationId id = 1; id <= 4; ++id) {
+    const auto& p = dynamic_cast<const CaArrowProtocol&>(e->protocol(id));
+    min_turns = std::min(min_turns, p.turns_taken());
+    max_turns = std::max(max_turns, p.turns_taken());
+  }
+  EXPECT_GT(min_turns, 10u);
+  EXPECT_LE(max_turns - min_turns, 1u) << "turn counters diverged";
+}
+
+TEST(CaArrow, AllStationsDeliver) {
+  auto e = make_run(5, 2, util::Ratio(5, 10), 10 * U, "cyclic");
+  e->run(sim::until(150000 * U));
+  for (std::uint32_t i = 0; i < 5; ++i)
+    EXPECT_GT(e->stats().station[i].delivered, 50u)
+        << "station " << i + 1 << " starved";
+}
+
+TEST(CaArrow, DrainsBacklogCompletely) {
+  EngineConfig cfg;
+  cfg.n = 3;
+  cfg.bound_r = 2;
+  std::vector<sim::Injection> script;
+  for (int k = 0; k < 30; ++k)
+    script.push_back({static_cast<Tick>(k) * U, 1 + static_cast<StationId>(k % 3),
+                      (1 + static_cast<Tick>(k % 3) % 2) * U});
+  auto protocols = asyncmac::testing::make_protocols<CaArrowProtocol>(3);
+  Engine e(cfg, std::move(protocols),
+           asyncmac::testing::make_slot_policy("perstation", 3, 2),
+           std::make_unique<adversary::ScriptedInjector>(script));
+  e.run(sim::until(10000 * U));
+  EXPECT_EQ(e.stats().delivered_packets, 30u);
+  EXPECT_EQ(e.stats().queued_packets, 0u);
+}
+
+TEST(CaArrow, DeterministicExecution) {
+  auto once = [] {
+    auto e = make_run(4, 3, util::Ratio(1, 2), 10 * U, "cyclic");
+    e->run(sim::until(30000 * U));
+    return std::tuple(e->stats().delivered_packets,
+                      e->channel_stats().control_transmissions, e->now());
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace asyncmac

@@ -1,0 +1,398 @@
+// Tests for the discrete-event engine: slot sequencing, transmission
+// registration, feedback delivery, packet delivery, injection visibility,
+// stop conditions, determinism and model enforcement.
+#include <gtest/gtest.h>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "baselines/listen.h"
+#include "core/abs.h"
+#include "core/ca_arrow.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+#include "test_protocols.h"
+
+namespace asyncmac {
+namespace {
+
+using adversary::PerStationSlotPolicy;
+using adversary::ScriptedInjector;
+using adversary::UniformSlotPolicy;
+using asyncmac::testing::GreedyProtocol;
+using asyncmac::testing::ScriptProtocol;
+using sim::Engine;
+using sim::EngineConfig;
+using sim::Injection;
+using sim::StopCondition;
+
+constexpr Tick U = kTicksPerUnit;
+
+EngineConfig config(std::uint32_t n, std::uint32_t R) {
+  EngineConfig c;
+  c.n = n;
+  c.bound_r = R;
+  c.record_trace = true;
+  c.record_deliveries = true;
+  return c;
+}
+
+TEST(Engine, RequiresValidConfiguration) {
+  std::vector<std::unique_ptr<sim::Protocol>> p;
+  p.push_back(std::make_unique<baselines::ListenProtocol>());
+  EXPECT_THROW(Engine(config(0, 1), {}, std::make_unique<UniformSlotPolicy>(),
+                      nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(Engine(config(2, 1), std::move(p),
+                      std::make_unique<UniformSlotPolicy>(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Engine, SlotBoundariesAdvanceByPolicyLength) {
+  auto protocols = asyncmac::testing::make_protocols<
+      baselines::ListenProtocol>(1);
+  Engine e(config(1, 3), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(3 * U), nullptr);
+  StopCondition stop;
+  stop.max_total_slots = 5;
+  e.run(stop);
+  const auto& slots = e.trace().slots();
+  ASSERT_EQ(slots.size(), 5u);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].begin, static_cast<Tick>(i) * 3 * U);
+    EXPECT_EQ(slots[i].end, static_cast<Tick>(i + 1) * 3 * U);
+    EXPECT_EQ(slots[i].index, i + 1);
+  }
+}
+
+TEST(Engine, InjectionAtTimeZeroVisibleToFirstDecision) {
+  std::vector<Injection> script{{0, 1, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(1);
+  Engine e(config(1, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<ScriptedInjector>(script));
+  StopCondition stop;
+  stop.max_total_slots = 1;
+  e.run(stop);
+  EXPECT_EQ(e.stats().delivered_packets, 1u);
+  EXPECT_EQ(e.trace().slots()[0].action, SlotAction::kTransmitPacket);
+  EXPECT_EQ(e.trace().slots()[0].feedback, Feedback::kAck);
+}
+
+TEST(Engine, DeliveryRemovesPacketAndRecordsLatency) {
+  std::vector<Injection> script{{0, 1, U}, {0, 1, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(1);
+  Engine e(config(1, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<ScriptedInjector>(script));
+  e.run(sim::until(10 * U));
+  EXPECT_EQ(e.stats().delivered_packets, 2u);
+  EXPECT_EQ(e.stats().queued_packets, 0u);
+  ASSERT_EQ(e.deliveries().size(), 2u);
+  EXPECT_EQ(e.deliveries()[0].delivered_at, U);
+  EXPECT_EQ(e.deliveries()[1].delivered_at, 2 * U);
+  EXPECT_EQ(e.deliveries()[0].realized_cost, U);
+}
+
+TEST(Engine, CollisionLeavesPacketsQueued) {
+  std::vector<Injection> script{{0, 1, U}, {0, 2, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  Engine e(config(2, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<ScriptedInjector>(script));
+  StopCondition stop;
+  stop.max_total_slots = 2;  // one slot each: they collide
+  e.run(stop);
+  EXPECT_EQ(e.stats().delivered_packets, 0u);
+  EXPECT_EQ(e.stats().queued_packets, 2u);
+  EXPECT_EQ(e.channel_stats().collided, 2u);
+}
+
+TEST(Engine, TransmitterFeedbackBusyOnCollision) {
+  std::vector<Injection> script{{0, 1, U}, {0, 2, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  Engine e(config(2, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<ScriptedInjector>(script));
+  StopCondition stop;
+  stop.max_total_slots = 2;
+  e.run(stop);
+  for (const auto& s : e.trace().slots()) {
+    EXPECT_EQ(s.action, SlotAction::kTransmitPacket);
+    EXPECT_EQ(s.feedback, Feedback::kBusy);
+  }
+}
+
+TEST(Engine, AsynchronousSlotsPartialOverlapCollides) {
+  // Station 1 has 2-unit slots, station 2 has 3-unit slots. Both transmit
+  // their first slot: [0,2) vs [0,3) overlap -> both fail.
+  std::vector<Injection> script{{0, 1, 2 * U}, {0, 2, 3 * U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  EngineConfig cfg = config(2, 3);
+  Engine e(cfg, std::move(protocols),
+           std::make_unique<PerStationSlotPolicy>(
+               std::vector<Tick>{2 * U, 3 * U}),
+           std::make_unique<ScriptedInjector>(script));
+  StopCondition stop;
+  stop.max_total_slots = 2;
+  e.run(stop);
+  EXPECT_EQ(e.channel_stats().collided, 2u);
+}
+
+TEST(Engine, ListenerFeedbackSequenceAroundTransmission) {
+  // Station 1 transmits its 3rd slot; station 2 (2-unit slots) listens.
+  auto p1 = std::make_unique<ScriptProtocol>(std::vector<SlotAction>{
+      SlotAction::kListen, SlotAction::kListen, SlotAction::kTransmitControl});
+  auto listener = std::make_unique<ScriptProtocol>(std::vector<SlotAction>{});
+  auto* listener_raw = listener.get();
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.push_back(std::move(p1));
+  protocols.push_back(std::move(listener));
+  Engine e(config(2, 2), std::move(protocols),
+           std::make_unique<PerStationSlotPolicy>(
+               std::vector<Tick>{U, 2 * U}),
+           nullptr);
+  e.run(sim::until(6 * U));
+  // Station 1 transmits [2U, 3U). Station 2's slots: [0,2U) silence,
+  // [2U,4U) contains the end -> ack, [4U,6U) silence.
+  const auto& r = listener_raw->results();
+  ASSERT_GE(r.size(), 3u);
+  EXPECT_EQ(r[0].feedback, Feedback::kSilence);
+  EXPECT_EQ(r[1].feedback, Feedback::kAck);
+  EXPECT_EQ(r[2].feedback, Feedback::kSilence);
+}
+
+TEST(Engine, ControlForbiddenWhenModelDisallows) {
+  auto protocols = asyncmac::testing::make_protocols<ScriptProtocol>(
+      1, std::vector<SlotAction>{SlotAction::kTransmitControl});
+  EngineConfig cfg = config(1, 1);
+  cfg.allow_control = false;
+  EXPECT_THROW(
+      Engine(cfg, std::move(protocols), std::make_unique<UniformSlotPolicy>(),
+             nullptr),
+      std::logic_error);
+}
+
+TEST(Engine, TransmitPacketWithEmptyQueueIsAProtocolBug) {
+  auto protocols = asyncmac::testing::make_protocols<ScriptProtocol>(
+      1, std::vector<SlotAction>{SlotAction::kTransmitPacket});
+  EXPECT_THROW(Engine(config(1, 1), std::move(protocols),
+                      std::make_unique<UniformSlotPolicy>(), nullptr),
+               std::logic_error);
+}
+
+TEST(Engine, StopAtMaxTimeDoesNotProcessLaterEvents) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(1);
+  Engine e(config(1, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(), nullptr);
+  e.run(sim::until(10 * U));
+  EXPECT_EQ(e.stats().total_slots, 10u);
+  EXPECT_EQ(e.now(), 10 * U);
+}
+
+TEST(Engine, PredicateStopsRun) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(1);
+  Engine e(config(1, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(), nullptr);
+  StopCondition stop;
+  stop.max_time = 1000 * U;
+  stop.predicate = [](const Engine& eng) {
+    return eng.stats().total_slots >= 7;
+  };
+  e.run(stop);
+  EXPECT_EQ(e.stats().total_slots, 7u);
+}
+
+TEST(Engine, RunCanBeResumed) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(1);
+  Engine e(config(1, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(), nullptr);
+  e.run(sim::until(5 * U));
+  EXPECT_EQ(e.stats().total_slots, 5u);
+  e.run(sim::until(9 * U));
+  EXPECT_EQ(e.stats().total_slots, 9u);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(3);
+    EngineConfig cfg = config(3, 4);
+    cfg.seed = 99;
+    Engine e(cfg, std::move(protocols),
+             asyncmac::testing::make_slot_policy("random", 3, 4, 5),
+             std::make_unique<adversary::SaturatingInjector>(
+                 util::Ratio(1, 2), 4 * U, adversary::TargetPattern::kRandom,
+                 1, 77));
+    e.run(sim::until(500 * U));
+    return std::make_tuple(e.stats().delivered_packets,
+                           e.stats().injected_packets,
+                           e.channel_stats().collided, e.now());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, AccountingInvariantInjectedEqualsDeliveredPlusQueued) {
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(4);
+  Engine e(config(4, 2), std::move(protocols),
+           asyncmac::testing::make_slot_policy("perstation", 4, 2),
+           std::make_unique<adversary::SaturatingInjector>(
+               util::Ratio(3, 10), 6 * U,
+               adversary::TargetPattern::kRoundRobin));
+  e.run(sim::until(2000 * U));
+  const auto& s = e.stats();
+  EXPECT_EQ(s.injected_packets, s.delivered_packets + s.queued_packets);
+  EXPECT_EQ(s.injected_cost, s.delivered_cost + s.queued_cost);
+  Tick per_station = 0;
+  std::uint64_t per_station_pkts = 0;
+  for (const auto& st : s.station) {
+    per_station += st.queued_cost;
+    per_station_pkts += st.queued;
+  }
+  EXPECT_EQ(per_station, s.queued_cost);
+  EXPECT_EQ(per_station_pkts, s.queued_packets);
+}
+
+TEST(Engine, PerStationSlotCountsMatchTrace) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(2);
+  Engine e(config(2, 2), std::move(protocols),
+           std::make_unique<PerStationSlotPolicy>(
+               std::vector<Tick>{U, 2 * U}),
+           nullptr);
+  e.run(sim::until(10 * U));
+  // Station 1: 10 slots of 1 unit; station 2: 5 slots of 2 units.
+  EXPECT_EQ(e.stats().station[0].slots, 10u);
+  EXPECT_EQ(e.stats().station[1].slots, 5u);
+}
+
+TEST(Engine, EngineViewExposesFixedSlotLengths) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(2);
+  Engine e(config(2, 3), std::move(protocols),
+           std::make_unique<PerStationSlotPolicy>(
+               std::vector<Tick>{U, 3 * U}),
+           nullptr);
+  EXPECT_EQ(e.fixed_slot_length(1), U);
+  EXPECT_EQ(e.fixed_slot_length(2), 3 * U);
+}
+
+TEST(Engine, LastSuccessfulStationTracksDeliveries) {
+  std::vector<Injection> script{{0, 2, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  Engine e(config(2, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<ScriptedInjector>(script));
+  EXPECT_EQ(e.last_successful_station(), kInvalidStation);
+  e.run(sim::until(3 * U));
+  EXPECT_EQ(e.last_successful_station(), 2u);
+}
+
+TEST(Engine, LongRunPruningKeepsMemoryBounded) {
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  Engine e(config(2, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<adversary::SaturatingInjector>(
+               util::Ratio(1, 4), 2 * U, adversary::TargetPattern::kSingle,
+               1));
+  // ~40k slots; without pruning the window would hold ~10k transmissions.
+  e.run(sim::until(20000 * U));
+  EXPECT_LT(e.ledger().window().size(), 5000u);
+}
+
+TEST(Engine, RejectsSlotPolicyViolatingBounds) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(1);
+  // Policy returns 3 units but R = 2; the very first slot trips the check.
+  EXPECT_THROW(Engine(config(1, 2), std::move(protocols),
+                      std::make_unique<UniformSlotPolicy>(3 * U), nullptr),
+               std::logic_error);
+}
+
+TEST(Engine, InjectionCostBoundsEnforced) {
+  // Costs must lie in [1, R] units (a packet's carrying slot cannot be
+  // shorter or longer).
+  auto run_with_cost = [](Tick cost) {
+    std::vector<Injection> script{{0, 1, cost}};
+    auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(1);
+    Engine e(config(1, 2), std::move(protocols),
+             std::make_unique<UniformSlotPolicy>(),
+             std::make_unique<ScriptedInjector>(script));
+    e.run(sim::until(2 * U));
+  };
+  EXPECT_NO_THROW(run_with_cost(U));
+  EXPECT_NO_THROW(run_with_cost(2 * U));
+  EXPECT_THROW(run_with_cost(U - 1), std::logic_error);
+  EXPECT_THROW(run_with_cost(2 * U + 1), std::logic_error);
+}
+
+TEST(Engine, InjectionToUnknownStationRejected) {
+  // A time-0 injection is polled during construction, so the bad station
+  // id trips the check right there.
+  std::vector<Injection> script{{0, 9, U}};
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  EXPECT_THROW(Engine(config(2, 1), std::move(protocols),
+                      std::make_unique<UniformSlotPolicy>(),
+                      std::make_unique<ScriptedInjector>(script)),
+               std::logic_error);
+}
+
+TEST(Engine, MaxSupportedBoundSixteenWorks) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(2);
+  Engine e(config(2, 16), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(16 * U), nullptr);
+  e.run(sim::until(160 * U));
+  EXPECT_EQ(e.stats().station[0].slots, 10u);
+}
+
+TEST(Engine, ScalesToHundredsOfStations) {
+  // Smoke: 512 stations under CA-ARRoW for a short horizon.
+  sim::EngineConfig cfg;
+  cfg.n = 512;
+  cfg.bound_r = 2;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  for (int i = 0; i < 512; ++i)
+    ps.push_back(std::make_unique<core::CaArrowProtocol>());
+  Engine e(cfg, std::move(ps),
+           asyncmac::testing::make_slot_policy("perstation", 512, 2),
+           std::make_unique<adversary::SaturatingInjector>(
+               util::Ratio(1, 10), 32 * U,
+               adversary::TargetPattern::kRoundRobin));
+  e.run(sim::until(30000 * U));
+  EXPECT_EQ(e.channel_stats().collided, 0u);
+  EXPECT_GT(e.stats().delivered_packets, 500u);
+}
+
+TEST(Engine, MaxTotalSlotsStopsRun) {
+  auto protocols =
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(3);
+  Engine e(config(3, 1), std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(), nullptr);
+  StopCondition stop;
+  stop.max_total_slots = 10;
+  e.run(stop);
+  EXPECT_EQ(e.stats().total_slots, 10u);
+}
+
+TEST(Engine, AllFinishedReflectsOneShotProtocols) {
+  sim::EngineConfig cfg;
+  cfg.n = 2;
+  cfg.bound_r = 1;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  ps.push_back(std::make_unique<core::AbsProtocol>());
+  ps.push_back(std::make_unique<core::AbsProtocol>());
+  Engine e(cfg, std::move(ps),
+           std::make_unique<UniformSlotPolicy>(),
+           asyncmac::testing::sst_messages({1, 2}));
+  EXPECT_FALSE(e.all_finished());
+  StopCondition stop;
+  stop.max_time = 1000 * U;
+  stop.predicate = [](const Engine& eng) { return eng.all_finished(); };
+  e.run(stop);
+  EXPECT_TRUE(e.all_finished());
+}
+
+}  // namespace
+}  // namespace asyncmac

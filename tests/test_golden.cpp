@@ -1,0 +1,91 @@
+// Golden-trace regression tests: two committed execution traces
+// (tests/golden/*.trace) must be reproduced byte-for-byte by the current
+// build. Any divergence means the simulator's observable behaviour
+// changed — which, for an exact model, is always worth a conscious
+// decision (regenerate the goldens only on purpose, with a DESIGN.md
+// note).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "core/abs.h"
+#include "core/ca_arrow.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+#include "trace/serialize.h"
+
+namespace asyncmac {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string golden_dir() {
+  // ctest runs from the build tree; the goldens live in the source tree.
+  // CMake passes the absolute source dir via the GOLDEN_DIR define.
+#ifdef ASYNCMAC_GOLDEN_DIR
+  return ASYNCMAC_GOLDEN_DIR;
+#else
+  return "tests/golden";
+#endif
+}
+
+TEST(Golden, CaArrowTraceIsBitStable) {
+  sim::EngineConfig cfg;
+  cfg.n = 3;
+  cfg.bound_r = 2;
+  cfg.record_trace = true;
+  sim::Engine e(cfg,
+                asyncmac::testing::make_protocols<core::CaArrowProtocol>(3),
+                adversary::make_slot_policy("perstation", 3, 2),
+                std::make_unique<adversary::SaturatingInjector>(
+                    util::Ratio(1, 2), 8 * U,
+                    adversary::TargetPattern::kRoundRobin));
+  e.run(sim::until(200 * U));
+  const std::string text =
+      trace::serialize_trace({3, 2}, e.trace().slots());
+
+  const std::string golden =
+      read_file(golden_dir() + "/ca_arrow_n3_r2.trace");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(text, golden);
+  EXPECT_TRUE(trace::verify_trace_text(golden));
+}
+
+TEST(Golden, AbsElectionTraceIsBitStable) {
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.bound_r = 2;
+  cfg.record_trace = true;
+  sim::Engine e(cfg,
+                asyncmac::testing::make_protocols<core::AbsProtocol>(4),
+                adversary::make_slot_policy("perstation", 4, 2),
+                asyncmac::testing::sst_messages({1, 2, 3, 4}));
+  sim::StopCondition stop;
+  stop.max_time = 100000 * U;
+  stop.predicate = [](const sim::Engine& eng) {
+    return eng.channel_stats().successful >= 1;
+  };
+  e.run(stop);
+  e.run(sim::until(e.now() + 2 * U));
+  const std::string text =
+      trace::serialize_trace({4, 2}, e.trace().slots());
+
+  const std::string golden = read_file(golden_dir() + "/abs_n4_r2.trace");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(text, golden);
+  EXPECT_TRUE(trace::verify_trace_text(golden));
+}
+
+}  // namespace
+}  // namespace asyncmac

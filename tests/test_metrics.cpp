@@ -1,0 +1,98 @@
+// Direct unit tests for the metrics collector (elsewhere it is only
+// exercised through the engine).
+#include <gtest/gtest.h>
+
+#include "metrics/collector.h"
+
+namespace asyncmac::metrics {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(Collector, StartsEmpty) {
+  Collector c(3);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.injected_packets, 0u);
+  EXPECT_EQ(s.delivered_packets, 0u);
+  EXPECT_EQ(s.queued_cost, 0);
+  EXPECT_EQ(s.station.size(), 3u);
+}
+
+TEST(Collector, InjectionAccumulatesCostAndHighWaterMarks) {
+  Collector c(2);
+  c.on_injection(1, 2 * U, 0);
+  c.on_injection(2, 3 * U, 10);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.injected_packets, 2u);
+  EXPECT_EQ(s.injected_cost, 5 * U);
+  EXPECT_EQ(s.queued_packets, 2u);
+  EXPECT_EQ(s.queued_cost, 5 * U);
+  EXPECT_EQ(s.max_queued_cost, 5 * U);
+  EXPECT_EQ(s.station[0].injected, 1u);
+  EXPECT_EQ(s.station[1].queued_cost, 3 * U);
+}
+
+TEST(Collector, DeliveryReducesQueueButKeepsPeaks) {
+  Collector c(1);
+  c.on_injection(1, 2 * U, 0);
+  c.on_injection(1, 2 * U, 0);
+  c.on_delivery(1, 2 * U, 0, 2 * U, 5 * U);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.delivered_packets, 1u);
+  EXPECT_EQ(s.queued_packets, 1u);
+  EXPECT_EQ(s.queued_cost, 2 * U);
+  EXPECT_EQ(s.max_queued_cost, 4 * U);  // peak before the delivery
+  EXPECT_EQ(s.realized_cost, 2 * U);
+}
+
+TEST(Collector, LatencyHistogramRecordsSojourn) {
+  Collector c(1);
+  c.on_injection(1, U, 100);
+  c.on_delivery(1, U, /*injected_at=*/100, U, /*now=*/350);
+  EXPECT_EQ(c.stats().latency.count(), 1u);
+  EXPECT_EQ(c.stats().latency.max(), 250);
+}
+
+TEST(Collector, SlotAccounting) {
+  Collector c(2);
+  c.on_slot_end(1, SlotAction::kListen);
+  c.on_slot_end(1, SlotAction::kTransmitPacket);
+  c.on_slot_end(2, SlotAction::kTransmitControl);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.total_slots, 3u);
+  EXPECT_EQ(s.listen_slots, 1u);
+  EXPECT_EQ(s.transmit_slots, 2u);
+  EXPECT_EQ(s.control_slots, 1u);
+  EXPECT_EQ(s.station[0].slots, 2u);
+  EXPECT_EQ(s.station[0].transmit_slots, 1u);
+  EXPECT_EQ(s.station[1].transmit_slots, 1u);
+}
+
+TEST(Collector, DeliveryWithoutQueueIsABug) {
+  Collector c(1);
+  EXPECT_THROW(c.on_delivery(1, U, 0, U, U), std::logic_error);
+}
+
+TEST(Collector, InvalidStationRejected) {
+  Collector c(2);
+  EXPECT_THROW(c.on_injection(0, U, 0), std::logic_error);
+  EXPECT_THROW(c.on_injection(3, U, 0), std::logic_error);
+}
+
+TEST(Collector, ZeroCostInjectionRejected) {
+  Collector c(1);
+  EXPECT_THROW(c.on_injection(1, 0, 0), std::logic_error);
+}
+
+TEST(Collector, PerStationMarksIndependent) {
+  Collector c(2);
+  for (int i = 0; i < 5; ++i) c.on_injection(1, U, 0);
+  c.on_injection(2, U, 0);
+  for (int i = 0; i < 4; ++i) c.on_delivery(1, U, 0, U, U);
+  EXPECT_EQ(c.stats().station[0].max_queued, 5u);
+  EXPECT_EQ(c.stats().station[0].queued, 1u);
+  EXPECT_EQ(c.stats().station[1].max_queued, 1u);
+}
+
+}  // namespace
+}  // namespace asyncmac::metrics

@@ -1,0 +1,55 @@
+// tests/test_protocols.h
+//
+// Minimal protocols used to drive the engine in unit tests.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace asyncmac::testing {
+
+/// Follows a fixed action script, then listens forever. Records the
+/// feedback it received for later inspection.
+class ScriptProtocol final : public sim::Protocol {
+ public:
+  explicit ScriptProtocol(std::vector<SlotAction> script)
+      : script_(std::move(script)) {}
+
+  std::unique_ptr<sim::Protocol> clone() const override {
+    return std::make_unique<ScriptProtocol>(*this);
+  }
+
+  SlotAction next_action(const std::optional<sim::SlotResult>& prev,
+                         sim::StationContext&) override {
+    if (prev) results_.push_back(*prev);
+    if (next_ < script_.size()) return script_[next_++];
+    return SlotAction::kListen;
+  }
+
+  std::string name() const override { return "script"; }
+
+  const std::vector<sim::SlotResult>& results() const { return results_; }
+
+ private:
+  std::vector<SlotAction> script_;
+  std::size_t next_ = 0;
+  std::vector<sim::SlotResult> results_;
+};
+
+/// Transmits whenever its queue is non-empty (maximally greedy; collides
+/// freely when several stations hold packets).
+class GreedyProtocol final : public sim::Protocol {
+ public:
+  std::unique_ptr<sim::Protocol> clone() const override {
+    return std::make_unique<GreedyProtocol>(*this);
+  }
+  SlotAction next_action(const std::optional<sim::SlotResult>&,
+                         sim::StationContext& ctx) override {
+    return ctx.queue_empty() ? SlotAction::kListen
+                             : SlotAction::kTransmitPacket;
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+}  // namespace asyncmac::testing

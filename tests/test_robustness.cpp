@@ -1,0 +1,299 @@
+// Robustness and failure-injection tests: regime-flipping slot
+// adversaries, the adaptive max-queue injector, AO-ARRoW over a non-
+// async-safe election subroutine, exhaustive small-case SST sweeps, and
+// randomized differential fuzzing of the engine against the channel
+// model.
+#include <gtest/gtest.h>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "baselines/listen.h"
+#include "baselines/sync_binary_le.h"
+#include "core/abs.h"
+#include "core/ao_arrow.h"
+#include "core/ca_arrow.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+#include "trace/invariants.h"
+
+namespace asyncmac {
+namespace {
+
+using adversary::MaxQueueInjector;
+using adversary::RegimeFlipSlotPolicy;
+using adversary::SaturatingInjector;
+using adversary::TargetPattern;
+using adversary::UniformSlotPolicy;
+
+constexpr Tick U = kTicksPerUnit;
+
+// ------------------------------------------------------------ regime flip
+
+TEST(RegimeFlip, SwitchesPoliciesAtFlipTime) {
+  RegimeFlipSlotPolicy p(std::make_unique<UniformSlotPolicy>(U),
+                         std::make_unique<UniformSlotPolicy>(3 * U),
+                         100 * U);
+  EXPECT_EQ(p.slot_length(1, 1, 0, SlotAction::kListen), U);
+  EXPECT_EQ(p.slot_length(1, 50, 99 * U, SlotAction::kListen), U);
+  EXPECT_EQ(p.slot_length(1, 51, 100 * U, SlotAction::kListen), 3 * U);
+  EXPECT_EQ(p.slot_length(2, 9, 500 * U, SlotAction::kListen), 3 * U);
+}
+
+TEST(RegimeFlip, RejectsNullRegimes) {
+  EXPECT_THROW(RegimeFlipSlotPolicy(nullptr,
+                                    std::make_unique<UniformSlotPolicy>(U),
+                                    0),
+               std::invalid_argument);
+}
+
+TEST(RegimeFlip, ArrowProtocolsSurviveMidRunRegimeChange) {
+  // Warm up synchronous, then flip to maximal stretching: state built
+  // under the old regime must not wedge the protocols.
+  for (int variant = 0; variant < 2; ++variant) {
+    sim::EngineConfig cfg;
+    cfg.n = 4;
+    cfg.bound_r = 3;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    for (int i = 0; i < 4; ++i) {
+      if (variant == 0)
+        ps.push_back(std::make_unique<core::AoArrowProtocol>());
+      else
+        ps.push_back(std::make_unique<core::CaArrowProtocol>());
+    }
+    sim::Engine e(
+        cfg, std::move(ps),
+        std::make_unique<RegimeFlipSlotPolicy>(
+            std::make_unique<UniformSlotPolicy>(U),
+            std::make_unique<UniformSlotPolicy>(3 * U), 50000 * U),
+        std::make_unique<SaturatingInjector>(util::Ratio(25, 100), 8 * U,
+                                             TargetPattern::kRoundRobin));
+    e.run(sim::until(200000 * U));
+    EXPECT_GT(e.stats().delivered_packets,
+              e.stats().injected_packets * 9 / 10)
+        << (variant == 0 ? "AO" : "CA");
+    EXPECT_LT(e.stats().queued_cost, 2000 * U);
+    if (variant == 1) {
+      EXPECT_EQ(e.channel_stats().collided, 0u);
+    }
+  }
+}
+
+// -------------------------------------------------------- max-queue chase
+
+TEST(MaxQueueInjector, TargetsTheLongestQueue) {
+  sim::EngineConfig cfg;
+  cfg.n = 3;
+  cfg.bound_r = 1;
+  sim::Engine e(
+      cfg,
+      asyncmac::testing::make_protocols<baselines::ListenProtocol>(3),
+      asyncmac::testing::make_slot_policy("sync", 3, 1),
+      std::make_unique<MaxQueueInjector>(util::Ratio(1, 2), 4 * U));
+  e.run(sim::until(100 * U));
+  // Nobody ever drains, so once station 1 gets the first packet it stays
+  // the max-queue station and receives everything.
+  EXPECT_GT(e.queue_size(1), 0u);
+  EXPECT_EQ(e.queue_size(2), 0u);
+  EXPECT_EQ(e.queue_size(3), 0u);
+}
+
+TEST(MaxQueueInjector, ArrowProtocolsRemainStableUnderAdaptivePressure) {
+  for (int variant = 0; variant < 2; ++variant) {
+    sim::EngineConfig cfg;
+    cfg.n = 4;
+    cfg.bound_r = 2;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    for (int i = 0; i < 4; ++i) {
+      if (variant == 0)
+        ps.push_back(std::make_unique<core::AoArrowProtocol>());
+      else
+        ps.push_back(std::make_unique<core::CaArrowProtocol>());
+    }
+    sim::Engine e(cfg, std::move(ps),
+                  asyncmac::testing::make_slot_policy("perstation", 4, 2),
+                  std::make_unique<MaxQueueInjector>(util::Ratio(6, 10),
+                                                     12 * U));
+    e.run(sim::until(200000 * U));
+    EXPECT_LT(e.stats().max_queued_cost, 2000 * U)
+        << (variant == 0 ? "AO" : "CA");
+    EXPECT_GT(e.stats().delivered_packets,
+              e.stats().injected_packets / 2);
+  }
+}
+
+// ------------------------------------- AO-ARRoW over a non-async-safe LE
+
+TEST(PluggableElection, AoOverSyncBinaryLeWorksAtR1) {
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.bound_r = 1;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  for (int i = 0; i < 4; ++i)
+    ps.push_back(std::make_unique<core::AoArrowProtocol>(
+        baselines::SyncBinaryLeAutomaton::factory()));
+  sim::Engine e(cfg, std::move(ps),
+                asyncmac::testing::make_slot_policy("sync", 4, 1),
+                std::make_unique<SaturatingInjector>(
+                    util::Ratio(1, 2), 8 * U, TargetPattern::kRoundRobin));
+  e.run(sim::until(100000 * U));
+  EXPECT_GT(e.stats().delivered_packets,
+            e.stats().injected_packets * 9 / 10);
+  EXPECT_LT(e.stats().max_queued_cost, 1000 * U);
+}
+
+TEST(PluggableElection, AoOverSyncBinaryLeMisfiresUnderDriftingSchedules) {
+  // Swap the synchronous binary search into AO-ARRoW under a *drifting*
+  // asynchronous schedule: the AO wrapper's recovery machinery keeps the
+  // system limping (a measured finding — misfired elections are absorbed
+  // by the await-ack / long-silence paths), but the misfires are plainly
+  // visible as an order of magnitude more collisions than the ABS-based
+  // composition on the identical run. The workload stays below true
+  // capacity (declared rho = 0.5 of unit costs ~ 0.75 utilization on the
+  // 1.5-unit average slots of the cyclic schedule).
+  auto run_with = [](core::LeaderElectionFactory le) {
+    sim::EngineConfig cfg;
+    cfg.n = 4;
+    cfg.bound_r = 2;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    for (int i = 0; i < 4; ++i)
+      ps.push_back(std::make_unique<core::AoArrowProtocol>(le));
+    auto e = std::make_unique<sim::Engine>(
+        cfg, std::move(ps),
+        asyncmac::testing::make_slot_policy("cyclic", 4, 2),
+        std::make_unique<SaturatingInjector>(util::Ratio(1, 2), 8 * U,
+                                             TargetPattern::kRoundRobin));
+    e->run(sim::until(100000 * U));
+    return e;
+  };
+  auto sync_le = run_with(baselines::SyncBinaryLeAutomaton::factory());
+  auto abs_le = run_with(core::AbsAutomaton::factory());
+
+  EXPECT_GT(sync_le->channel_stats().collided,
+            5 * abs_le->channel_stats().collided + 20)
+      << "sync-LE elections should misfire into far more collisions";
+  // The ABS-based composition is cleanly healthy on the same run.
+  EXPECT_LT(abs_le->stats().queued_cost, 1000 * U);
+  EXPECT_GT(abs_le->stats().delivered_packets,
+            abs_le->stats().injected_packets * 9 / 10);
+}
+
+// ----------------------------------------------- exhaustive small cases
+
+TEST(ExhaustiveSst, AllParticipantSubsetsUpToN4) {
+  // Every non-empty subset of {1..4} as the active set, at R in {1, 2}:
+  // exactly one subset member must win.
+  for (std::uint32_t R : {1u, 2u}) {
+    for (unsigned mask = 1; mask < 16; ++mask) {
+      sim::EngineConfig cfg;
+      cfg.n = 4;
+      cfg.bound_r = R;
+      std::vector<StationId> participants;
+      std::vector<std::unique_ptr<sim::Protocol>> ps;
+      for (StationId id = 1; id <= 4; ++id) {
+        if (mask & (1u << (id - 1))) {
+          participants.push_back(id);
+          ps.push_back(std::make_unique<core::AbsProtocol>());
+        } else {
+          ps.push_back(std::make_unique<baselines::ListenProtocol>());
+        }
+      }
+      sim::Engine e(cfg, std::move(ps),
+                    asyncmac::testing::make_slot_policy("perstation", 4, R),
+                    asyncmac::testing::sst_messages(participants));
+      sim::StopCondition stop;
+      stop.max_time = 100000 * U;
+      stop.predicate = [](const sim::Engine& eng) {
+        return eng.channel_stats().successful >= 1;
+      };
+      e.run(stop);
+      e.run(sim::until(e.now() + static_cast<Tick>(R) * U));
+      std::uint32_t winners = 0;
+      StationId winner = kInvalidStation;
+      for (StationId id : participants) {
+        const auto* abs =
+            dynamic_cast<const core::AbsProtocol&>(e.protocol(id))
+                .automaton();
+        if (abs &&
+            abs->outcome() == core::AbsAutomaton::Outcome::kWon) {
+          ++winners;
+          winner = id;
+        }
+      }
+      ASSERT_EQ(winners, 1u) << "mask=" << mask << " R=" << R;
+      ASSERT_NE(std::find(participants.begin(), participants.end(), winner),
+                participants.end());
+    }
+  }
+}
+
+// --------------------------------------------------- differential fuzzing
+
+/// Takes random actions (control transmissions with probability ~0.3);
+/// together with the trace invariant checkers this fuzzes the engine
+/// against an independent replay of the channel model.
+class RandomChatterProtocol final : public sim::Protocol {
+ public:
+  std::unique_ptr<sim::Protocol> clone() const override {
+    return std::make_unique<RandomChatterProtocol>(*this);
+  }
+  SlotAction next_action(const std::optional<sim::SlotResult>&,
+                         sim::StationContext& ctx) override {
+    return ctx.rng().chance(0.3) ? SlotAction::kTransmitControl
+                                 : SlotAction::kListen;
+  }
+  std::string name() const override { return "random-chatter"; }
+};
+
+TEST(Fuzz, RandomActionsAlwaysReplayConsistently) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::EngineConfig cfg;
+    cfg.n = 5;
+    cfg.bound_r = 4;
+    cfg.seed = seed;
+    cfg.record_trace = true;
+    sim::Engine e(
+        cfg,
+        asyncmac::testing::make_protocols<RandomChatterProtocol>(5),
+        asyncmac::testing::make_slot_policy("random", 5, 4, seed * 31),
+        nullptr);
+    e.run(sim::until(3000 * U));
+    const auto& slots = e.trace().slots();
+    ASSERT_GT(slots.size(), 1000u);
+    const auto contiguous = trace::check_slot_contiguity(slots);
+    ASSERT_TRUE(contiguous) << "seed " << seed << ": " << contiguous.what;
+    const auto consistent = trace::check_feedback_consistency(slots);
+    ASSERT_TRUE(consistent) << "seed " << seed << ": " << consistent.what;
+  }
+}
+
+TEST(Fuzz, MixedProtocolZooStaysConsistent) {
+  // A deliberately chaotic mix: chatterers, CA-ARRoW and AO-ARRoW share
+  // one channel (nonsensical as a deployment, perfect as a stressor).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::EngineConfig cfg;
+    cfg.n = 6;
+    cfg.bound_r = 3;
+    cfg.seed = seed;
+    cfg.record_trace = true;
+    std::vector<std::unique_ptr<sim::Protocol>> ps;
+    ps.push_back(std::make_unique<RandomChatterProtocol>());
+    ps.push_back(std::make_unique<core::AoArrowProtocol>());
+    ps.push_back(std::make_unique<core::CaArrowProtocol>());
+    ps.push_back(std::make_unique<RandomChatterProtocol>());
+    ps.push_back(std::make_unique<core::AoArrowProtocol>());
+    ps.push_back(std::make_unique<core::CaArrowProtocol>());
+    sim::Engine e(cfg, std::move(ps),
+                  asyncmac::testing::make_slot_policy("random", 6, 3,
+                                                      seed * 17),
+                  std::make_unique<SaturatingInjector>(
+                      util::Ratio(2, 10), 6 * U,
+                      TargetPattern::kRoundRobin));
+    e.run(sim::until(3000 * U));
+    const auto consistent =
+        trace::check_feedback_consistency(e.trace().slots());
+    ASSERT_TRUE(consistent) << "seed " << seed << ": " << consistent.what;
+  }
+}
+
+}  // namespace
+}  // namespace asyncmac

@@ -1,0 +1,155 @@
+// Tests for trace text serialization / parsing / verification and the
+// JSON stats export.
+#include <gtest/gtest.h>
+
+#include "adversary/injectors.h"
+#include "core/ca_arrow.h"
+#include "metrics/json.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+#include "trace/serialize.h"
+
+namespace asyncmac {
+namespace {
+
+using trace::ParsedTrace;
+using trace::SlotRecord;
+using trace::TraceHeader;
+
+constexpr Tick U = kTicksPerUnit;
+
+std::vector<SlotRecord> tiny_trace() {
+  return {
+      {1, 1, 0, U, SlotAction::kTransmitPacket, Feedback::kAck},
+      {2, 1, 0, 2 * U, SlotAction::kListen, Feedback::kAck},
+      {1, 2, U, 2 * U, SlotAction::kListen, Feedback::kSilence},
+      {2, 2, 2 * U, 3 * U, SlotAction::kTransmitControl, Feedback::kAck},
+      {1, 3, 2 * U, 3 * U, SlotAction::kListen, Feedback::kAck},
+  };
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto original = tiny_trace();
+  const std::string text =
+      trace::serialize_trace({.n = 2, .bound_r = 2}, original);
+  const ParsedTrace parsed = trace::parse_trace(text);
+  EXPECT_EQ(parsed.header.n, 2u);
+  EXPECT_EQ(parsed.header.bound_r, 2u);
+  ASSERT_EQ(parsed.slots.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.slots[i].station, original[i].station);
+    EXPECT_EQ(parsed.slots[i].index, original[i].index);
+    EXPECT_EQ(parsed.slots[i].begin, original[i].begin);
+    EXPECT_EQ(parsed.slots[i].end, original[i].end);
+    EXPECT_EQ(parsed.slots[i].action, original[i].action);
+    EXPECT_EQ(parsed.slots[i].feedback, original[i].feedback);
+  }
+}
+
+TEST(Serialize, VerifyAcceptsConsistentTrace) {
+  const std::string text =
+      trace::serialize_trace({.n = 2, .bound_r = 2}, tiny_trace());
+  const auto res = trace::verify_trace_text(text);
+  EXPECT_TRUE(res) << res.what;
+}
+
+TEST(Serialize, VerifyRejectsTamperedFeedback) {
+  auto slots = tiny_trace();
+  slots[1].feedback = Feedback::kSilence;  // listener really heard the ack
+  const std::string text =
+      trace::serialize_trace({.n = 2, .bound_r = 2}, slots);
+  const auto res = trace::verify_trace_text(text);
+  EXPECT_FALSE(res);
+  EXPECT_NE(res.what.find("replays"), std::string::npos);
+}
+
+TEST(Serialize, VerifyRejectsTamperedTimes) {
+  auto slots = tiny_trace();
+  slots[2].begin += 5;  // breaks contiguity
+  const std::string text =
+      trace::serialize_trace({.n = 2, .bound_r = 2}, slots);
+  EXPECT_FALSE(trace::verify_trace_text(text));
+}
+
+TEST(Serialize, ParserRejectsGarbage) {
+  EXPECT_THROW(trace::parse_trace(""), std::invalid_argument);
+  EXPECT_THROW(trace::parse_trace("not-a-trace v1 n=2 r=2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      trace::parse_trace("asyncmac-trace v1 n=2 r=2\nslot 1 1 0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(trace::parse_trace(
+                   "asyncmac-trace v1 n=2 r=2\nslot 1 1 0 720720 fly ack\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace::parse_trace(
+                   "asyncmac-trace v1 n=2 r=2\nslot 9 1 0 720720 tx ack\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, EndToEndEngineTraceRoundTripsAndVerifies) {
+  sim::EngineConfig cfg;
+  cfg.n = 3;
+  cfg.bound_r = 2;
+  cfg.record_trace = true;
+  sim::Engine e(cfg,
+                asyncmac::testing::make_protocols<core::CaArrowProtocol>(3),
+                asyncmac::testing::make_slot_policy("perstation", 3, 2),
+                std::make_unique<adversary::SaturatingInjector>(
+                    util::Ratio(1, 2), 8 * U,
+                    adversary::TargetPattern::kRoundRobin));
+  e.run(sim::until(2000 * U));
+  const std::string text =
+      trace::serialize_trace({.n = 3, .bound_r = 2}, e.trace().slots());
+  EXPECT_GT(text.size(), 10000u);
+  const auto res = trace::verify_trace_text(text);
+  EXPECT_TRUE(res) << res.what;
+}
+
+// --------------------------------------------------------------- JSON
+
+TEST(Json, ContainsAllTopLevelFields) {
+  metrics::Collector c(2);
+  c.on_injection(1, U, 0);
+  c.on_delivery(1, U, 0, U, 3 * U);
+  c.on_slot_end(1, SlotAction::kTransmitPacket);
+  const std::string json = metrics::to_json(c.stats());
+  for (const char* key :
+       {"ticks_per_unit", "injected_packets", "delivered_packets",
+        "queued_cost", "total_slots", "latency", "stations"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+TEST(Json, ChannelSectionOptional) {
+  metrics::Collector c(1);
+  channel::LedgerStats ch;
+  ch.transmissions = 7;
+  const std::string with = metrics::to_json(c.stats(), &ch);
+  EXPECT_NE(with.find("\"channel\""), std::string::npos);
+  EXPECT_NE(with.find("\"transmissions\": 7"), std::string::npos);
+  const std::string without = metrics::to_json(c.stats());
+  EXPECT_EQ(without.find("\"channel\""), std::string::npos);
+}
+
+TEST(Json, StationsCanBeOmitted) {
+  metrics::Collector c(3);
+  const std::string slim = metrics::to_json(c.stats(), nullptr, false);
+  EXPECT_EQ(slim.find("stations"), std::string::npos);
+}
+
+TEST(Json, BalancedBracesAndBrackets) {
+  metrics::Collector c(4);
+  for (int i = 0; i < 10; ++i)
+    c.on_injection(1 + static_cast<StationId>(i % 4), U, 0);
+  channel::LedgerStats ch;
+  const std::string json = metrics::to_json(c.stats(), &ch);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace asyncmac

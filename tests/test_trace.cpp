@@ -1,0 +1,103 @@
+// Tests for the trace recorder and the Fig.-2-style ASCII schedule
+// renderer.
+#include <gtest/gtest.h>
+
+#include "adversary/injectors.h"
+#include "core/abs.h"
+#include "sim/engine.h"
+#include "sim_helpers.h"
+#include "test_protocols.h"
+#include "trace/recorder.h"
+#include "trace/renderer.h"
+
+namespace asyncmac {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(Recorder, StoresAndFiltersPerStation) {
+  trace::Recorder rec;
+  rec.record({1, 1, 0, U, SlotAction::kListen, Feedback::kSilence});
+  rec.record({2, 1, 0, 2 * U, SlotAction::kTransmitPacket, Feedback::kAck});
+  rec.record({1, 2, U, 2 * U, SlotAction::kListen, Feedback::kAck});
+  EXPECT_EQ(rec.slots().size(), 3u);
+  EXPECT_EQ(rec.station_slots(1).size(), 2u);
+  EXPECT_EQ(rec.station_slots(2).size(), 1u);
+  EXPECT_EQ(rec.station_slots(1)[1].index, 2u);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(Renderer, EmptyTrace) {
+  EXPECT_EQ(trace::render_schedule({}), "(empty trace)\n");
+}
+
+TEST(Renderer, MarksActionsAndFeedback) {
+  std::vector<trace::SlotRecord> slots{
+      {1, 1, 0, U, SlotAction::kListen, Feedback::kSilence},
+      {1, 2, U, 2 * U, SlotAction::kTransmitPacket, Feedback::kAck},
+      {2, 1, 0, 2 * U, SlotAction::kTransmitControl, Feedback::kBusy},
+  };
+  const std::string out = trace::render_schedule(slots);
+  EXPECT_NE(out.find("station 1"), std::string::npos);
+  EXPECT_NE(out.find("station 2"), std::string::npos);
+  EXPECT_NE(out.find('T'), std::string::npos);
+  EXPECT_NE(out.find('C'), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(Renderer, WindowClipping) {
+  std::vector<trace::SlotRecord> slots{
+      {1, 1, 0, U, SlotAction::kListen, Feedback::kSilence},
+      {1, 2, 100 * U, 101 * U, SlotAction::kListen, Feedback::kSilence},
+  };
+  trace::RenderOptions opt;
+  opt.from = 50 * U;
+  opt.to = 99 * U;
+  const std::string out = trace::render_schedule(slots, opt);
+  EXPECT_EQ(out.find('|'), std::string::npos);  // both slots clipped out
+}
+
+TEST(Renderer, WidthCapRespected) {
+  std::vector<trace::SlotRecord> slots;
+  for (int i = 0; i < 500; ++i)
+    slots.push_back({1, static_cast<SlotIndex>(i + 1),
+                     static_cast<Tick>(i) * U, static_cast<Tick>(i + 1) * U,
+                     SlotAction::kListen, Feedback::kSilence});
+  trace::RenderOptions opt;
+  opt.max_width = 100;
+  const std::string out = trace::render_schedule(slots, opt);
+  std::size_t pos = 0, prev = 0;
+  while ((pos = out.find('\n', prev)) != std::string::npos) {
+    EXPECT_LE(pos - prev, 120u);
+    prev = pos + 1;
+  }
+}
+
+TEST(Renderer, EndToEndFromEngineTrace) {
+  // Render a real ABS election and eyeball the invariants: some
+  // transmission marks, exactly one ack on the winning slot row.
+  sim::EngineConfig cfg;
+  cfg.n = 2;
+  cfg.bound_r = 2;
+  cfg.record_trace = true;
+  std::vector<std::unique_ptr<sim::Protocol>> protocols;
+  protocols.push_back(std::make_unique<core::AbsProtocol>());
+  protocols.push_back(std::make_unique<core::AbsProtocol>());
+  sim::Engine e(cfg, std::move(protocols),
+                asyncmac::testing::make_slot_policy("perstation", 2, 2),
+                asyncmac::testing::sst_messages({1, 2}));
+  sim::StopCondition stop;
+  stop.max_time = 100000 * U;
+  stop.predicate = [](const sim::Engine& eng) {
+    return eng.channel_stats().successful >= 1;
+  };
+  e.run(stop);
+  const std::string out = trace::render_schedule(e.trace().slots());
+  EXPECT_NE(out.find('T'), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncmac

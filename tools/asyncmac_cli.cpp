@@ -1,0 +1,205 @@
+// tools/asyncmac_cli — command-line simulator driver.
+//
+// Run any protocol of the library against any workload/slot adversary
+// without writing code:
+//
+//   asyncmac_cli --protocol=ca-arrow --n=4 --r=2 --rho=0.7
+//                --burst=16 --policy=perstation --horizon=100000
+//   (one command line; wrapped here for width)
+//
+// Options:
+//   --protocol=P   ao-arrow | ca-arrow | rrw | mbtf | aloha | beb |
+//                  silence-tdma | adaptive-abs        (default ao-arrow)
+//   --n=N          stations (default 4)
+//   --r=R          asynchrony bound R (default 2)
+//   --rho=F        injection rate in [0, 1] (default 0.5)
+//   --burst=B      burstiness in time units (default 16)
+//   --policy=S     sync | max | perstation | cyclic | random | stretch-tx
+//                  (default perstation)
+//   --pattern=S    roundrobin | single | random | maxqueue (default
+//                  roundrobin)
+//   --horizon=T    simulated time units (default 100000)
+//   --seed=S       master seed (default 1)
+//   --json         print stats as JSON instead of text
+//   --trace=T      also render the first T time units of the schedule
+//   --msr          estimate the Max Stable Rate instead of a single run
+//
+// Exit code 0 on success; 2 on bad usage.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "analysis/msr.h"
+#include "analysis/registry.h"
+#include "metrics/json.h"
+#include "sim/engine.h"
+#include "trace/renderer.h"
+
+namespace {
+
+using namespace asyncmac;
+constexpr Tick U = kTicksPerUnit;
+
+struct Options {
+  std::string protocol = "ao-arrow";
+  std::uint32_t n = 4;
+  std::uint32_t r = 2;
+  double rho = 0.5;
+  Tick burst_units = 16;
+  std::string policy = "perstation";
+  std::string pattern = "roundrobin";
+  Tick horizon_units = 100000;
+  std::uint64_t seed = 1;
+  bool json = false;
+  Tick trace_units = 0;
+  bool msr = false;
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "asyncmac_cli: " << error
+            << "\nsee the header of tools/asyncmac_cli.cpp for options\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--protocol=", 0) == 0)
+      opt.protocol = value("--protocol=");
+    else if (arg.rfind("--n=", 0) == 0)
+      opt.n = static_cast<std::uint32_t>(std::stoul(value("--n=")));
+    else if (arg.rfind("--r=", 0) == 0)
+      opt.r = static_cast<std::uint32_t>(std::stoul(value("--r=")));
+    else if (arg.rfind("--rho=", 0) == 0)
+      opt.rho = std::stod(value("--rho="));
+    else if (arg.rfind("--burst=", 0) == 0)
+      opt.burst_units = std::stol(value("--burst="));
+    else if (arg.rfind("--policy=", 0) == 0)
+      opt.policy = value("--policy=");
+    else if (arg.rfind("--pattern=", 0) == 0)
+      opt.pattern = value("--pattern=");
+    else if (arg.rfind("--horizon=", 0) == 0)
+      opt.horizon_units = std::stol(value("--horizon="));
+    else if (arg.rfind("--seed=", 0) == 0)
+      opt.seed = std::stoull(value("--seed="));
+    else if (arg == "--json")
+      opt.json = true;
+    else if (arg.rfind("--trace=", 0) == 0)
+      opt.trace_units = std::stol(value("--trace="));
+    else if (arg == "--msr")
+      opt.msr = true;
+    else
+      usage("unknown argument: " + arg);
+  }
+  if (opt.n < 1) usage("--n must be >= 1");
+  if (opt.r < 1) usage("--r must be >= 1");
+  if (opt.rho < 0 || opt.rho > 1) usage("--rho must lie in [0, 1]");
+  return opt;
+}
+
+std::unique_ptr<sim::SlotPolicy> make_policy(const Options& opt) {
+  try {
+    return adversary::make_slot_policy(opt.policy, opt.n, opt.r, opt.seed);
+  } catch (const std::invalid_argument&) {
+    usage("unknown policy: " + opt.policy);
+  }
+}
+
+std::unique_ptr<sim::InjectionPolicy> make_injector(const Options& opt,
+                                                    util::Ratio rho) {
+  using namespace asyncmac::adversary;
+  const Tick burst = opt.burst_units * U;
+  if (opt.pattern == "roundrobin")
+    return std::make_unique<SaturatingInjector>(
+        rho, burst, TargetPattern::kRoundRobin, 1, opt.seed + 1);
+  if (opt.pattern == "single")
+    return std::make_unique<SaturatingInjector>(
+        rho, burst, TargetPattern::kSingle, 1, opt.seed + 1);
+  if (opt.pattern == "random")
+    return std::make_unique<SaturatingInjector>(
+        rho, burst, TargetPattern::kRandom, 1, opt.seed + 1);
+  if (opt.pattern == "maxqueue")
+    return std::make_unique<MaxQueueInjector>(rho, burst);
+  usage("unknown pattern: " + opt.pattern);
+}
+
+std::unique_ptr<sim::Engine> build_engine(const Options& opt,
+                                          util::Ratio rho,
+                                          std::uint64_t seed) {
+  sim::EngineConfig cfg;
+  cfg.n = opt.n;
+  cfg.bound_r = opt.r;
+  cfg.seed = seed;
+  cfg.record_trace = opt.trace_units > 0;
+  std::vector<std::unique_ptr<sim::Protocol>> ps;
+  try {
+    ps = analysis::make_protocols(opt.protocol, opt.n);
+  } catch (const std::invalid_argument&) {
+    usage("unknown protocol: " + opt.protocol);
+  }
+  return std::make_unique<sim::Engine>(cfg, std::move(ps), make_policy(opt),
+                                       make_injector(opt, rho));
+}
+
+int run_msr(const Options& opt) {
+  analysis::MsrConfig cfg;
+  cfg.probe.horizon = opt.horizon_units * U;
+  cfg.base_seed = opt.seed;
+  const auto res = analysis::estimate_msr(
+      [&](util::Ratio rho, std::uint64_t seed) {
+        return build_engine(opt, rho, seed);
+      },
+      cfg);
+  std::cout << "protocol=" << opt.protocol << " n=" << opt.n
+            << " R=" << opt.r << " policy=" << opt.policy
+            << "  measured MSR = " << res.msr_pct << "% (" << res.probes
+            << " probes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (opt.msr) return run_msr(opt);
+
+  const auto rho = util::Ratio::from_double(opt.rho);
+  auto engine = build_engine(opt, rho, opt.seed);
+  engine->run(sim::until(opt.horizon_units * U));
+
+  const auto& s = engine->stats();
+  const auto& ch = engine->channel_stats();
+  if (opt.json) {
+    std::cout << metrics::to_json(s, &ch);
+  } else {
+    std::cout << "protocol=" << opt.protocol << " n=" << opt.n
+              << " R=" << opt.r << " rho=" << opt.rho
+              << " policy=" << opt.policy << " horizon="
+              << opt.horizon_units << "\n"
+              << "  injected   " << s.injected_packets << " packets ("
+              << to_units(s.injected_cost) << " cost units)\n"
+              << "  delivered  " << s.delivered_packets << "\n"
+              << "  queued     " << s.queued_packets << " (max cost "
+              << to_units(s.max_queued_cost) << " units)\n"
+              << "  channel    " << ch.transmissions << " transmissions, "
+              << ch.successful << " successful, " << ch.collided
+              << " collided, " << ch.control_transmissions << " control\n";
+    if (!s.latency.empty())
+      std::cout << "  latency    p50 " << to_units(s.latency.quantile(0.5))
+                << "  p99 " << to_units(s.latency.quantile(0.99))
+                << "  max " << to_units(s.latency.max()) << " (units)\n";
+  }
+  if (opt.trace_units > 0) {
+    trace::RenderOptions r;
+    r.to = opt.trace_units * U;
+    std::cout << "\n" << trace::render_schedule(engine->trace().slots(), r);
+  }
+  return 0;
+}
