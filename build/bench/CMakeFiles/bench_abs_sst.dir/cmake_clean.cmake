@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abs_sst.dir/bench_abs_sst.cpp.o"
+  "CMakeFiles/bench_abs_sst.dir/bench_abs_sst.cpp.o.d"
+  "bench_abs_sst"
+  "bench_abs_sst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abs_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

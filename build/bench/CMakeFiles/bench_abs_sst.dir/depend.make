@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abs_sst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ao_arrow.dir/bench_ao_arrow.cpp.o"
+  "CMakeFiles/bench_ao_arrow.dir/bench_ao_arrow.cpp.o.d"
+  "bench_ao_arrow"
+  "bench_ao_arrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ao_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ca_arrow.dir/bench_ca_arrow.cpp.o"
+  "CMakeFiles/bench_ca_arrow.dir/bench_ca_arrow.cpp.o.d"
+  "bench_ca_arrow"
+  "bench_ca_arrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ca_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

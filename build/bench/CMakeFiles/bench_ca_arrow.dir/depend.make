@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ca_arrow.
+# This may be replaced when dependencies are built.

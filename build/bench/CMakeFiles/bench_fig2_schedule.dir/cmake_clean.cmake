@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_schedule.dir/bench_fig2_schedule.cpp.o"
+  "CMakeFiles/bench_fig2_schedule.dir/bench_fig2_schedule.cpp.o.d"
+  "bench_fig2_schedule"
+  "bench_fig2_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

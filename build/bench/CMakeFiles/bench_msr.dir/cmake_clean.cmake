@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msr.dir/bench_msr.cpp.o"
+  "CMakeFiles/bench_msr.dir/bench_msr.cpp.o.d"
+  "bench_msr"
+  "bench_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unknown_r.dir/bench_unknown_r.cpp.o"
+  "CMakeFiles/bench_unknown_r.dir/bench_unknown_r.cpp.o.d"
+  "bench_unknown_r"
+  "bench_unknown_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unknown_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msr_explorer.dir/msr_explorer.cpp.o"
+  "CMakeFiles/msr_explorer.dir/msr_explorer.cpp.o.d"
+  "msr_explorer"
+  "msr_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msr_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_control_plane.dir/sdn_control_plane.cpp.o"
+  "CMakeFiles/sdn_control_plane.dir/sdn_control_plane.cpp.o.d"
+  "sdn_control_plane"
+  "sdn_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

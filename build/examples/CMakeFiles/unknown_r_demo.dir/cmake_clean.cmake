@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_r_demo.dir/unknown_r_demo.cpp.o"
+  "CMakeFiles/unknown_r_demo.dir/unknown_r_demo.cpp.o.d"
+  "unknown_r_demo"
+  "unknown_r_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_r_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/bucket_validator.cpp" "src/adversary/CMakeFiles/asyncmac_adversary.dir/bucket_validator.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncmac_adversary.dir/bucket_validator.cpp.o.d"
+  "/root/repo/src/adversary/collision_forcer.cpp" "src/adversary/CMakeFiles/asyncmac_adversary.dir/collision_forcer.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncmac_adversary.dir/collision_forcer.cpp.o.d"
+  "/root/repo/src/adversary/injectors.cpp" "src/adversary/CMakeFiles/asyncmac_adversary.dir/injectors.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncmac_adversary.dir/injectors.cpp.o.d"
+  "/root/repo/src/adversary/mirror.cpp" "src/adversary/CMakeFiles/asyncmac_adversary.dir/mirror.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncmac_adversary.dir/mirror.cpp.o.d"
+  "/root/repo/src/adversary/slot_policies.cpp" "src/adversary/CMakeFiles/asyncmac_adversary.dir/slot_policies.cpp.o" "gcc" "src/adversary/CMakeFiles/asyncmac_adversary.dir/slot_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncmac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asyncmac_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asyncmac_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_adversary.dir/bucket_validator.cpp.o"
+  "CMakeFiles/asyncmac_adversary.dir/bucket_validator.cpp.o.d"
+  "CMakeFiles/asyncmac_adversary.dir/collision_forcer.cpp.o"
+  "CMakeFiles/asyncmac_adversary.dir/collision_forcer.cpp.o.d"
+  "CMakeFiles/asyncmac_adversary.dir/injectors.cpp.o"
+  "CMakeFiles/asyncmac_adversary.dir/injectors.cpp.o.d"
+  "CMakeFiles/asyncmac_adversary.dir/mirror.cpp.o"
+  "CMakeFiles/asyncmac_adversary.dir/mirror.cpp.o.d"
+  "CMakeFiles/asyncmac_adversary.dir/slot_policies.cpp.o"
+  "CMakeFiles/asyncmac_adversary.dir/slot_policies.cpp.o.d"
+  "libasyncmac_adversary.a"
+  "libasyncmac_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasyncmac_adversary.a"
+)

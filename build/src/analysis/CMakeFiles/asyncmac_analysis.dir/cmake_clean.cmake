@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/asyncmac_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/asyncmac_analysis.dir/msr.cpp.o"
+  "CMakeFiles/asyncmac_analysis.dir/msr.cpp.o.d"
+  "CMakeFiles/asyncmac_analysis.dir/registry.cpp.o"
+  "CMakeFiles/asyncmac_analysis.dir/registry.cpp.o.d"
+  "CMakeFiles/asyncmac_analysis.dir/stability.cpp.o"
+  "CMakeFiles/asyncmac_analysis.dir/stability.cpp.o.d"
+  "libasyncmac_analysis.a"
+  "libasyncmac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aloha.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/aloha.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/aloha.cpp.o.d"
+  "/root/repo/src/baselines/mbtf.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/mbtf.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/mbtf.cpp.o.d"
+  "/root/repo/src/baselines/rrw.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/rrw.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/rrw.cpp.o.d"
+  "/root/repo/src/baselines/silence_tdma.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/silence_tdma.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/silence_tdma.cpp.o.d"
+  "/root/repo/src/baselines/sync_binary_le.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/sync_binary_le.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/sync_binary_le.cpp.o.d"
+  "/root/repo/src/baselines/tree_resolution.cpp" "src/baselines/CMakeFiles/asyncmac_baselines.dir/tree_resolution.cpp.o" "gcc" "src/baselines/CMakeFiles/asyncmac_baselines.dir/tree_resolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncmac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asyncmac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asyncmac_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asyncmac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_baselines.dir/aloha.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/aloha.cpp.o.d"
+  "CMakeFiles/asyncmac_baselines.dir/mbtf.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/mbtf.cpp.o.d"
+  "CMakeFiles/asyncmac_baselines.dir/rrw.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/rrw.cpp.o.d"
+  "CMakeFiles/asyncmac_baselines.dir/silence_tdma.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/silence_tdma.cpp.o.d"
+  "CMakeFiles/asyncmac_baselines.dir/sync_binary_le.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/sync_binary_le.cpp.o.d"
+  "CMakeFiles/asyncmac_baselines.dir/tree_resolution.cpp.o"
+  "CMakeFiles/asyncmac_baselines.dir/tree_resolution.cpp.o.d"
+  "libasyncmac_baselines.a"
+  "libasyncmac_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_channel.dir/ledger.cpp.o"
+  "CMakeFiles/asyncmac_channel.dir/ledger.cpp.o.d"
+  "libasyncmac_channel.a"
+  "libasyncmac_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

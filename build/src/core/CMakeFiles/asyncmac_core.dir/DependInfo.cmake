@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abs.cpp" "src/core/CMakeFiles/asyncmac_core.dir/abs.cpp.o" "gcc" "src/core/CMakeFiles/asyncmac_core.dir/abs.cpp.o.d"
+  "/root/repo/src/core/adaptive_abs.cpp" "src/core/CMakeFiles/asyncmac_core.dir/adaptive_abs.cpp.o" "gcc" "src/core/CMakeFiles/asyncmac_core.dir/adaptive_abs.cpp.o.d"
+  "/root/repo/src/core/ao_arrow.cpp" "src/core/CMakeFiles/asyncmac_core.dir/ao_arrow.cpp.o" "gcc" "src/core/CMakeFiles/asyncmac_core.dir/ao_arrow.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/asyncmac_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/asyncmac_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/ca_arrow.cpp" "src/core/CMakeFiles/asyncmac_core.dir/ca_arrow.cpp.o" "gcc" "src/core/CMakeFiles/asyncmac_core.dir/ca_arrow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncmac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asyncmac_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asyncmac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

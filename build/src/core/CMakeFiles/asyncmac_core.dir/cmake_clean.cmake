@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_core.dir/abs.cpp.o"
+  "CMakeFiles/asyncmac_core.dir/abs.cpp.o.d"
+  "CMakeFiles/asyncmac_core.dir/adaptive_abs.cpp.o"
+  "CMakeFiles/asyncmac_core.dir/adaptive_abs.cpp.o.d"
+  "CMakeFiles/asyncmac_core.dir/ao_arrow.cpp.o"
+  "CMakeFiles/asyncmac_core.dir/ao_arrow.cpp.o.d"
+  "CMakeFiles/asyncmac_core.dir/bounds.cpp.o"
+  "CMakeFiles/asyncmac_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/asyncmac_core.dir/ca_arrow.cpp.o"
+  "CMakeFiles/asyncmac_core.dir/ca_arrow.cpp.o.d"
+  "libasyncmac_core.a"
+  "libasyncmac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_metrics.dir/collector.cpp.o"
+  "CMakeFiles/asyncmac_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/asyncmac_metrics.dir/json.cpp.o"
+  "CMakeFiles/asyncmac_metrics.dir/json.cpp.o.d"
+  "libasyncmac_metrics.a"
+  "libasyncmac_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

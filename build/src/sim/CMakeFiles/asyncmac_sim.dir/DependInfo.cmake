@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/asyncmac_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/asyncmac_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/station.cpp" "src/sim/CMakeFiles/asyncmac_sim.dir/station.cpp.o" "gcc" "src/sim/CMakeFiles/asyncmac_sim.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asyncmac_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asyncmac_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

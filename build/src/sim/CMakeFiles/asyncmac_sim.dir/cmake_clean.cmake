@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_sim.dir/engine.cpp.o"
+  "CMakeFiles/asyncmac_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/asyncmac_sim.dir/station.cpp.o"
+  "CMakeFiles/asyncmac_sim.dir/station.cpp.o.d"
+  "libasyncmac_sim.a"
+  "libasyncmac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/invariants.cpp" "src/trace/CMakeFiles/asyncmac_trace.dir/invariants.cpp.o" "gcc" "src/trace/CMakeFiles/asyncmac_trace.dir/invariants.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/asyncmac_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/asyncmac_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/renderer.cpp" "src/trace/CMakeFiles/asyncmac_trace.dir/renderer.cpp.o" "gcc" "src/trace/CMakeFiles/asyncmac_trace.dir/renderer.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/asyncmac_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/asyncmac_trace.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

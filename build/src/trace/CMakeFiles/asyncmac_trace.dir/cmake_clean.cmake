@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_trace.dir/invariants.cpp.o"
+  "CMakeFiles/asyncmac_trace.dir/invariants.cpp.o.d"
+  "CMakeFiles/asyncmac_trace.dir/recorder.cpp.o"
+  "CMakeFiles/asyncmac_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/asyncmac_trace.dir/renderer.cpp.o"
+  "CMakeFiles/asyncmac_trace.dir/renderer.cpp.o.d"
+  "CMakeFiles/asyncmac_trace.dir/serialize.cpp.o"
+  "CMakeFiles/asyncmac_trace.dir/serialize.cpp.o.d"
+  "libasyncmac_trace.a"
+  "libasyncmac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

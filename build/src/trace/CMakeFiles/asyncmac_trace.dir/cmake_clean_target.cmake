@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasyncmac_trace.a"
+)

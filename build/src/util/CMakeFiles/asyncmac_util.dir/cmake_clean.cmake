@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_util.dir/csv.cpp.o"
+  "CMakeFiles/asyncmac_util.dir/csv.cpp.o.d"
+  "CMakeFiles/asyncmac_util.dir/histogram.cpp.o"
+  "CMakeFiles/asyncmac_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/asyncmac_util.dir/rng.cpp.o"
+  "CMakeFiles/asyncmac_util.dir/rng.cpp.o.d"
+  "CMakeFiles/asyncmac_util.dir/table.cpp.o"
+  "CMakeFiles/asyncmac_util.dir/table.cpp.o.d"
+  "libasyncmac_util.a"
+  "libasyncmac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

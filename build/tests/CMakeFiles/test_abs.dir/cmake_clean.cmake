@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abs.dir/test_abs.cpp.o"
+  "CMakeFiles/test_abs.dir/test_abs.cpp.o.d"
+  "test_abs"
+  "test_abs.pdb"
+  "test_abs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

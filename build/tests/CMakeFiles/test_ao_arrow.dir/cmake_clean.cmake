@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ao_arrow.dir/test_ao_arrow.cpp.o"
+  "CMakeFiles/test_ao_arrow.dir/test_ao_arrow.cpp.o.d"
+  "test_ao_arrow"
+  "test_ao_arrow.pdb"
+  "test_ao_arrow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ao_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ca_arrow.dir/test_ca_arrow.cpp.o"
+  "CMakeFiles/test_ca_arrow.dir/test_ca_arrow.cpp.o.d"
+  "test_ca_arrow"
+  "test_ca_arrow.pdb"
+  "test_ca_arrow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ca_arrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_fuzz.dir/test_channel_fuzz.cpp.o"
+  "CMakeFiles/test_channel_fuzz.dir/test_channel_fuzz.cpp.o.d"
+  "test_channel_fuzz"
+  "test_channel_fuzz.pdb"
+  "test_channel_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

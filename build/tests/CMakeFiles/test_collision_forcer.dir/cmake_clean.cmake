@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collision_forcer.dir/test_collision_forcer.cpp.o"
+  "CMakeFiles/test_collision_forcer.dir/test_collision_forcer.cpp.o.d"
+  "test_collision_forcer"
+  "test_collision_forcer.pdb"
+  "test_collision_forcer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collision_forcer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

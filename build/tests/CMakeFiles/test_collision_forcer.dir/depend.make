@@ -1,0 +1,2 @@
+# Empty dependencies file for test_collision_forcer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/test_invariants.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_invariants.dir/test_invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/asyncmac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/asyncmac_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/asyncmac_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asyncmac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asyncmac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/asyncmac_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/asyncmac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/asyncmac_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

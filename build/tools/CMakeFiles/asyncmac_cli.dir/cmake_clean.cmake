@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmac_cli.dir/asyncmac_cli.cpp.o"
+  "CMakeFiles/asyncmac_cli.dir/asyncmac_cli.cpp.o.d"
+  "asyncmac_cli"
+  "asyncmac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_text_run "/root/repo/build/tools/asyncmac_cli" "--protocol=ca-arrow" "--rho=0.6" "--horizon=5000")
+set_tests_properties(cli_text_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_json_run "/root/repo/build/tools/asyncmac_cli" "--protocol=ao-arrow" "--json" "--horizon=5000")
+set_tests_properties(cli_json_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_run "/root/repo/build/tools/asyncmac_cli" "--protocol=ca-arrow" "--trace=20" "--horizon=50")
+set_tests_properties(cli_trace_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/asyncmac_cli" "--bogus=1")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
