@@ -1,0 +1,130 @@
+// bench_ledger — microbenchmark of the channel ledger hot path.
+//
+// The engine calls Ledger::feedback once per slot end, so its cost is the
+// per-slot cost of the whole simulator. feedback() seeks its begin-sorted
+// window with lower_bound (O(log W + neighborhood)); before that fix it
+// scanned from the window front (O(W)), which made long history-keeping
+// runs quadratic. This bench times feedback() at window sizes 1e2 / 1e4 /
+// 1e6 and writes BENCH_ledger.json so future PRs can detect a regression
+// of the hot path back to linear-in-window behaviour.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "channel/ledger.h"
+#include "util/types.h"
+
+namespace {
+
+using namespace asyncmac;
+using channel::Ledger;
+using channel::Transmission;
+
+constexpr Tick U = kTicksPerUnit;
+
+Transmission tx(StationId station, Tick begin, Tick end) {
+  Transmission t;
+  t.station = station;
+  t.begin = begin;
+  t.end = end;
+  return t;
+}
+
+// A window of `size` finalized transmissions: 4 stations taking turns with
+// unit slots, packets back to back (the steady-state shape of a saturated
+// stability run). Returns the ledger and the time just past the last end.
+std::unique_ptr<Ledger> build_window(std::size_t size, Tick* now_out) {
+  auto ledger = std::make_unique<Ledger>();
+  Tick now = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const StationId s = static_cast<StationId>(1 + (i % 4));
+    ledger->add(tx(s, now, now + U));
+    now += U;
+  }
+  ledger->finalize_until(now);
+  *now_out = now;
+  return ledger;
+}
+
+void BM_FeedbackAtWindowSize(benchmark::State& state) {
+  Tick now = 0;
+  const auto ledger =
+      build_window(static_cast<std::size_t>(state.range(0)), &now);
+  // Query a slot at the live end of the window — the engine's access
+  // pattern (slots never reference the distant past).
+  for (auto _ : state) {
+    const Feedback fb = ledger->feedback(now - U, now);
+    benchmark::DoNotOptimize(fb);
+  }
+  state.counters["window"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FeedbackAtWindowSize)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_SteadyStateAddFeedbackPrune(benchmark::State& state) {
+  // The engine's full per-slot ledger sequence at a bounded window.
+  Ledger ledger;
+  Tick now = 0;
+  for (auto _ : state) {
+    ledger.add(tx(1 + static_cast<StationId>(now / U) % 4, now, now + U));
+    const Feedback fb = ledger.feedback(now, now + U);
+    benchmark::DoNotOptimize(fb);
+    now += U;
+    if ((now / U) % 4096 == 0) ledger.prune_before(now - 8 * U);
+  }
+}
+BENCHMARK(BM_SteadyStateAddFeedbackPrune);
+
+double time_feedback_ns(std::size_t window) {
+  Tick now = 0;
+  const auto ledger = build_window(window, &now);
+  // Warm up, then time a fixed batch of queries.
+  for (int i = 0; i < 1000; ++i)
+    benchmark::DoNotOptimize(ledger->feedback(now - U, now));
+  constexpr int kIters = 200000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i)
+    benchmark::DoNotOptimize(ledger->feedback(now - U, now));
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         kIters;
+}
+
+// Perf-trajectory file: one JSON object per window size, so a future PR
+// can diff ns_per_feedback and flag a return to O(W) behaviour (the
+// telltale is the 1e6/1e2 ratio exploding, not the absolute numbers).
+void write_trajectory() {
+  const std::size_t windows[] = {100, 10000, 1000000};
+  std::ofstream out("BENCH_ledger.json");
+  out << "{\n  \"bench\": \"ledger_feedback\",\n  \"unit\": "
+         "\"ns_per_feedback\",\n  \"results\": [\n";
+  double ns100 = 0, ns1m = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double ns = time_feedback_ns(windows[i]);
+    if (windows[i] == 100) ns100 = ns;
+    if (windows[i] == 1000000) ns1m = ns;
+    out << "    {\"window\": " << windows[i] << ", \"ns_per_feedback\": "
+        << ns << "}" << (i + 1 < 3 ? "," : "") << "\n";
+    std::cout << "  window " << windows[i] << ": " << ns
+              << " ns/feedback\n";
+  }
+  const double ratio = ns100 > 0 ? ns1m / ns100 : 0;
+  out << "  ],\n  \"ratio_1e6_over_1e2\": " << ratio << "\n}\n";
+  std::cout << "  1e6/1e2 cost ratio: " << ratio
+            << " (O(W) would be ~10000; logarithmic stays single-digit)\n"
+            << "(trajectory written to BENCH_ledger.json)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "bench_ledger — feedback() cost vs live window size\n\n";
+  write_trajectory();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

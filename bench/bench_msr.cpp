@@ -49,6 +49,7 @@ MsrConfig msr_config(int seeds) {
   cfg.probe.chunks = 8;
   cfg.probe.ceiling = 20000 * U;
   cfg.seeds = seeds;
+  cfg.jobs = 0;  // replicate the per-rho seed votes across all cores
   return cfg;
 }
 

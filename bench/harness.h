@@ -20,6 +20,7 @@
 #include "sim/engine.h"
 #include "util/csv.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace asyncmac::bench {
 
@@ -50,10 +51,10 @@ inline std::unique_ptr<sim::SlotPolicy> sync_policy() {
 }
 
 /// Round-robin bucket-saturating workload at rate rho with burst b.
-inline std::unique_ptr<sim::InjectionPolicy> saturating(util::Ratio rho,
-                                                        Tick burst) {
+inline std::unique_ptr<sim::InjectionPolicy> saturating(
+    util::Ratio rho, Tick burst, std::uint64_t seed = 1) {
   return std::make_unique<adversary::SaturatingInjector>(
-      rho, burst, adversary::TargetPattern::kRoundRobin);
+      rho, burst, adversary::TargetPattern::kRoundRobin, 1, seed);
 }
 
 /// One SST message per participating station at time 0.
@@ -78,14 +79,16 @@ struct PtResult {
 template <typename P>
 PtResult run_pt(std::uint32_t n, std::uint32_t R, util::Ratio rho, Tick burst,
                 Tick horizon, bool synchronous = false,
-                std::unique_ptr<sim::InjectionPolicy> injector = nullptr) {
+                std::unique_ptr<sim::InjectionPolicy> injector = nullptr,
+                std::uint64_t seed = 1) {
   sim::EngineConfig cfg;
   cfg.n = n;
   cfg.bound_r = R;
+  cfg.seed = seed;
   auto engine = std::make_unique<sim::Engine>(
       cfg, protocols<P>(n),
       synchronous ? sync_policy() : per_station_policy(n, R),
-      injector ? std::move(injector) : saturating(rho, burst));
+      injector ? std::move(injector) : saturating(rho, burst, seed));
   engine->run(sim::until(horizon));
 
   PtResult out;
@@ -104,6 +107,21 @@ PtResult run_pt(std::uint32_t n, std::uint32_t R, util::Ratio rho, Tick burst,
   out.wasted_fraction =
       1.0 - to_units(engine->channel_stats().successful_packet_time) /
                 to_units(engine->now());
+  return out;
+}
+
+/// Replicate a seed-parameterized run across `seeds` derived seeds on
+/// `jobs` workers (0 = all cores, 1 = serial); results come back in seed
+/// order regardless of jobs. `fn` must be a pure function of its seed —
+/// each invocation builds and runs its own Engine.
+template <typename F>
+auto replicate_seeds(int seeds, std::uint64_t base_seed, unsigned jobs,
+                     F&& fn) {
+  using R = decltype(fn(std::uint64_t{}));
+  std::vector<R> out(static_cast<std::size_t>(seeds));
+  util::parallel_for(jobs, out.size(), [&](std::size_t i) {
+    out[i] = fn(base_seed + i * 1000003ULL);
+  });
   return out;
 }
 

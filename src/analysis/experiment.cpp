@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace asyncmac::analysis {
 
@@ -64,17 +65,35 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
   AM_REQUIRE(spec.seeds >= 1, "need at least one seed");
   AM_REQUIRE(spec.horizon_units > 0, "horizon must be positive");
 
-  std::vector<ExperimentRecord> records;
+  // Enumerate the cross product up front (in the documented record order),
+  // then run the cells on a pool: each cell is an independent deterministic
+  // Engine writing into its own pre-sized slot, so the result is
+  // byte-identical to the serial sweep for every jobs value.
+  struct Cell {
+    const std::string* protocol;
+    std::uint32_t n;
+    std::uint32_t r;
+    int rho;
+    const std::string* policy;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
   for (const auto& protocol : spec.protocols)
     for (std::uint32_t n : spec.station_counts)
       for (std::uint32_t r : spec.bounds_r)
         for (int rho : spec.rho_percents)
           for (const auto& policy : spec.slot_policies)
             for (int s = 0; s < spec.seeds; ++s)
-              records.push_back(run_cell(
-                  protocol, n, r, rho, policy, spec.burst_units,
-                  spec.horizon_units,
-                  spec.seed + static_cast<std::uint64_t>(s) * 1000003));
+              cells.push_back(
+                  {&protocol, n, r, rho, &policy,
+                   spec.seed + static_cast<std::uint64_t>(s) * 1000003});
+
+  std::vector<ExperimentRecord> records(cells.size());
+  util::parallel_for(spec.jobs, cells.size(), [&](std::size_t i) {
+    const Cell& c = cells[i];
+    records[i] = run_cell(*c.protocol, c.n, c.r, c.rho, *c.policy,
+                          spec.burst_units, spec.horizon_units, c.seed);
+  });
   return records;
 }
 

@@ -30,6 +30,10 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
   /// Repetitions with derived seeds; records report per-seed results.
   int seeds = 1;
+  /// Worker threads for the sweep: 0 = hardware_concurrency, 1 = serial.
+  /// Every cell is an independent deterministic Engine, so the records are
+  /// byte-identical for every jobs value (including their order).
+  unsigned jobs = 0;
 };
 
 struct ExperimentRecord {
@@ -52,8 +56,10 @@ struct ExperimentRecord {
   double p99_latency_units = 0;
 };
 
-/// Run the full cross product. Record order: protocols x n x R x rho x
-/// policy x seed (innermost last) — deterministic.
+/// Run the full cross product, on spec.jobs worker threads. Record order:
+/// protocols x n x R x rho x policy x seed (innermost last) —
+/// deterministic and independent of jobs: cells are enumerated up front
+/// and each worker writes into its cell's pre-sized slot.
 std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec);
 
 /// Render records as an aligned ASCII table / CSV file.

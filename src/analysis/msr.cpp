@@ -1,6 +1,10 @@
 #include "analysis/msr.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace asyncmac::analysis {
 
@@ -8,14 +12,19 @@ namespace {
 
 bool stable_probe(const RateEngineFactory& factory, util::Ratio rho,
                   const MsrConfig& config, int* probes) {
-  int stable_votes = 0;
-  for (int s = 0; s < config.seeds; ++s) {
-    const std::uint64_t seed = config.base_seed + static_cast<unsigned>(s);
-    const auto report = probe_stability(
-        [&] { return factory(rho, seed); }, config.probe);
-    if (probes) ++*probes;
-    if (report.verdict == Verdict::kStable) ++stable_votes;
-  }
+  // Seed votes are independent deterministic runs: replicate them across
+  // the pool and tally afterwards (vote totals are order-independent).
+  std::vector<char> stable(static_cast<std::size_t>(config.seeds), 0);
+  util::parallel_for(
+      config.jobs, stable.size(), [&](std::size_t s) {
+        const std::uint64_t seed = config.base_seed + s;
+        const auto report = probe_stability(
+            [&] { return factory(rho, seed); }, config.probe);
+        stable[s] = report.verdict == Verdict::kStable ? 1 : 0;
+      });
+  if (probes) *probes += config.seeds;
+  const int stable_votes = static_cast<int>(
+      std::count(stable.begin(), stable.end(), char{1}));
   return 2 * stable_votes > config.seeds;
 }
 

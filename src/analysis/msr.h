@@ -33,6 +33,11 @@ struct MsrConfig {
   int hi_pct = 99;
   int seeds = 1;              ///< majority vote across seeds per rho
   std::uint64_t base_seed = 1;
+  /// Worker threads for the per-rho seed votes (0 = hardware_concurrency,
+  /// 1 = serial). The binary search over rho stays sequential; with
+  /// jobs != 1 the factory must be callable concurrently (it only builds
+  /// engines, so value-capturing factories are safe).
+  unsigned jobs = 1;
 };
 
 struct MsrResult {

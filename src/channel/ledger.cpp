@@ -75,16 +75,26 @@ void Ledger::finalize_until(Tick now) {
 Feedback Ledger::feedback(Tick s, Tick t) {
   AM_CHECK(s < t);
   finalize_until(t);
+  // Only a bounded neighborhood of the slot can matter: an entry with
+  // begin <= s - max_duration_ has end <= s, so it neither overlaps [s, t)
+  // nor ends inside (s, t]. The window is begin-sorted, so seek the first
+  // entry that can reach the slot (the same trick overlaps_other uses)
+  // instead of scanning from the front — O(log W + neighborhood) per slot
+  // instead of O(W).
+  const Tick lo_begin = s - max_duration_;
+  auto it = std::lower_bound(
+      window_.begin(), window_.end(), lo_begin,
+      [](const Transmission& a, Tick b) { return a.begin <= b; });
   bool any_overlap = false;
-  // Transmissions relevant to slot [s, t): begin < t. The window is begin-
-  // sorted, so stop at the first entry with begin >= t.
-  for (const auto& tx : window_) {
+  // Scan the neighborhood: begins in (s - max_duration_, t).
+  for (; it != window_.end(); ++it) {
+    const Transmission& tx = *it;
     if (tx.begin >= t) break;
     if (tx.end > s && tx.end <= t) {
       AM_CHECK(tx.decided);  // end <= t means finalize_until(t) decided it
       if (tx.successful) return Feedback::kAck;
     }
-    if (intervals_overlap(tx.begin, tx.end, s, t)) any_overlap = true;
+    if (!any_overlap) any_overlap = intervals_overlap(tx.begin, tx.end, s, t);
   }
   return any_overlap ? Feedback::kBusy : Feedback::kSilence;
 }

@@ -65,7 +65,9 @@ class Ledger {
   /// listeners: a transmitter's own (whole-slot) transmission makes the
   /// rule yield ack exactly when that transmission succeeded and busy
   /// when it collided. Requires t <= the latest safe query time (all
-  /// transmissions beginning before t already added).
+  /// transmissions beginning before t already added). Cost is
+  /// O(log W + neighborhood), not O(W): the begin-sorted window is seeked
+  /// with lower_bound to the first entry that can reach the slot.
   Feedback feedback(Tick s, Tick t);
 
   /// Finalize the success flag of all transmissions with end <= now.

@@ -145,7 +145,12 @@ bool Engine::step() {
 }
 
 void Engine::maybe_prune() {
-  if (++steps_since_prune_ < 4096 || cfg_.keep_channel_history) return;
+  // Pruning is safe under keep_channel_history too: the ledger archives
+  // pruned entries into full_history(), so inspection semantics are
+  // unchanged while the live window — and with it every feedback() and
+  // finalize_until() scan — stays bounded instead of growing with the
+  // horizon (O(T^2) total work on long history runs).
+  if (++steps_since_prune_ < 4096) return;
   steps_since_prune_ = 0;
   Tick horizon = kTickInfinity;
   for (const auto& s : stations_) horizon = std::min(horizon, s.slot_begin);

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace asyncmac::util {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::packaged_task<void()>> queue;
+  bool stopping = false;
+
+  void worker() {
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();  // exceptions land in the task's future
+    }
+  }
+};
+
+unsigned ThreadPool::resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs) : impl_(std::make_unique<Impl>()) {
+  const unsigned n = resolve_jobs(jobs);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { impl_->worker(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(wrapped));
+  }
+  impl_->cv.notify_one();
+  return fut;
+}
+
+void parallel_for(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  const unsigned workers = ThreadPool::resolve_jobs(jobs);
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Self-scheduling: each worker claims the next unclaimed index, so slow
+  // indices never stall the rest of the range behind a static partition.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    const unsigned spawned =
+        static_cast<unsigned>(std::min<std::size_t>(workers, count));
+    ThreadPool pool(spawned);
+    std::vector<std::future<void>> done;
+    done.reserve(spawned);
+    for (unsigned w = 0; w < spawned; ++w) done.push_back(pool.submit(drain));
+    for (auto& f : done) f.get();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace asyncmac::util

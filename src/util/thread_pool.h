@@ -1,0 +1,66 @@
+// asyncmac/util/thread_pool.h
+//
+// A small fixed-size worker pool for running independent simulations in
+// parallel. Parallelism in asyncmac lives strictly *above* the Engine: an
+// Engine is single-threaded and deterministic, and the pool only ever runs
+// whole engines (or other self-contained tasks) concurrently — nothing on
+// the simulation path is shared between workers.
+//
+// Design: a mutex/condvar task queue drained by `size()` worker threads.
+// submit() returns a std::future so exceptions thrown inside a task
+// surface at the caller's future.get(), never in a worker. Tasks may
+// submit further tasks (workers never hold the queue lock while running a
+// task), and destroying the pool drains everything already submitted.
+//
+// parallel_for() is the common entry point: it self-schedules indices
+// through an atomic cursor (work stealing at index granularity), so
+// uneven task durations — e.g. grid cells whose horizon-long simulations
+// differ wildly in cost — balance automatically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace asyncmac::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `jobs` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(unsigned jobs = 0);
+
+  /// Drains all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task. The returned future carries any exception the task
+  /// throws. Safe to call from inside a running task.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Resolve a user-facing jobs value: 0 -> hardware_concurrency, floor 1.
+  static unsigned resolve_jobs(unsigned jobs);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, count). With jobs resolved to 1 (or
+/// count <= 1) this runs inline on the caller's thread — no threads are
+/// spawned, so the serial path stays exactly serial. Otherwise indices are
+/// self-scheduled across min(jobs, count) workers; the first exception any
+/// fn(i) throws is rethrown on the caller after all workers finish.
+void parallel_for(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace asyncmac::util

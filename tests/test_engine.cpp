@@ -301,6 +301,28 @@ TEST(Engine, LongRunPruningKeepsMemoryBounded) {
   EXPECT_LT(e.ledger().window().size(), 5000u);
 }
 
+TEST(Engine, HistoryRunsPruneTooWhileHistoryAccumulates) {
+  // Regression: keep_channel_history used to disable pruning entirely,
+  // so every feedback() on a long run scanned an ever-growing window
+  // (O(T^2) total). Pruning must now keep the live window bounded while
+  // the pruned entries accumulate in full_history() for inspection.
+  EngineConfig cfg = config(2, 1);
+  cfg.keep_channel_history = true;
+  auto protocols = asyncmac::testing::make_protocols<GreedyProtocol>(2);
+  Engine e(cfg, std::move(protocols),
+           std::make_unique<UniformSlotPolicy>(),
+           std::make_unique<adversary::SaturatingInjector>(
+               util::Ratio(1, 4), 2 * U, adversary::TargetPattern::kSingle,
+               1));
+  e.run(sim::until(20000 * U));
+  const auto& ledger = e.ledger();
+  EXPECT_LT(ledger.window().size(), 5000u);
+  EXPECT_GT(ledger.full_history().size(), 1000u);
+  // Nothing is lost: archived + live covers every registered transmission.
+  EXPECT_EQ(ledger.full_history().size() + ledger.window().size(),
+            ledger.stats().transmissions);
+}
+
 TEST(Engine, RejectsSlotPolicyViolatingBounds) {
   auto protocols =
       asyncmac::testing::make_protocols<baselines::ListenProtocol>(1);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "analysis/experiment.h"
 #include "analysis/registry.h"
@@ -106,6 +107,73 @@ TEST(Experiment, TableAndCsvRender) {
   std::string row;
   EXPECT_TRUE(static_cast<bool>(std::getline(in, row)));
   std::remove(path.c_str());
+}
+
+TEST(Experiment, ParallelJobsMatchSerialFieldByField) {
+  // The tentpole guarantee of the parallel runner: records (values AND
+  // order) are byte-identical for every jobs value, because each cell is
+  // an independent deterministic Engine writing into a pre-sized slot.
+  ExperimentSpec spec;
+  spec.protocols = {"ca-arrow", "rrw"};
+  spec.station_counts = {2, 3};
+  spec.bounds_r = {2};
+  spec.rho_percents = {40, 60};
+  spec.slot_policies = {"perstation"};
+  spec.horizon_units = 2000;
+  spec.seeds = 2;  // 2 x 2 x 1 x 2 x 1 x 2 = 16 cells
+  spec.jobs = 1;
+  const auto serial = run_grid(spec);
+  spec.jobs = 4;
+  const auto parallel = run_grid(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 16u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = parallel[i];
+    EXPECT_EQ(a.protocol, b.protocol) << i;
+    EXPECT_EQ(a.n, b.n) << i;
+    EXPECT_EQ(a.bound_r, b.bound_r) << i;
+    EXPECT_EQ(a.rho_pct, b.rho_pct) << i;
+    EXPECT_EQ(a.slot_policy, b.slot_policy) << i;
+    EXPECT_EQ(a.seed, b.seed) << i;
+    EXPECT_EQ(a.injected, b.injected) << i;
+    EXPECT_EQ(a.delivered, b.delivered) << i;
+    EXPECT_EQ(a.queued, b.queued) << i;
+    EXPECT_EQ(a.max_queue_cost_units, b.max_queue_cost_units) << i;
+    EXPECT_EQ(a.final_queue_cost_units, b.final_queue_cost_units) << i;
+    EXPECT_EQ(a.collisions, b.collisions) << i;
+    EXPECT_EQ(a.control_msgs, b.control_msgs) << i;
+    EXPECT_EQ(a.delivered_fraction, b.delivered_fraction) << i;
+    EXPECT_EQ(a.p99_latency_units, b.p99_latency_units) << i;
+  }
+}
+
+TEST(Experiment, SameSeedProducesIdenticalCsvAcrossJobs) {
+  ExperimentSpec spec;
+  spec.protocols = {"ao-arrow"};
+  spec.station_counts = {2, 4};
+  spec.bounds_r = {2};
+  spec.rho_percents = {50};
+  spec.slot_policies = {"random"};
+  spec.horizon_units = 2000;
+  spec.seeds = 2;
+
+  auto csv_bytes = [&](unsigned jobs, const std::string& tag) {
+    spec.jobs = jobs;
+    const auto records = run_grid(spec);
+    const std::string path =
+        ::testing::TempDir() + "asyncmac_grid_" + tag + ".csv";
+    write_csv(records, path);
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return bytes;
+  };
+  const std::string serial = csv_bytes(1, "serial");
+  const std::string parallel = csv_bytes(8, "parallel");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(Experiment, RejectsEmptyDimensions) {

@@ -1,0 +1,114 @@
+// Tests for the worker pool that runs independent simulations in
+// parallel. All waits are bounded: a deadlock shows up as a test failure
+// within a few seconds, not a hung ctest run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace asyncmac::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kGuard = 10s;  // generous; normal completion is microseconds
+
+TEST(ThreadPool, ResolveJobsZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i)
+      futures.push_back(pool.submit([&] { ++done; }));
+    for (auto& f : futures)
+      ASSERT_EQ(f.wait_for(kGuard), std::future_status::ready);
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++done; });
+  }  // ~ThreadPool must run all 50, not drop the queue
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToFutureNotWorker) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  ASSERT_EQ(bad.wait_for(kGuard), std::future_status::ready);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and serving.
+  auto ok = pool.submit([] {});
+  ASSERT_EQ(ok.wait_for(kGuard), std::future_status::ready);
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  // A task submitting to its own single-worker pool must not deadlock:
+  // the worker does not hold the queue lock while running tasks, and the
+  // outer task does not block on the inner one.
+  ThreadPool pool(1);
+  std::promise<void> inner_done;
+  auto inner_fut = inner_done.get_future();
+  pool.submit([&] {
+    pool.submit([&] { inner_done.set_value(); });
+  });
+  ASSERT_EQ(inner_fut.wait_for(kGuard), std::future_status::ready);
+}
+
+TEST(ThreadPool, EmptyPoolDestructsCleanly) {
+  ThreadPool pool(8);  // no tasks at all
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(4, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, Jobs1RunsInlineOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  parallel_for(1, ids.size(),
+               [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int calls = 0;
+  parallel_for(8, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(8, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsWorkerExceptionAfterFinishing) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(4, 100,
+                   [&](std::size_t i) {
+                     ++ran;
+                     if (i == 13) throw std::logic_error("unlucky");
+                   }),
+      std::logic_error);
+  // Remaining indices still execute (the error is collected, not a bail).
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace asyncmac::util

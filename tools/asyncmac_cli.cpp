@@ -23,15 +23,26 @@
 //   --json         print stats as JSON instead of text
 //   --trace=T      also render the first T time units of the schedule
 //   --msr          estimate the Max Stable Rate instead of a single run
+//   --grid         run a full experiment grid instead of a single run:
+//                  --protocol/--n/--r/--rho/--policy accept comma lists
+//                  and the cross product (x --seeds replications) runs on
+//                  --jobs workers (see analysis/experiment.h)
+//   --seeds=K      grid mode: seed replications per cell (default 1)
+//   --jobs=J       grid mode: worker threads, 0 = all cores (default 0);
+//                  records are byte-identical for every J
+//   --csv=PATH     grid mode: also write the records as CSV
 //
 // Exit code 0 on success; 2 on bad usage.
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "adversary/injectors.h"
 #include "adversary/slot_policies.h"
+#include "analysis/experiment.h"
 #include "analysis/msr.h"
 #include "analysis/registry.h"
 #include "metrics/json.h"
@@ -56,7 +67,28 @@ struct Options {
   bool json = false;
   Tick trace_units = 0;
   bool msr = false;
+  bool grid = false;
+  int seeds = 1;
+  unsigned jobs = 0;
+  std::string csv_path;
+  // Raw comma-list forms of the sweepable dimensions (grid mode).
+  std::string n_list = "4";
+  std::string r_list = "2";
+  std::string rho_list = "0.5";
 };
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= s.size()) {
+    const std::size_t comma = s.find(',', from);
+    const std::size_t to = comma == std::string::npos ? s.size() : comma;
+    if (to > from) out.push_back(s.substr(from, to - from));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "asyncmac_cli: " << error
@@ -74,11 +106,11 @@ Options parse_args(int argc, char** argv) {
     if (arg.rfind("--protocol=", 0) == 0)
       opt.protocol = value("--protocol=");
     else if (arg.rfind("--n=", 0) == 0)
-      opt.n = static_cast<std::uint32_t>(std::stoul(value("--n=")));
+      opt.n_list = value("--n=");
     else if (arg.rfind("--r=", 0) == 0)
-      opt.r = static_cast<std::uint32_t>(std::stoul(value("--r=")));
+      opt.r_list = value("--r=");
     else if (arg.rfind("--rho=", 0) == 0)
-      opt.rho = std::stod(value("--rho="));
+      opt.rho_list = value("--rho=");
     else if (arg.rfind("--burst=", 0) == 0)
       opt.burst_units = std::stol(value("--burst="));
     else if (arg.rfind("--policy=", 0) == 0)
@@ -95,13 +127,72 @@ Options parse_args(int argc, char** argv) {
       opt.trace_units = std::stol(value("--trace="));
     else if (arg == "--msr")
       opt.msr = true;
+    else if (arg == "--grid")
+      opt.grid = true;
+    else if (arg.rfind("--seeds=", 0) == 0)
+      opt.seeds = static_cast<int>(std::stol(value("--seeds=")));
+    else if (arg.rfind("--jobs=", 0) == 0)
+      opt.jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
+    else if (arg.rfind("--csv=", 0) == 0)
+      opt.csv_path = value("--csv=");
     else
       usage("unknown argument: " + arg);
   }
-  if (opt.n < 1) usage("--n must be >= 1");
-  if (opt.r < 1) usage("--r must be >= 1");
-  if (opt.rho < 0 || opt.rho > 1) usage("--rho must lie in [0, 1]");
+  if (opt.seeds < 1) usage("--seeds must be >= 1");
+  if (!opt.grid) {
+    // Single-run (and MSR) modes take scalar dimensions.
+    if (opt.n_list.find(',') != std::string::npos ||
+        opt.r_list.find(',') != std::string::npos ||
+        opt.rho_list.find(',') != std::string::npos ||
+        opt.protocol.find(',') != std::string::npos ||
+        opt.policy.find(',') != std::string::npos)
+      usage("comma lists need --grid");
+    opt.n = static_cast<std::uint32_t>(std::stoul(opt.n_list));
+    opt.r = static_cast<std::uint32_t>(std::stoul(opt.r_list));
+    opt.rho = std::stod(opt.rho_list);
+    if (opt.n < 1) usage("--n must be >= 1");
+    if (opt.r < 1) usage("--r must be >= 1");
+    if (opt.rho < 0 || opt.rho > 1) usage("--rho must lie in [0, 1]");
+  }
   return opt;
+}
+
+int run_experiment_grid(const Options& opt) {
+  analysis::ExperimentSpec spec;
+  spec.protocols = split_list(opt.protocol);
+  spec.slot_policies = split_list(opt.policy);
+  spec.station_counts.clear();
+  for (const auto& v : split_list(opt.n_list))
+    spec.station_counts.push_back(
+        static_cast<std::uint32_t>(std::stoul(v)));
+  spec.bounds_r.clear();
+  for (const auto& v : split_list(opt.r_list))
+    spec.bounds_r.push_back(static_cast<std::uint32_t>(std::stoul(v)));
+  spec.rho_percents.clear();
+  for (const auto& v : split_list(opt.rho_list)) {
+    const double rho = std::stod(v);
+    if (rho < 0 || rho > 1) usage("--rho values must lie in [0, 1]");
+    spec.rho_percents.push_back(static_cast<int>(std::lround(rho * 100)));
+  }
+  spec.burst_units = opt.burst_units;
+  spec.horizon_units = opt.horizon_units;
+  spec.seed = opt.seed;
+  spec.seeds = opt.seeds;
+  spec.jobs = opt.jobs;
+
+  std::vector<analysis::ExperimentRecord> records;
+  try {
+    records = analysis::run_grid(spec);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  std::cout << analysis::to_table(records);
+  if (!opt.csv_path.empty()) {
+    analysis::write_csv(records, opt.csv_path);
+    std::cout << "(" << records.size() << " records written to "
+              << opt.csv_path << ")\n";
+  }
+  return 0;
 }
 
 std::unique_ptr<sim::SlotPolicy> make_policy(const Options& opt) {
@@ -168,6 +259,7 @@ int run_msr(const Options& opt) {
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
+  if (opt.grid) return run_experiment_grid(opt);
   if (opt.msr) return run_msr(opt);
 
   const auto rho = util::Ratio::from_double(opt.rho);
