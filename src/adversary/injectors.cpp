@@ -205,6 +205,36 @@ std::string MaxQueueInjector::name() const {
   return "max-queue(rho=" + bucket_.rate().str() + ")";
 }
 
+// ------------------------------------------------------------------ factory
+
+TargetPattern parse_target_pattern(const std::string& name) {
+  if (name == "roundrobin") return TargetPattern::kRoundRobin;
+  if (name == "single") return TargetPattern::kSingle;
+  if (name == "random") return TargetPattern::kRandom;
+  throw std::invalid_argument("unknown injection pattern: " + name);
+}
+
+std::unique_ptr<sim::InjectionPolicy> make_injector(const InjectorSpec& spec) {
+  if (spec.kind == "saturating")
+    return std::make_unique<SaturatingInjector>(
+        spec.rho, spec.burst_ticks, parse_target_pattern(spec.pattern),
+        spec.single_target, spec.seed);
+  if (spec.kind == "bursty")
+    return std::make_unique<BurstyInjector>(
+        spec.rho, spec.burst_ticks, spec.period_ticks,
+        parse_target_pattern(spec.pattern), spec.single_target, spec.seed);
+  if (spec.kind == "maxqueue")
+    return std::make_unique<MaxQueueInjector>(spec.rho, spec.burst_ticks);
+  if (spec.kind == "drain-chasing")
+    return std::make_unique<DrainChasingInjector>(spec.rho, spec.burst_ticks,
+                                                  spec.drain_a, spec.drain_b);
+  throw std::invalid_argument("unknown injector kind: " + spec.kind);
+}
+
+std::vector<std::string> injector_kinds() {
+  return {"saturating", "bursty", "maxqueue", "drain-chasing"};
+}
+
 // ------------------------------------------------------------ ScriptedInjector
 
 ScriptedInjector::ScriptedInjector(std::vector<sim::Injection> script)

@@ -146,6 +146,38 @@ class MaxQueueInjector final : public sim::InjectionPolicy {
   CostBucket bucket_;
 };
 
+/// Declarative description of an injection adversary — the common
+/// currency of the CLI, the experiment grids and the fuzzing campaign's
+/// scenario generator (verify::ScenarioGen), all of which need to build
+/// injectors from plain data that can be serialized into repro files.
+struct InjectorSpec {
+  /// One of injector_kinds(): saturating | bursty | maxqueue |
+  /// drain-chasing.
+  std::string kind = "saturating";
+  util::Ratio rho{1, 2};
+  Tick burst_ticks = 8 * kTicksPerUnit;
+  /// saturating/bursty only: roundrobin | single | random.
+  std::string pattern = "roundrobin";
+  StationId single_target = 1;
+  Tick period_ticks = 0;  ///< bursty only: dump period (> 0)
+  StationId drain_a = 1, drain_b = 2;  ///< drain-chasing only (distinct)
+  std::uint64_t seed = 1;
+
+  bool operator==(const InjectorSpec&) const = default;
+};
+
+/// Build the injector an InjectorSpec describes; throws
+/// std::invalid_argument on an unknown kind/pattern or inconsistent
+/// parameters (e.g. drain-chasing with drain_a == drain_b).
+std::unique_ptr<sim::InjectionPolicy> make_injector(const InjectorSpec& spec);
+
+/// The kinds make_injector accepts.
+std::vector<std::string> injector_kinds();
+
+/// Parse a pattern name (roundrobin | single | random); throws
+/// std::invalid_argument on anything else.
+TargetPattern parse_target_pattern(const std::string& name);
+
 /// Replays an explicit list of injections (tests, Theorem-4 driver).
 class ScriptedInjector final : public sim::InjectionPolicy {
  public:

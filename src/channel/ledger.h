@@ -96,6 +96,11 @@ class Ledger {
   /// Largest end time among registered transmissions (0 when none yet).
   Tick latest_end() const noexcept { return latest_end_; }
 
+  /// Largest duration among registered transmissions (0 when none yet).
+  /// Feedback queries only scan entries with begin > s - max_duration();
+  /// differential tests target slots straddling exactly that boundary.
+  Tick max_duration() const noexcept { return max_duration_; }
+
  private:
   bool overlaps_other(const Transmission& t) const;
 

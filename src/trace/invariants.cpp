@@ -85,21 +85,25 @@ CheckResult check_slot_contiguity(const std::vector<SlotRecord>& slots) {
   return {};
 }
 
-CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots) {
-  // The trace records a slot when it ENDS, so at the end of a run each
-  // station may have one in-flight slot the trace never sees. An unseen
-  // in-flight *transmission* influenced other stations' feedback but is
-  // absent from the replay, so only slots ending at or before the
-  // earliest per-station "last recorded end" are checkable: every unseen
-  // transmission begins at its station's last recorded end, which is >=
-  // that horizon, and therefore cannot overlap a checkable slot.
+Tick checkable_horizon(const std::vector<SlotRecord>& slots) {
+  // At the end of a run each station may have one in-flight slot the
+  // trace never sees. An unseen in-flight *transmission* influenced other
+  // stations' feedback but is absent from a replay, so only slots ending
+  // at or before the earliest per-station "last recorded end" are
+  // checkable: every unseen transmission begins at its station's last
+  // recorded end, which is >= that horizon, and therefore cannot overlap
+  // a checkable slot.
   std::map<StationId, Tick> last_end;
   for (const auto& s : slots)
     last_end[s.station] = std::max(last_end[s.station], s.end);
   Tick horizon = kTickInfinity;
   for (const auto& [station, end] : last_end)
     horizon = std::min(horizon, end);
+  return horizon;
+}
 
+CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots) {
+  const Tick horizon = checkable_horizon(slots);
   channel::Ledger ledger;
   for (const auto& t : transmissions_of(slots)) ledger.add(t);
   for (const auto& s : slots) {

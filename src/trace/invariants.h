@@ -50,4 +50,11 @@ CheckResult check_cyclic_turn_order(
 std::vector<channel::Transmission> transmissions_of(
     const std::vector<SlotRecord>& slots);
 
+/// Latest time up to which a trace is checkable against a channel replay:
+/// the minimum over stations of the last recorded slot end. A slot that
+/// ends later may depend on an in-flight slot the trace never recorded
+/// (the trace records a slot when it ENDS), so replay-based checks skip
+/// it. kTickInfinity for an empty trace.
+Tick checkable_horizon(const std::vector<SlotRecord>& slots);
+
 }  // namespace asyncmac::trace

@@ -40,6 +40,22 @@ Feedback parse_feedback(const std::string& s) {
   throw std::invalid_argument("unknown feedback: " + s);
 }
 
+// Strict all-digits u32 parse: std::stoul would accept "12x", a leading
+// '-' (via wraparound at the stream layer) and silently widen, and throws
+// std::out_of_range instead of invalid_argument on huge inputs — fuzzed
+// trace files must fail cleanly with invalid_argument on every one of
+// those.
+std::uint32_t parse_u32(const std::string& s, const char* what) {
+  AM_REQUIRE(!s.empty() && s.size() <= 10, std::string("bad ") + what);
+  std::uint64_t v = 0;
+  for (char c : s) {
+    AM_REQUIRE(c >= '0' && c <= '9', std::string("bad ") + what);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  AM_REQUIRE(v <= UINT32_MAX, std::string(what) + " out of range");
+  return static_cast<std::uint32_t>(v);
+}
+
 }  // namespace
 
 std::string serialize_trace(const TraceHeader& header,
@@ -63,16 +79,15 @@ ParsedTrace parse_trace(const std::string& text) {
   AM_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace text");
   {
     std::istringstream h(line);
-    std::string magic, version, nfield, rfield;
+    std::string magic, version, nfield, rfield, extra;
     h >> magic >> version >> nfield >> rfield;
     AM_REQUIRE(magic == "asyncmac-trace" && version == "v1",
                "bad trace header");
     AM_REQUIRE(nfield.rfind("n=", 0) == 0 && rfield.rfind("r=", 0) == 0,
                "bad trace header fields");
-    out.header.n =
-        static_cast<std::uint32_t>(std::stoul(nfield.substr(2)));
-    out.header.bound_r =
-        static_cast<std::uint32_t>(std::stoul(rfield.substr(2)));
+    AM_REQUIRE(!(h >> extra), "trailing tokens in trace header");
+    out.header.n = parse_u32(nfield.substr(2), "header n");
+    out.header.bound_r = parse_u32(rfield.substr(2), "header r");
   }
 
   std::size_t line_no = 1;
@@ -85,15 +100,21 @@ ParsedTrace parse_trace(const std::string& text) {
     AM_REQUIRE(tag == "slot",
                "line " + std::to_string(line_no) + ": unknown tag " + tag);
     SlotRecord rec;
-    std::string action, feedback;
+    std::string action, feedback, extra;
     ls >> rec.station >> rec.index >> rec.begin >> rec.end >> action >>
         feedback;
     AM_REQUIRE(!ls.fail(),
                "line " + std::to_string(line_no) + ": malformed slot");
+    AM_REQUIRE(!(ls >> extra),
+               "line " + std::to_string(line_no) + ": trailing tokens");
     rec.action = parse_action(action);
     rec.feedback = parse_feedback(feedback);
     AM_REQUIRE(rec.station >= 1 && rec.station <= out.header.n,
                "line " + std::to_string(line_no) + ": station out of range");
+    AM_REQUIRE(rec.index >= 1,
+               "line " + std::to_string(line_no) + ": slot index must be >= 1");
+    AM_REQUIRE(rec.begin >= 0,
+               "line " + std::to_string(line_no) + ": negative slot begin");
     AM_REQUIRE(rec.end > rec.begin,
                "line " + std::to_string(line_no) + ": empty slot interval");
     out.slots.push_back(rec);

@@ -1,0 +1,248 @@
+#include "verify/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "verify/reference_channel.h"
+
+namespace asyncmac::verify {
+
+namespace {
+
+// Fixed chunk size between time-budget checks. Independent of jobs so
+// chunk boundaries — and with them every per-case verdict — never depend
+// on the worker count.
+constexpr std::uint64_t kChunk = 64;
+
+// Candidate evaluations the shrinker may spend (each one is a whole
+// simulated run).
+constexpr int kShrinkBudget = 200;
+
+// Keep a shrunken scenario's injector well-formed after its station
+// count dropped.
+void clamp_to_stations(Scenario& s) {
+  adversary::InjectorSpec& inj = s.injector;
+  if (inj.single_target > s.n) inj.single_target = 1;
+  if (inj.kind == "drain-chasing") {
+    if (s.n < 2) {
+      inj.kind = "saturating";
+    } else if (inj.drain_a > s.n || inj.drain_b > s.n ||
+               inj.drain_a == inj.drain_b) {
+      inj.drain_a = 1;
+      inj.drain_b = 2;
+    }
+  }
+}
+
+}  // namespace
+
+trace::CheckResult run_case(const Scenario& s, const CaseCheck& extra) {
+  try {
+    auto engine = run_scenario(s);
+    const auto& slots = engine->trace().slots();
+
+    if (auto r = trace::check_slot_contiguity(slots); !r) return r;
+    if (auto r = trace::check_feedback_consistency(slots); !r) return r;
+    if (auto r = check_channel_oracle(slots); !r) return r;
+    if (auto r = check_ledger_history(*engine); !r) return r;
+
+    if (s.protocol == "ca-arrow") {
+      // The paper's CA-ARRoW guarantees: no transmission ever collides,
+      // and successful bursts rotate in cyclic station order.
+      const auto txs = trace::transmissions_of(slots);
+      if (auto r = trace::check_no_overlaps(txs); !r) return r;
+      if (auto r = trace::check_cyclic_turn_order(txs, s.n); !r) return r;
+    }
+
+    if (extra) {
+      if (auto r = extra(s, *engine); !r) return r;
+    }
+    return {};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
+}
+
+Scenario shrink_counterexample(Scenario s, const CaseCheck& extra,
+                               std::string* violation_out) {
+  int budget = kShrinkBudget;
+  std::string violation;
+
+  auto fails = [&](Scenario candidate) {
+    if (budget <= 0) return false;
+    --budget;
+    clamp_to_stations(candidate);
+    const auto r = run_case(candidate, extra);
+    if (r.ok) return false;
+    violation = r.what;
+    return true;
+  };
+
+  // Establish the baseline violation (the caller hands us a failing
+  // scenario; if it stopped failing, return it unchanged).
+  {
+    const auto r = run_case(s, extra);
+    if (r.ok) {
+      if (violation_out) violation_out->clear();
+      return s;
+    }
+    violation = r.what;
+  }
+
+  // Greedy passes until a whole pass makes no progress (or the candidate
+  // budget runs dry). Order matters for minimality of the common case:
+  // stations first (the acceptance bar), then time, then simplicity.
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+
+    // Fewer stations.
+    while (s.n > 1) {
+      Scenario candidate = s;
+      candidate.n = s.n - 1;
+      if (!fails(candidate)) break;
+      clamp_to_stations(candidate);
+      s = candidate;
+      improved = true;
+    }
+
+    // Shorter horizon (halving, then a linear trim).
+    while (s.horizon_units > 1) {
+      Scenario candidate = s;
+      candidate.horizon_units = std::max<Tick>(1, s.horizon_units / 2);
+      if (!fails(candidate)) break;
+      s = candidate;
+      improved = true;
+    }
+    while (s.horizon_units > 1) {
+      Scenario candidate = s;
+      candidate.horizon_units = s.horizon_units - 1;
+      if (!fails(candidate)) break;
+      s = candidate;
+      improved = true;
+    }
+
+    // Simpler slot lengths: fully synchronous beats uniform-max beats
+    // per-station constants beats anything time-varying.
+    for (const char* simpler : {"sync", "max", "perstation"}) {
+      if (s.slot_policy == simpler) break;  // already at least this simple
+      Scenario candidate = s;
+      candidate.slot_policy = simpler;
+      if (fails(candidate)) {
+        s = candidate;
+        improved = true;
+        break;
+      }
+    }
+
+    // Simpler injection: the plain saturating round-robin adversary.
+    if (s.injector.kind != "saturating") {
+      Scenario candidate = s;
+      candidate.injector.kind = "saturating";
+      if (fails(candidate)) {
+        s = candidate;
+        improved = true;
+      }
+    }
+    if (s.injector.pattern != "single") {
+      Scenario candidate = s;
+      candidate.injector.pattern = "single";
+      if (fails(candidate)) {
+        s = candidate;
+        improved = true;
+      }
+    }
+
+    // Fewer injections: halve the burst allowance, then the rate.
+    while (s.injector.burst_ticks > kTicksPerUnit) {
+      Scenario candidate = s;
+      candidate.injector.burst_ticks =
+          std::max(kTicksPerUnit, s.injector.burst_ticks / 2);
+      if (!fails(candidate)) break;
+      s = candidate;
+      improved = true;
+    }
+    while (s.injector.rho.num > 1) {
+      Scenario candidate = s;
+      candidate.injector.rho =
+          util::Ratio(s.injector.rho.num / 2, s.injector.rho.den);
+      if (!fails(candidate)) break;
+      s = candidate;
+      improved = true;
+    }
+  }
+
+  if (violation_out) *violation_out = violation;
+  return s;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  AM_REQUIRE(config.cases > 0, "campaign needs at least one case");
+  const ScenarioGen gen(config.seed, config.protocols);
+
+  CampaignResult result;
+  result.cases_requested = config.cases;
+  result.verdicts.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(config.cases, 1 << 20)));
+
+  const auto started = std::chrono::steady_clock::now();
+  auto budget_exceeded = [&] {
+    if (config.time_budget_seconds <= 0) return false;
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    return elapsed >= std::chrono::seconds(config.time_budget_seconds);
+  };
+
+  for (std::uint64_t chunk_start = 0; chunk_start < config.cases;
+       chunk_start += kChunk) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(kChunk, config.cases - chunk_start);
+    std::vector<CaseVerdict> chunk(static_cast<std::size_t>(count));
+    std::vector<Scenario> chunk_scenarios(static_cast<std::size_t>(count));
+    util::parallel_for(
+        config.jobs, static_cast<std::size_t>(count), [&](std::size_t i) {
+          const std::uint64_t index = chunk_start + i;
+          const Scenario s = gen.generate(index);
+          const auto r = run_case(s, config.extra_check);
+          chunk[i] = {index, s.case_seed, r.ok, r.what};
+          if (!r.ok) chunk_scenarios[i] = s;
+        });
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      if (!chunk[i].ok)
+        result.failures.push_back({chunk[i], chunk_scenarios[i]});
+      result.verdicts.push_back(std::move(chunk[i]));
+    }
+    result.cases_run += count;
+    if (budget_exceeded() && chunk_start + count < config.cases) {
+      result.budget_exhausted = true;
+      break;
+    }
+  }
+
+  if (!result.failures.empty() && config.shrink) {
+    result.shrunk = shrink_counterexample(result.failures.front().scenario,
+                                          config.extra_check,
+                                          &result.shrunk_violation);
+    result.shrunk_valid = true;
+  }
+  return result;
+}
+
+std::string summarize(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "cases: " << result.cases_run << "/" << result.cases_requested;
+  if (result.budget_exhausted) os << " (time budget exhausted)";
+  os << "\nviolations: " << result.failures.size() << "\n";
+  for (const auto& f : result.failures)
+    os << "case " << f.verdict.index << " seed " << f.verdict.case_seed
+       << ": " << f.verdict.violation << "\n  " << f.scenario.describe()
+       << "\n";
+  if (result.shrunk_valid)
+    os << "shrunk counterexample: " << result.shrunk.describe() << "\n"
+       << "shrunk violation: " << result.shrunk_violation << "\n";
+  return os.str();
+}
+
+}  // namespace asyncmac::verify

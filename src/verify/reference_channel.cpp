@@ -1,0 +1,122 @@
+#include "verify/reference_channel.h"
+
+#include <sstream>
+
+#include "channel/ledger.h"
+
+namespace asyncmac::verify {
+
+namespace {
+
+template <typename... Ts>
+trace::CheckResult fail(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return {false, os.str()};
+}
+
+}  // namespace
+
+bool ReferenceChannel::successful(std::size_t i) const {
+  if (cached_) return success_cache_[i];
+  for (std::size_t j = 0; j < txs_.size(); ++j) {
+    if (j == i) continue;
+    if (channel::intervals_overlap(txs_[i].begin, txs_[i].end, txs_[j].begin,
+                                   txs_[j].end))
+      return false;
+  }
+  return true;
+}
+
+bool ReferenceChannel::successful(StationId station, Tick begin,
+                                  Tick end) const {
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (txs_[i].station == station && txs_[i].begin == begin &&
+        txs_[i].end == end)
+      return successful(i);
+  }
+  throw std::logic_error("reference channel: no such transmission");
+}
+
+void ReferenceChannel::cache_success() {
+  success_cache_.assign(txs_.size(), false);
+  cached_ = false;  // successful(i) must compute, not read the cache
+  for (std::size_t i = 0; i < txs_.size(); ++i)
+    success_cache_[i] = successful(i);
+  cached_ = true;
+}
+
+Feedback ReferenceChannel::feedback(Tick s, Tick t) const {
+  bool overlap = false;
+  for (std::size_t i = 0; i < txs_.size(); ++i) {
+    if (txs_[i].end > s && txs_[i].end <= t && successful(i))
+      return Feedback::kAck;
+    if (channel::intervals_overlap(txs_[i].begin, txs_[i].end, s, t))
+      overlap = true;
+  }
+  return overlap ? Feedback::kBusy : Feedback::kSilence;
+}
+
+trace::CheckResult check_channel_oracle(
+    const std::vector<trace::SlotRecord>& slots) {
+  const Tick horizon = trace::checkable_horizon(slots);
+  const auto txs = trace::transmissions_of(slots);
+
+  ReferenceChannel ref;
+  for (const auto& t : txs) ref.add(t);
+  ref.cache_success();
+
+  channel::Ledger ledger;
+  for (const auto& t : txs) ledger.add(t);
+
+  for (const auto& s : slots) {
+    if (s.end > horizon) continue;  // may depend on unrecorded slots
+    const Feedback from_ref = ref.feedback(s.begin, s.end);
+    const Feedback from_ledger = ledger.feedback(s.begin, s.end);
+    if (from_ref != from_ledger)
+      return fail("ledger/reference disagree on slot [", s.begin, ",", s.end,
+                  ") of station ", s.station, ": ledger says ",
+                  to_string(from_ledger), ", reference says ",
+                  to_string(from_ref));
+    if (s.feedback != from_ref)
+      return fail("station ", s.station, " slot ", s.index, " at [", s.begin,
+                  ",", s.end, ") recorded ", to_string(s.feedback),
+                  " but the reference channel derives ", to_string(from_ref));
+  }
+  return {};
+}
+
+trace::CheckResult check_ledger_history(const sim::Engine& engine) {
+  const channel::Ledger& ledger = engine.ledger();
+  // Union of archived and live entries = everything ever registered.
+  std::vector<channel::Transmission> all = ledger.full_history();
+  for (const auto& t : ledger.window()) all.push_back(t);
+
+  const std::uint64_t registered = ledger.stats().transmissions;
+  if (all.size() != registered)
+    return fail("ledger history leak: ", registered,
+                " transmissions registered but history+window hold ",
+                all.size());
+
+  ReferenceChannel ref;
+  for (const auto& t : all) ref.add(t);
+  ref.cache_success();
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const channel::Transmission& t = all[i];
+    const bool archived = i < ledger.full_history().size();
+    if (archived && !t.decided)
+      return fail("archived transmission [", t.begin, ",", t.end,
+                  ") of station ", t.station, " was never finalized");
+    if (!t.decided) continue;  // in-flight tail of the live window
+    if (t.successful != ref.successful(i))
+      return fail("success flag of station ", t.station, " [", t.begin, ",",
+                  t.end, ") is ", t.successful ? "true" : "false",
+                  " but the reference derives ",
+                  ref.successful(i) ? "true" : "false",
+                  archived ? " (archived by prune)" : " (live window)");
+  }
+  return {};
+}
+
+}  // namespace asyncmac::verify

@@ -1,0 +1,75 @@
+// asyncmac/verify/reference_channel.h
+//
+// A deliberately naive re-derivation of the Section-II channel semantics,
+// used as a differential oracle against the optimized channel::Ledger.
+// Success of a transmission is decided by scanning every other
+// transmission for overlap; slot feedback by scanning every transmission.
+// There is no windowing, no lower_bound seek, no pruning and no lazy
+// finalization — exactly the machinery the Ledger optimizes, so any
+// disagreement between the two convicts the optimization (or the model).
+// Correctness of this class is meant to be evident by inspection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/transmission.h"
+#include "sim/engine.h"
+#include "trace/invariants.h"
+#include "trace/recorder.h"
+#include "util/types.h"
+
+namespace asyncmac::verify {
+
+class ReferenceChannel {
+ public:
+  /// Register a transmission interval. Order does not matter (the
+  /// reference never assumes sortedness — one less shared assumption
+  /// with the Ledger).
+  void add(const channel::Transmission& t) { txs_.push_back(t); }
+
+  /// A transmission is successful iff no other transmission overlaps it
+  /// (Section II). O(T) scan over everything.
+  bool successful(std::size_t i) const;
+
+  /// Success verdict for the transmission occupying [begin, end) of
+  /// `station`; the (station, begin, end) triple is unique by the
+  /// engine's one-slot-at-a-time guarantee. O(T).
+  bool successful(StationId station, Tick begin, Tick end) const;
+
+  /// Exact feedback for a slot [s, t): ack iff a successful transmission
+  /// ends in (s, t], else busy iff any transmission overlaps [s, t),
+  /// else silence. O(T^2) unless cache_success() was called first.
+  Feedback feedback(Tick s, Tick t) const;
+
+  /// Precompute all success flags (O(T^2) once), making subsequent
+  /// feedback() calls O(T). Call after the last add().
+  void cache_success();
+
+  const std::vector<channel::Transmission>& transmissions() const {
+    return txs_;
+  }
+
+ private:
+  std::vector<channel::Transmission> txs_;
+  std::vector<bool> success_cache_;  ///< valid when cached_
+  bool cached_ = false;
+};
+
+/// Differential oracle over a recorded trace: rebuild the transmission
+/// set, then require three-way agreement on every checkable slot between
+/// (a) the feedback the engine recorded, (b) a fresh optimized Ledger
+/// replay and (c) the naive reference — convicting either the live
+/// engine/ledger interaction or the Ledger's windowed feedback scan.
+trace::CheckResult check_channel_oracle(
+    const std::vector<trace::SlotRecord>& slots);
+
+/// Cross-check the engine's own ledger — live window plus the entries
+/// prune_before() archived into full_history() — against the reference:
+/// every decided transmission's success flag must match the naive
+/// verdict, and archiving must have lost nothing (history + window
+/// account for every registered transmission). Requires the engine to
+/// have been built with keep_channel_history (build_engine does).
+trace::CheckResult check_ledger_history(const sim::Engine& engine);
+
+}  // namespace asyncmac::verify

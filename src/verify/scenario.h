@@ -1,0 +1,87 @@
+// asyncmac/verify/scenario.h
+//
+// Self-contained, serializable descriptions of whole simulator runs, and
+// a deterministic generator over them. A Scenario pins every degree of
+// freedom of an execution — protocol, topology (n, R), the adversarial
+// slot-length schedule, the injection adversary and the engine seed — so
+// that one plain-data record replays a run bit-for-bit on any machine.
+//
+// ScenarioGen searches adversary space: it derives each case from a
+// single 64-bit seed through a splittable PRNG (one child generator per
+// decision group), so a failing case replays from its printed seed alone
+// and adding draws to one group never perturbs another. This is the
+// entry point of the fuzzing campaign (see verify/campaign.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/injectors.h"
+#include "sim/engine.h"
+#include "util/types.h"
+
+namespace asyncmac::verify {
+
+struct Scenario {
+  std::string protocol = "ao-arrow";  ///< analysis registry name
+  std::uint32_t n = 2;                ///< stations
+  std::uint32_t bound_r = 2;          ///< asynchrony bound R
+  std::string slot_policy = "perstation";  ///< adversary policy name
+  Tick horizon_units = 100;           ///< simulated time units
+  std::uint64_t seed = 1;             ///< engine + slot-policy seed
+  adversary::InjectorSpec injector;
+  /// Generator seed this scenario was derived from (0 = handwritten).
+  std::uint64_t case_seed = 0;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// One-line human-readable summary (deterministic; used in campaign
+  /// output, so its format is part of the jobs-determinism contract).
+  std::string describe() const;
+};
+
+/// Build the engine a scenario describes, with trace recording and full
+/// channel history enabled (verification needs both). Throws
+/// std::invalid_argument on unknown protocol/policy/injector names.
+std::unique_ptr<sim::Engine> build_engine(const Scenario& s);
+
+/// Run the scenario to its horizon and return the engine.
+std::unique_ptr<sim::Engine> run_scenario(const Scenario& s);
+
+/// The protocols the generator samples from: the paper's core algorithms
+/// plus every queue-driven baseline.
+const std::vector<std::string>& default_protocol_pool();
+
+/// Derive the full scenario a case seed denotes — a pure function of the
+/// seed, shared by generation, replay and shrinking.
+Scenario scenario_from_seed(std::uint64_t case_seed);
+
+/// As above but restricted to a protocol subset (used by campaign configs
+/// that target specific protocols). `pool` must be non-empty.
+Scenario scenario_from_seed(std::uint64_t case_seed,
+                            const std::vector<std::string>& pool);
+
+class ScenarioGen {
+ public:
+  /// `campaign_seed` identifies the whole campaign; case i's seed is a
+  /// SplitMix64 mix of (campaign_seed, i), so case seeds are decorrelated
+  /// and each one regenerates its scenario without the campaign context.
+  explicit ScenarioGen(std::uint64_t campaign_seed,
+                       std::vector<std::string> pool = {});
+
+  /// Seed of 0-based case `index`.
+  std::uint64_t case_seed(std::uint64_t index) const;
+
+  /// Scenario of 0-based case `index`.
+  Scenario generate(std::uint64_t index) const;
+
+  const std::vector<std::string>& pool() const { return pool_; }
+
+ private:
+  std::uint64_t campaign_seed_;
+  std::vector<std::string> pool_;
+};
+
+}  // namespace asyncmac::verify

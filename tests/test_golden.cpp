@@ -1,13 +1,17 @@
 // Golden-trace regression tests: two committed execution traces
 // (tests/golden/*.trace) must be reproduced byte-for-byte by the current
-// build. Any divergence means the simulator's observable behaviour
-// changed — which, for an exact model, is always worth a conscious
-// decision (regenerate the goldens only on purpose, with a DESIGN.md
-// note).
+// build, and every minimized fuzz corpus case (tests/golden/fuzz/*.json)
+// must replay clean with a byte-identical regenerated trace. Any
+// divergence means the simulator's observable behaviour changed — which,
+// for an exact model, is always worth a conscious decision (regenerate
+// the goldens only on purpose, with a DESIGN.md note).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "adversary/injectors.h"
 #include "adversary/slot_policies.h"
@@ -16,6 +20,7 @@
 #include "sim/engine.h"
 #include "sim_helpers.h"
 #include "trace/serialize.h"
+#include "verify/repro.h"
 
 namespace asyncmac {
 namespace {
@@ -85,6 +90,35 @@ TEST(Golden, AbsElectionTraceIsBitStable) {
   ASSERT_FALSE(golden.empty()) << "golden file missing";
   EXPECT_EQ(text, golden);
   EXPECT_TRUE(trace::verify_trace_text(golden));
+}
+
+TEST(Golden, FuzzCorpusReplaysCleanAndBitStable) {
+  // Every pinned corpus case: parse, replay, and require (a) all
+  // invariants clean, (b) the current build regenerates the embedded
+  // trace byte-for-byte. New cases join via
+  //   asyncmac_cli fuzz --emit-case=I --repro-out=tests/golden/fuzz/...
+  // (which refuses to pin a violating case).
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(golden_dir() + "/fuzz")) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "fuzz corpus is empty";
+
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = read_file(path.string());
+    ASSERT_FALSE(text.empty());
+    const verify::Repro repro = verify::parse_repro_json(text);
+    EXPECT_TRUE(repro.violation.empty())
+        << "corpus cases must be pinned clean";
+    ASSERT_FALSE(repro.trace_text.empty());
+    const verify::ReplayOutcome outcome = verify::replay_repro(repro);
+    EXPECT_TRUE(outcome.case_result.ok) << outcome.case_result.what;
+    EXPECT_TRUE(outcome.trace_matches);
+    EXPECT_TRUE(outcome.reproduced);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Round-trip and robustness fuzzing of trace/serialize: every trace the
+// engine can produce must survive serialize -> parse -> serialize
+// byte-identically, and NO byte-level corruption of a trace file may
+// crash the parser — malformed input fails with std::invalid_argument,
+// nothing else, ever (repro files come back in from disk).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/serialize.h"
+#include "util/rng.h"
+#include "verify/scenario.h"
+
+namespace asyncmac {
+namespace {
+
+std::string serialized_trace_of(std::uint64_t case_seed) {
+  const verify::Scenario s = verify::scenario_from_seed(case_seed);
+  auto engine = verify::run_scenario(s);
+  return trace::serialize_trace({s.n, s.bound_r}, engine->trace().slots());
+}
+
+TEST(SerializeFuzz, EngineTracesRoundTripByteIdentically) {
+  for (std::uint64_t case_seed = 101; case_seed < 113; ++case_seed) {
+    const std::string text = serialized_trace_of(case_seed);
+    ASSERT_FALSE(text.empty());
+    const trace::ParsedTrace parsed = trace::parse_trace(text);
+    const std::string again =
+        trace::serialize_trace(parsed.header, parsed.slots);
+    EXPECT_EQ(text, again) << "case seed " << case_seed;
+  }
+}
+
+TEST(SerializeFuzz, MalformedInputsThrowInvalidArgument) {
+  const std::vector<std::string> bad = {
+      "",
+      "\n",
+      "asyncmac-trace v2 n=2 r=1\n",
+      "wrong-magic v1 n=2 r=1\n",
+      "asyncmac-trace v1 n=2\n",
+      "asyncmac-trace v1 n=2 r=1 extra\n",
+      "asyncmac-trace v1 n=x r=1\n",
+      "asyncmac-trace v1 n=99999999999999999999 r=1\n",
+      "asyncmac-trace v1 n=2 r=1\nslot\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 0 720720\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 0 720720 listen silence x\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 0 0 720720 listen silence\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 -5 720720 listen silence\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 720720 720720 listen silence\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 0 720720 dance silence\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1 1 0 720720 listen loud\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 0 1 0 720720 listen silence\n",
+      "asyncmac-trace v1 n=2 r=1\nslot 1x 1 0 720720 listen silence\n",
+      "asyncmac-trace v1 n=2 r=1\ngarbage line\n",
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW(trace::parse_trace(text), std::invalid_argument)
+        << "accepted: " << text;
+  }
+}
+
+TEST(SerializeFuzz, RandomMutationsNeverCrashTheParser) {
+  const std::string base = serialized_trace_of(4242);
+  ASSERT_FALSE(base.empty());
+  util::Rng rng(0x5E71A112EULL);
+  const std::string alphabet =
+      "slot 0123456789-\nabcdefghijklmnopqrstuvwxyz=.";
+  int parsed_ok = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::string text = base;
+    const int edits = static_cast<int>(rng.range(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      if (text.empty()) break;
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(4)) {
+        case 0:  // substitute
+          text[pos] = alphabet[rng.below(alphabet.size())];
+          break;
+        case 1:  // delete
+          text.erase(pos, 1);
+          break;
+        case 2:  // insert
+          text.insert(pos, 1, alphabet[rng.below(alphabet.size())]);
+          break;
+        default:  // truncate
+          text.resize(pos);
+          break;
+      }
+    }
+    // A mutation may leave the text valid (e.g. it touched only a
+    // numeric value); what it must never do is escape with anything but
+    // std::invalid_argument.
+    try {
+      const trace::ParsedTrace parsed = trace::parse_trace(text);
+      trace::serialize_trace(parsed.header, parsed.slots);
+      ++parsed_ok;
+    } catch (const std::invalid_argument&) {
+      // expected for most mutations
+    }
+  }
+  // Sanity: the campaign is meaningful — most mutations must actually
+  // corrupt the text (if everything still parsed, the oracle is dead).
+  EXPECT_LT(parsed_ok, 400);
+}
+
+TEST(SerializeFuzz, VerifyTraceTextAcceptsEngineOutput) {
+  const std::string text = serialized_trace_of(777);
+  const trace::CheckResult res = trace::verify_trace_text(text);
+  EXPECT_TRUE(res.ok) << res.what;
+}
+
+}  // namespace
+}  // namespace asyncmac

@@ -1,0 +1,210 @@
+// Differential tests pinning channel::Ledger::feedback against the
+// deliberately naive verify::ReferenceChannel on randomized workloads.
+// The interesting regime is the Ledger's windowed scan: it only visits
+// entries with begin > s - max_duration(), so these tests place slots
+// straddling exactly that boundary — and exercise prune_before under
+// keep_history, where archived entries must still add up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "channel/ledger.h"
+#include "channel/transmission.h"
+#include "trace/invariants.h"
+#include "util/rng.h"
+#include "verify/reference_channel.h"
+#include "verify/scenario.h"
+
+namespace asyncmac {
+namespace {
+
+using channel::Ledger;
+using channel::Transmission;
+using verify::ReferenceChannel;
+
+Transmission tx(StationId station, Tick begin, Tick end) {
+  Transmission t;
+  t.station = station;
+  t.begin = begin;
+  t.end = end;
+  return t;
+}
+
+/// Load the same transmission set into both implementations. The Ledger
+/// requires non-decreasing begins; the reference must not (one less
+/// shared assumption), so it gets them in reverse.
+void load(const std::vector<Transmission>& txs, Ledger& ledger,
+          ReferenceChannel& ref) {
+  std::vector<Transmission> sorted = txs;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Transmission& a, const Transmission& b) {
+                     return a.begin < b.begin;
+                   });
+  for (const Transmission& t : sorted) ledger.add(t);
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) ref.add(*it);
+  ref.cache_success();
+}
+
+TEST(VerifyOracle, WindowBoundaryExactlyAtMaxDuration) {
+  // One long transmission fixes max_duration = 10. The slot [s, t) =
+  // [20, 25) must NOT see a transmission with begin == s - 10 == 10
+  // (its end can be at most 20 == s: touching, no overlap, no ack) but
+  // MUST see begin == 11 with end 21 (overlaps and acks if successful).
+  const std::vector<Transmission> txs = {
+      tx(1, 0, 10),    // sets max_duration = 10, long gone by s = 20
+      tx(2, 10, 20),   // begin == s - max_duration: excluded, correctly
+      tx(3, 11, 21),   // begin == s - max_duration + 1: in window
+  };
+  Ledger ledger;
+  ReferenceChannel ref;
+  load(txs, ledger, ref);
+
+  // tx(3) overlaps tx(2) on [11, 20): both collided, tx(1) succeeded.
+  EXPECT_TRUE(ref.successful(1, 0, 10));
+  EXPECT_FALSE(ref.successful(2, 10, 20));
+  EXPECT_FALSE(ref.successful(3, 11, 21));
+
+  // [20, 25): only tx(3) reaches in — collided, so busy.
+  EXPECT_EQ(ledger.max_duration(), 10);
+  EXPECT_EQ(ledger.feedback(20, 25), Feedback::kBusy);
+  EXPECT_EQ(ref.feedback(20, 25), Feedback::kBusy);
+  // [21, 25): tx(3) ended at 21 == s: charged to the previous slot.
+  EXPECT_EQ(ledger.feedback(21, 25), Feedback::kSilence);
+  EXPECT_EQ(ref.feedback(21, 25), Feedback::kSilence);
+  // [9, 12): tx(1) ends at 10 in (9, 12] and was successful: ack beats
+  // the concurrent busy overlap of tx(2) and tx(3).
+  EXPECT_EQ(ledger.feedback(9, 12), Feedback::kAck);
+  EXPECT_EQ(ref.feedback(9, 12), Feedback::kAck);
+}
+
+TEST(VerifyOracle, AckFromBoundarySuccessor) {
+  // A successful transmission whose begin sits exactly one past the
+  // window cutoff and whose end falls inside (s, t] must produce ack.
+  const std::vector<Transmission> txs = {
+      tx(1, 0, 8),    // max_duration = 8
+      tx(2, 13, 21),  // begin == 21 - 8 == s - max_duration... for s=21
+  };
+  Ledger ledger;
+  ReferenceChannel ref;
+  load(txs, ledger, ref);
+  EXPECT_EQ(ledger.max_duration(), 8);
+  // s = 20: cutoff is begin > 12, so tx(2) (begin 13) is scanned; it
+  // ends at 21 in (20, 24] and is successful -> ack.
+  EXPECT_EQ(ledger.feedback(20, 24), Feedback::kAck);
+  EXPECT_EQ(ref.feedback(20, 24), Feedback::kAck);
+  // s = 21: tx(2).end == 21 == s is charged to the earlier slot; and
+  // begin 13 == s - max_duration is exactly the excluded boundary.
+  EXPECT_EQ(ledger.feedback(21, 24), Feedback::kSilence);
+  EXPECT_EQ(ref.feedback(21, 24), Feedback::kSilence);
+}
+
+TEST(VerifyOracle, RandomizedDifferentialStraddlesWindowBoundary) {
+  util::Rng rng(0xB0117DA7ULL);
+  for (int round = 0; round < 40; ++round) {
+    util::Rng r = rng.split();
+    std::vector<Transmission> txs;
+    Tick begin = 0;
+    const std::uint64_t count = static_cast<std::uint64_t>(r.range(2, 60));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      begin += r.range(0, 12);
+      // Mostly short transmissions with occasional long outliers, so
+      // max_duration is dominated by a few entries and the window
+      // cutoff regularly excludes live-but-unreachable neighbors.
+      const Tick dur = r.chance(0.15) ? r.range(20, 40) : r.range(1, 6);
+      txs.push_back(tx(static_cast<StationId>(i + 1), begin, begin + dur));
+    }
+    Ledger ledger;
+    ReferenceChannel ref;
+    load(txs, ledger, ref);
+    const Tick D = ledger.max_duration();
+
+    // Candidate slot starts: random points plus, for every transmission,
+    // the exact positions that put its begin at the window cutoff
+    // (s = begin + D) and one tick to either side.
+    std::vector<Tick> starts;
+    for (const Transmission& t : txs) {
+      starts.push_back(t.begin + D);
+      starts.push_back(t.begin + D - 1);
+      starts.push_back(t.begin + D + 1);
+      starts.push_back(t.end);
+      starts.push_back(t.end - 1);
+    }
+    for (int i = 0; i < 30; ++i)
+      starts.push_back(r.range(0, begin + 50));
+    for (Tick s : starts) {
+      if (s < 0) continue;
+      const Tick t = s + r.range(1, 15);
+      EXPECT_EQ(ledger.feedback(s, t), ref.feedback(s, t))
+          << "round " << round << " slot [" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(VerifyOracle, PruneUnderKeepHistoryLosesNothing) {
+  util::Rng rng(0x9121E5ULL);
+  for (int round = 0; round < 20; ++round) {
+    util::Rng r = rng.split();
+    Ledger ledger(/*keep_history=*/true);
+    ReferenceChannel ref;
+    std::vector<Transmission> txs;
+    Tick begin = 0;
+    for (int i = 0; i < 80; ++i) {
+      begin += r.range(0, 8);
+      const Tick dur = r.chance(0.1) ? r.range(15, 30) : r.range(1, 5);
+      txs.push_back(tx(static_cast<StationId>(i + 1), begin, begin + dur));
+    }
+    // First half in, then prune, then the rest — queries after the prune
+    // horizon must still agree with the unpruned reference.
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      ledger.add(txs[i]);
+      ref.add(txs[i]);
+      if (i == txs.size() / 2) ledger.prune_before(txs[i].begin);
+    }
+    ref.cache_success();
+    const Tick horizon = txs[txs.size() / 2].begin;
+
+    for (int i = 0; i < 120; ++i) {
+      const Tick s = horizon + r.range(0, begin - horizon + 40);
+      const Tick t = s + r.range(1, 12);
+      EXPECT_EQ(ledger.feedback(s, t), ref.feedback(s, t))
+          << "round " << round << " slot [" << s << ", " << t << ")";
+    }
+
+    // Archiving must have lost nothing, and archived success flags must
+    // match the naive verdict.
+    ledger.finalize_until(begin + 100);
+    EXPECT_EQ(ledger.full_history().size() + ledger.window().size(),
+              ledger.stats().transmissions);
+    for (const Transmission& t : ledger.full_history()) {
+      EXPECT_TRUE(t.decided);
+      EXPECT_EQ(t.successful, ref.successful(t.station, t.begin, t.end));
+    }
+  }
+}
+
+TEST(VerifyOracle, EngineHistoryCrossCheckAfterMaybePrune) {
+  // A horizon long enough that the engine's periodic maybe_prune (every
+  // 4096 steps) actually fires: the oracle then exercises the archived
+  // history path, not just the live window.
+  verify::Scenario s;
+  s.protocol = "aloha";
+  s.n = 4;
+  s.bound_r = 2;
+  s.slot_policy = "sync";
+  s.horizon_units = 2000;
+  s.seed = 7;
+  s.injector.kind = "saturating";
+  s.injector.rho = util::Ratio(3, 4);
+  auto engine = verify::run_scenario(s);
+  ASSERT_FALSE(engine->ledger().full_history().empty())
+      << "horizon too short to trigger maybe_prune";
+
+  const auto oracle = verify::check_channel_oracle(engine->trace().slots());
+  EXPECT_TRUE(oracle.ok) << oracle.what;
+  const auto history = verify::check_ledger_history(*engine);
+  EXPECT_TRUE(history.ok) << history.what;
+}
+
+}  // namespace
+}  // namespace asyncmac

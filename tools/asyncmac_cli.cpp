@@ -32,11 +32,30 @@
 //                  records are byte-identical for every J
 //   --csv=PATH     grid mode: also write the records as CSV
 //
-// Exit code 0 on success; 2 on bad usage.
+// Fuzzing subcommand (property-fuzzing campaign, see src/verify/):
+//
+//   asyncmac_cli fuzz --seed 1 --cases 1000 --jobs 0
+//
+//   --seed=S         campaign seed; case K's seed derives from it
+//   --cases=K        generated cases (default 1000)
+//   --jobs=J         worker threads, 0 = all cores (default 0)
+//   --time-budget=T  wall-clock cap in seconds, 0 = unlimited
+//   --protocol=LIST  restrict the generated protocol pool (comma list)
+//   --no-shrink      skip counterexample minimization
+//   --repro-out=P    failure repro path (default asyncmac_fuzz_repro.json)
+//   --repro=FILE     replay a repro file instead of running a campaign
+//   --case-seed=X    run the one scenario case seed X derives
+//   --emit-case=I    pin campaign case I as a clean repro to --repro-out
+//   (fuzz flags also accept the two-token "--flag value" form)
+//
+// Exit code 0 on success; 1 on fuzz violations / failed replay; 2 on bad
+// usage.
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,6 +67,8 @@
 #include "metrics/json.h"
 #include "sim/engine.h"
 #include "trace/renderer.h"
+#include "verify/campaign.h"
+#include "verify/repro.h"
 
 namespace {
 
@@ -205,20 +226,21 @@ std::unique_ptr<sim::SlotPolicy> make_policy(const Options& opt) {
 
 std::unique_ptr<sim::InjectionPolicy> make_injector(const Options& opt,
                                                     util::Ratio rho) {
-  using namespace asyncmac::adversary;
-  const Tick burst = opt.burst_units * U;
-  if (opt.pattern == "roundrobin")
-    return std::make_unique<SaturatingInjector>(
-        rho, burst, TargetPattern::kRoundRobin, 1, opt.seed + 1);
-  if (opt.pattern == "single")
-    return std::make_unique<SaturatingInjector>(
-        rho, burst, TargetPattern::kSingle, 1, opt.seed + 1);
-  if (opt.pattern == "random")
-    return std::make_unique<SaturatingInjector>(
-        rho, burst, TargetPattern::kRandom, 1, opt.seed + 1);
-  if (opt.pattern == "maxqueue")
-    return std::make_unique<MaxQueueInjector>(rho, burst);
-  usage("unknown pattern: " + opt.pattern);
+  adversary::InjectorSpec spec;
+  spec.rho = rho;
+  spec.burst_ticks = opt.burst_units * U;
+  spec.seed = opt.seed + 1;
+  if (opt.pattern == "maxqueue") {
+    spec.kind = "maxqueue";
+  } else {
+    spec.kind = "saturating";
+    spec.pattern = opt.pattern;
+  }
+  try {
+    return adversary::make_injector(spec);
+  } catch (const std::invalid_argument&) {
+    usage("unknown pattern: " + opt.pattern);
+  }
 }
 
 std::unique_ptr<sim::Engine> build_engine(const Options& opt,
@@ -255,9 +277,194 @@ int run_msr(const Options& opt) {
   return 0;
 }
 
+// ------------------------------------------------------------------- fuzz
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 1000;
+  unsigned jobs = 0;
+  int time_budget = 0;
+  bool shrink = true;
+  std::vector<std::string> protocols;
+  std::string repro_out = "asyncmac_fuzz_repro.json";
+  std::string repro_in;       // replay mode
+  std::uint64_t case_seed = 0;   // single-case mode (0 = off)
+  bool has_emit_case = false;
+  std::uint64_t emit_case = 0;   // corpus-pinning mode
+};
+
+FuzzOptions parse_fuzz_args(int argc, char** argv) {
+  FuzzOptions opt;
+  // Accept both --flag=value and the two-token --flag value form.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.push_back(arg);
+      args.push_back(argv[++i]);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage(flag + " needs a value");
+      return args[++i];
+    };
+    try {
+      if (flag == "--seed")
+        opt.seed = std::stoull(value());
+      else if (flag == "--cases")
+        opt.cases = std::stoull(value());
+      else if (flag == "--jobs")
+        opt.jobs = static_cast<unsigned>(std::stoul(value()));
+      else if (flag == "--time-budget")
+        opt.time_budget = static_cast<int>(std::stol(value()));
+      else if (flag == "--protocol")
+        opt.protocols = split_list(value());
+      else if (flag == "--no-shrink")
+        opt.shrink = false;
+      else if (flag == "--repro-out")
+        opt.repro_out = value();
+      else if (flag == "--repro")
+        opt.repro_in = value();
+      else if (flag == "--case-seed")
+        opt.case_seed = std::stoull(value());
+      else if (flag == "--emit-case") {
+        opt.has_emit_case = true;
+        opt.emit_case = std::stoull(value());
+      } else
+        usage("unknown fuzz argument: " + flag);
+    } catch (const std::invalid_argument&) {
+      usage("bad value for " + flag);
+    } catch (const std::out_of_range&) {
+      usage("bad value for " + flag);
+    }
+  }
+  if (opt.cases < 1) usage("--cases must be >= 1");
+  if (opt.time_budget < 0) usage("--time-budget must be >= 0");
+  return opt;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) usage("cannot write " + path);
+  out << text;
+}
+
+int replay_repro_file(const FuzzOptions& opt) {
+  verify::Repro repro;
+  try {
+    repro = verify::parse_repro_json(read_text_file(opt.repro_in));
+  } catch (const std::invalid_argument& e) {
+    usage(std::string("bad repro file: ") + e.what());
+  }
+  const auto outcome = verify::replay_repro(repro);
+  std::cout << "repro: " << repro.scenario.describe() << "\n"
+            << "recorded: "
+            << (repro.violation.empty() ? std::string("clean")
+                                        : repro.violation)
+            << "\n"
+            << "replay:   "
+            << (outcome.case_result.ok ? std::string("clean")
+                                       : outcome.case_result.what)
+            << "\n";
+  if (!repro.trace_text.empty())
+    std::cout << "trace:    "
+              << (outcome.trace_matches ? "byte-identical" : "DIVERGED")
+              << "\n";
+  std::cout << (outcome.reproduced ? "REPRODUCED\n" : "NOT REPRODUCED\n");
+  return outcome.reproduced ? 0 : 1;
+}
+
+int run_single_case(std::uint64_t case_seed,
+                    const std::vector<std::string>& pool) {
+  const verify::Scenario s =
+      pool.empty() ? verify::scenario_from_seed(case_seed)
+                   : verify::scenario_from_seed(case_seed, pool);
+  std::cout << "case: " << s.describe() << "\n";
+  const auto r = verify::run_case(s);
+  if (r.ok) {
+    std::cout << "clean\n";
+    return 0;
+  }
+  std::cout << "VIOLATION: " << r.what << "\n";
+  return 1;
+}
+
+int emit_corpus_case(const FuzzOptions& opt) {
+  const verify::ScenarioGen gen(opt.seed, opt.protocols);
+  const verify::Scenario s = gen.generate(opt.emit_case);
+  const auto r = verify::run_case(s);
+  if (!r.ok) {
+    std::cerr << "refusing to pin a violating case: " << r.what << "\n";
+    return 1;
+  }
+  write_text_file(opt.repro_out, verify::to_json(verify::make_repro(s, "")));
+  std::cout << "pinned case " << opt.emit_case << " (seed " << s.case_seed
+            << ") to " << opt.repro_out << "\n  " << s.describe() << "\n";
+  return 0;
+}
+
+int run_fuzz(int argc, char** argv) {
+  const FuzzOptions opt = parse_fuzz_args(argc, argv);
+  if (!opt.repro_in.empty()) return replay_repro_file(opt);
+  if (opt.case_seed != 0) return run_single_case(opt.case_seed, opt.protocols);
+  if (opt.has_emit_case) return emit_corpus_case(opt);
+
+  verify::CampaignConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.cases = opt.cases;
+  cfg.jobs = opt.jobs;
+  cfg.time_budget_seconds = opt.time_budget;
+  cfg.shrink = opt.shrink;
+  cfg.protocols = opt.protocols;
+
+  std::cout << "fuzz: seed=" << opt.seed << " cases=" << opt.cases
+            << " jobs=" << opt.jobs << "\n";
+  verify::CampaignResult result;
+  try {
+    result = verify::run_campaign(cfg);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  std::cout << verify::summarize(result);
+  if (result.failures.empty()) return 0;
+
+  // Write the minimal counterexample (or the raw first failure when
+  // shrinking is off) as a replayable repro file.
+  const verify::Scenario& worst =
+      result.shrunk_valid ? result.shrunk : result.failures.front().scenario;
+  const std::string& violation = result.shrunk_valid
+                                     ? result.shrunk_violation
+                                     : result.failures.front().verdict.violation;
+  write_text_file(opt.repro_out,
+                  verify::to_json(verify::make_repro(worst, violation)));
+  std::cout << "repro written to " << opt.repro_out
+            << " (replay: asyncmac_cli fuzz --repro " << opt.repro_out
+            << ")\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "fuzz")
+    return run_fuzz(argc - 2, argv + 2);
   const Options opt = parse_args(argc, argv);
   if (opt.grid) return run_experiment_grid(opt);
   if (opt.msr) return run_msr(opt);
