@@ -7,6 +7,7 @@
 // simulations.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "core/bounds.h"
 #include "core/ca_arrow.h"
 #include "sim/engine.h"
+#include "telemetry/jsonl.h"
+#include "telemetry/registry.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -25,6 +28,22 @@
 namespace asyncmac::bench {
 
 inline constexpr Tick U = kTicksPerUnit;
+
+/// Opt-in telemetry for the bench binaries: exporting to the JSONL path
+/// named by ASYNCMAC_TELEMETRY (if set) the first time any harness run
+/// executes. Bench binaries have no flag plumbing of their own
+/// (google-benchmark owns argv), so the environment is the switch.
+inline void maybe_init_telemetry() {
+  static const bool done = [] {
+    if (const char* path = std::getenv("ASYNCMAC_TELEMETRY");
+        path && *path) {
+      telemetry::enable_to_file(path);
+      telemetry::emit("bench.telemetry_enabled", {{"path", std::string(path)}});
+    }
+    return true;
+  }();
+  (void)done;
+}
 
 /// One protocol instance per station, all of type T.
 template <typename T, typename... Args>
@@ -81,6 +100,13 @@ PtResult run_pt(std::uint32_t n, std::uint32_t R, util::Ratio rho, Tick burst,
                 Tick horizon, bool synchronous = false,
                 std::unique_ptr<sim::InjectionPolicy> injector = nullptr,
                 std::uint64_t seed = 1) {
+  maybe_init_telemetry();
+  static auto& pt_runs =
+      telemetry::Registry::global().counter("bench.pt_runs");
+  static auto& pt_timer =
+      telemetry::Registry::global().timer("bench.pt_run_ns");
+  const telemetry::ScopeTimer scope(pt_timer);
+  pt_runs.add();
   sim::EngineConfig cfg;
   cfg.n = n;
   cfg.bound_r = R;
@@ -117,6 +143,7 @@ PtResult run_pt(std::uint32_t n, std::uint32_t R, util::Ratio rho, Tick burst,
 template <typename F>
 auto replicate_seeds(int seeds, std::uint64_t base_seed, unsigned jobs,
                      F&& fn) {
+  maybe_init_telemetry();
   using R = decltype(fn(std::uint64_t{}));
   std::vector<R> out(static_cast<std::size_t>(seeds));
   util::parallel_for(jobs, out.size(), [&](std::size_t i) {

@@ -6,6 +6,8 @@
 #include "adversary/slot_policies.h"
 #include "analysis/registry.h"
 #include "sim/engine.h"
+#include "telemetry/jsonl.h"
+#include "telemetry/registry.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -89,11 +91,24 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
                    spec.seed + static_cast<std::uint64_t>(s) * 1000003});
 
   std::vector<ExperimentRecord> records(cells.size());
+  telemetry::emit("grid.start",
+                  {{"cells", static_cast<std::uint64_t>(cells.size())},
+                   {"jobs", static_cast<std::int64_t>(spec.jobs)},
+                   {"horizon_units", static_cast<std::int64_t>(
+                                         spec.horizon_units)}});
   util::parallel_for(spec.jobs, cells.size(), [&](std::size_t i) {
+    static auto& cell_count =
+        telemetry::Registry::global().counter("analysis.grid_cells");
+    static auto& cell_timer =
+        telemetry::Registry::global().timer("analysis.grid_cell_ns");
+    const telemetry::ScopeTimer scope(cell_timer);
     const Cell& c = cells[i];
     records[i] = run_cell(*c.protocol, c.n, c.r, c.rho, *c.policy,
                           spec.burst_units, spec.horizon_units, c.seed);
+    cell_count.add();
   });
+  telemetry::emit("grid.done",
+                  {{"cells", static_cast<std::uint64_t>(cells.size())}});
   return records;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/jsonl.h"
+#include "telemetry/registry.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -25,7 +27,17 @@ bool stable_probe(const RateEngineFactory& factory, util::Ratio rho,
   if (probes) *probes += config.seeds;
   const int stable_votes = static_cast<int>(
       std::count(stable.begin(), stable.end(), char{1}));
-  return 2 * stable_votes > config.seeds;
+  const bool verdict = 2 * stable_votes > config.seeds;
+  static auto& probe_count =
+      telemetry::Registry::global().counter("analysis.msr_probes");
+  probe_count.add(static_cast<std::uint64_t>(config.seeds));
+  telemetry::emit("msr.probe",
+                  {{"rho_num", static_cast<std::int64_t>(rho.num)},
+                   {"rho_den", static_cast<std::int64_t>(rho.den)},
+                   {"stable_votes", static_cast<std::int64_t>(stable_votes)},
+                   {"seeds", static_cast<std::int64_t>(config.seeds)},
+                   {"stable", verdict}});
+  return verdict;
 }
 
 }  // namespace

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
 #include "util/check.h"
 
 namespace asyncmac::channel {
+
+namespace {
+// Telemetry instruments (write-only observability; see DESIGN.md §5 and
+// docs/OBSERVABILITY.md). Resolved once, lock-free afterwards; every
+// record is a no-op behind one relaxed load while telemetry is disabled.
+struct LedgerTelemetry {
+  telemetry::Counter& adds =
+      telemetry::Registry::global().counter("channel.transmissions");
+  telemetry::Counter& feedback_queries =
+      telemetry::Registry::global().counter("channel.feedback_queries");
+  telemetry::Counter& feedback_scanned =
+      telemetry::Registry::global().counter("channel.feedback_scanned");
+  telemetry::Counter& prunes =
+      telemetry::Registry::global().counter("channel.prunes");
+  telemetry::Counter& pruned_entries =
+      telemetry::Registry::global().counter("channel.pruned_entries");
+  telemetry::MaxGauge& window_peak =
+      telemetry::Registry::global().gauge("channel.window_peak");
+
+  static LedgerTelemetry& get() {
+    static LedgerTelemetry t;
+    return t;
+  }
+};
+}  // namespace
 
 void Ledger::add(Transmission t) {
   AM_CHECK_MSG(t.begin >= last_begin_,
@@ -21,6 +47,8 @@ void Ledger::add(Transmission t) {
   ++stats_.transmissions;
   if (t.is_control) ++stats_.control_transmissions;
   window_.push_back(t);
+  LedgerTelemetry::get().adds.add();
+  LedgerTelemetry::get().window_peak.observe(window_.size());
 }
 
 bool Ledger::overlaps_other(const Transmission& t) const {
@@ -86,28 +114,39 @@ Feedback Ledger::feedback(Tick s, Tick t) {
       window_.begin(), window_.end(), lo_begin,
       [](const Transmission& a, Tick b) { return a.begin <= b; });
   bool any_overlap = false;
+  std::uint64_t scanned = 0;
+  auto record = [&](Feedback fb) {
+    LedgerTelemetry::get().feedback_queries.add();
+    LedgerTelemetry::get().feedback_scanned.add(scanned);
+    return fb;
+  };
   // Scan the neighborhood: begins in (s - max_duration_, t).
   for (; it != window_.end(); ++it) {
     const Transmission& tx = *it;
     if (tx.begin >= t) break;
+    ++scanned;
     if (tx.end > s && tx.end <= t) {
       AM_CHECK(tx.decided);  // end <= t means finalize_until(t) decided it
-      if (tx.successful) return Feedback::kAck;
+      if (tx.successful) return record(Feedback::kAck);
     }
     if (!any_overlap) any_overlap = intervals_overlap(tx.begin, tx.end, s, t);
   }
-  return any_overlap ? Feedback::kBusy : Feedback::kSilence;
+  return record(any_overlap ? Feedback::kBusy : Feedback::kSilence);
 }
 
 void Ledger::prune_before(Tick horizon) {
   finalize_until(horizon);
+  std::uint64_t removed = 0;
   while (!window_.empty() && window_.front().decided &&
          window_.front().end <= horizon) {
     if (keep_history_) history_.push_back(window_.front());
     window_.pop_front();
     AM_CHECK(finalized_ > 0);
     --finalized_;
+    ++removed;
   }
+  LedgerTelemetry::get().prunes.add();
+  LedgerTelemetry::get().pruned_entries.add(removed);
 }
 
 bool Ledger::transmission_successful(StationId station, Tick end) const {

@@ -1,9 +1,29 @@
 #include "core/ao_arrow.h"
 
 #include "core/bounds.h"
+#include "telemetry/registry.h"
 #include "util/check.h"
 
 namespace asyncmac::core {
+
+namespace {
+// Phase-transition telemetry for AO-ARRoW (docs/OBSERVABILITY.md).
+struct AoArrowTelemetry {
+  telemetry::Counter& elections =
+      telemetry::Registry::global().counter("core.ao_arrow.elections");
+  telemetry::Counter& wins =
+      telemetry::Registry::global().counter("core.ao_arrow.wins");
+  telemetry::Counter& long_silences =
+      telemetry::Registry::global().counter("core.ao_arrow.long_silences");
+  telemetry::Counter& syncs =
+      telemetry::Registry::global().counter("core.ao_arrow.syncs");
+
+  static AoArrowTelemetry& get() {
+    static AoArrowTelemetry t;
+    return t;
+  }
+};
+}  // namespace
 
 AoArrowProtocol::AoArrowProtocol(const AoArrowProtocol& other)
     : state_(other.state_),
@@ -26,6 +46,7 @@ std::unique_ptr<sim::Protocol> AoArrowProtocol::clone() const {
 
 SlotAction AoArrowProtocol::enter_leader_election(sim::StationContext& ctx) {
   ++elections_;
+  AoArrowTelemetry::get().elections.add();
   le_ = le_factory_ ? le_factory_(ctx.id(), ctx.n(), ctx.bound_r())
                     : AbsAutomaton::factory()(ctx.id(), ctx.n(),
                                               ctx.bound_r());
@@ -73,6 +94,7 @@ SlotAction AoArrowProtocol::next_action(
           // The winning transmission already delivered one packet
           // (prev->delivered). Box (4): drain the rest.
           ++wins_;
+          AoArrowTelemetry::get().wins.add();
           if (!ctx.queue_empty()) {
             state_ = State::kDrain;
             return SlotAction::kTransmitPacket;
@@ -123,6 +145,7 @@ SlotAction AoArrowProtocol::next_action(
       if (++silent_run_ >= threshold_) {
         // Box (7): long silence proves no election is in progress.
         ++long_silences_;
+        AoArrowTelemetry::get().long_silences.add();
         wait_ = 0;
         silent_run_ = 0;
         state_ = State::kSyncCountdown;
@@ -140,6 +163,7 @@ SlotAction AoArrowProtocol::next_action(
         if (!ctx.queue_empty()) {
           state_ = State::kSyncTransmit;
           ++syncs_;
+          AoArrowTelemetry::get().syncs.add();
           return SlotAction::kTransmitPacket;
         }
         // Nothing to transmit; re-evaluate from the top.

@@ -1,5 +1,6 @@
 #include "core/ca_arrow.h"
 
+#include "telemetry/registry.h"
 #include "util/check.h"
 
 namespace asyncmac::core {
@@ -15,6 +16,9 @@ void CaArrowProtocol::advance_turn(const sim::StationContext& ctx) {
 SlotAction CaArrowProtocol::begin_phase(sim::StationContext& ctx) {
   if (turn_ == ctx.id()) {
     ++turns_taken_;
+    static auto& turns =
+        telemetry::Registry::global().counter("core.ca_arrow.turns");
+    turns.add();
     countdown_ = 2ULL * ctx.bound_r();
     state_ = State::kCountdown;
   } else {

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
 #include "util/check.h"
 
 namespace asyncmac::sim {
+
+namespace {
+// Write-only telemetry instruments (docs/OBSERVABILITY.md). Disabled
+// telemetry reduces each record to a single relaxed atomic load, so the
+// deterministic hot loop is unaffected.
+struct EngineTelemetry {
+  telemetry::Counter& slots =
+      telemetry::Registry::global().counter("engine.slots");
+  telemetry::Counter& injections =
+      telemetry::Registry::global().counter("engine.injections");
+  telemetry::Counter& deliveries =
+      telemetry::Registry::global().counter("engine.deliveries");
+  telemetry::Counter& prunes =
+      telemetry::Registry::global().counter("engine.prunes");
+
+  static EngineTelemetry& get() {
+    static EngineTelemetry t;
+    return t;
+  }
+};
+}  // namespace
 
 Engine::Engine(EngineConfig cfg,
                std::vector<std::unique_ptr<Protocol>> protocols,
@@ -106,6 +128,7 @@ void Engine::poll_injections(Tick now) {
     rt(inj.station).ctx.push(p);
     metrics_.on_injection(inj.station, inj.cost, now);
   }
+  EngineTelemetry::get().injections.add(injection_buffer_.size());
 }
 
 bool Engine::step() {
@@ -131,7 +154,9 @@ bool Engine::step() {
     if (cfg_.record_deliveries)
       deliveries_.push_back(
           {p.seq, id, p.injected_at, p.cost, realized, t});
+    EngineTelemetry::get().deliveries.add();
   }
+  EngineTelemetry::get().slots.add();
   metrics_.on_slot_end(id, s.action);
   if (cfg_.record_trace)
     trace_.record({id, s.slot_index, s.slot_begin, s.slot_end, s.action, fb});
@@ -155,6 +180,7 @@ void Engine::maybe_prune() {
   Tick horizon = kTickInfinity;
   for (const auto& s : stations_) horizon = std::min(horizon, s.slot_begin);
   ledger_.prune_before(horizon);
+  EngineTelemetry::get().prunes.add();
 }
 
 void Engine::run(const StopCondition& stop) {

@@ -1,0 +1,64 @@
+#include "telemetry/registry.h"
+
+namespace asyncmac::telemetry {
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: cached
+  return *instance;                            // instrument pointers stay
+}                                              // valid through exit paths
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MaxGauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MaxGauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace_back(name, g->value());
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    const util::Histogram h = t->snapshot();
+    Snapshot::TimerStats stats;
+    stats.count = h.count();
+    if (!h.empty()) {
+      stats.min_ns = h.min();
+      stats.mean_ns = h.mean();
+      stats.p50_ns = h.quantile(0.5);
+      stats.p99_ns = h.quantile(0.99);
+      stats.max_ns = h.max();
+    }
+    snap.timers.emplace_back(name, stats);
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace asyncmac::telemetry

@@ -1,0 +1,177 @@
+// asyncmac/telemetry/registry.h
+//
+// Run-telemetry instruments: a process-global registry of named monotonic
+// counters, high-water gauges, and steady-clock scope timers, built for
+// observing long sweeps and fuzz campaigns while they run.
+//
+// Contract with the deterministic simulator (DESIGN.md §5):
+//   * Telemetry is strictly write-only from the simulation's point of
+//     view — no simulation decision ever reads an instrument, so enabling
+//     or disabling telemetry changes no RunStats, trace, or verdict byte.
+//   * Instruments live *outside* simulated time: counters are relaxed
+//     atomics, timers use the wall steady clock, and nothing here touches
+//     Tick arithmetic.
+//   * Zero-cost-when-disabled: every hot-path record checks one relaxed
+//     atomic bool and branches away. Compiled in, off by default.
+//   * Registry lookups (name -> instrument) take a mutex; hot paths
+//     resolve their instruments once at construction and cache the
+//     pointer (instrument addresses are stable for process lifetime).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace asyncmac::telemetry {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Global on/off switch. Off by default; flipping it on only starts
+/// accumulation — it never alters simulation behaviour.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic counter. Thread-safe (parallel sweep workers share them).
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    if (enabled()) value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// High-water-mark gauge (e.g. peak ledger window size).
+class MaxGauge {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Duration sink: a mutex-guarded util::Histogram of nanosecond samples.
+/// Record via ScopeTimer or record_ns directly.
+class Timer {
+ public:
+  void record_ns(std::int64_t ns) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(ns);
+  }
+  util::Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  util::Histogram hist_;
+};
+
+/// RAII steady-clock timer: measures its own lifetime into a Timer.
+/// Cost when telemetry is disabled: one relaxed load, no clock reads.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Timer& timer) noexcept
+      : timer_(&timer), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopeTimer() {
+    if (armed_)
+      timer_->record_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every instrument, ready for export.
+struct Snapshot {
+  struct TimerStats {
+    std::uint64_t count = 0;
+    std::int64_t min_ns = 0;
+    double mean_ns = 0;
+    std::int64_t p50_ns = 0;
+    std::int64_t p99_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<std::pair<std::string, TimerStats>> timers;
+};
+
+/// Name -> instrument map. Instruments are created on first lookup and
+/// never destroyed before process exit, so returned references are safe
+/// to cache in hot paths.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  MaxGauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Copies all instrument values (counters/gauges at relaxed loads,
+  /// timers summarized from their histograms). Zero-valued instruments
+  /// are included — consumers filter.
+  Snapshot snapshot() const;
+
+  /// Zero every instrument (tests and campaign restarts). Instruments
+  /// stay registered so cached pointers remain valid.
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Cold-path convenience: bump a named counter through the registry map.
+/// Hot paths cache Counter* instead.
+inline void count(const std::string& name, std::uint64_t d = 1) {
+  if (!enabled()) return;
+  Registry::global().counter(name).add(d);
+}
+
+}  // namespace asyncmac::telemetry

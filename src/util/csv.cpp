@@ -26,7 +26,7 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   AM_REQUIRE(cells.size() == width_, "csv row width mismatch");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << cells[i];
+    out_ << escape(cells[i]);
   }
   out_ << '\n';
 }

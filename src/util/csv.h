@@ -28,8 +28,10 @@ class CsvWriter {
   bool ok() const { return static_cast<bool>(out_); }
 
  private:
-  static std::string to_cell(const std::string& s) { return escape(s); }
-  static std::string to_cell(const char* s) { return escape(s); }
+  // add_row quotes; to_cell only stringifies (escaping here would
+  // double-quote every string cell on the row() path).
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
   template <typename T>
   static std::string to_cell(const T& v) {
     return std::to_string(v);

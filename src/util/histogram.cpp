@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "util/check.h"
@@ -12,6 +13,10 @@ namespace {
 // 4 sub-buckets per power of two: resolution ~25% everywhere.
 constexpr std::size_t kSubBuckets = 4;
 }  // namespace
+
+double Int128Sum::to_double() const noexcept {
+  return std::ldexp(static_cast<double>(hi), 64) + static_cast<double>(lo);
+}
 
 Histogram::Histogram() : buckets_(kSubBuckets * 64, 0) {}
 
@@ -42,7 +47,7 @@ void Histogram::add(std::int64_t sample) {
     max_ = std::max(max_, sample);
   }
   ++count_;
-  sum_ += static_cast<double>(sample);
+  sum_.add(sample);
   const std::size_t b = bucket_of(sample);
   if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
   ++buckets_[b];
@@ -57,7 +62,7 @@ void Histogram::merge(const Histogram& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
-  sum_ += other.sum_;
+  sum_.add(other.sum_);
   if (other.buckets_.size() > buckets_.size())
     buckets_.resize(other.buckets_.size(), 0);
   for (std::size_t i = 0; i < other.buckets_.size(); ++i)
@@ -67,7 +72,7 @@ void Histogram::merge(const Histogram& other) {
 void Histogram::clear() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
-  sum_ = 0;
+  sum_.clear();
   min_ = max_ = 0;
 }
 
@@ -83,7 +88,7 @@ std::int64_t Histogram::max() const {
 
 double Histogram::mean() const {
   AM_CHECK(count_ > 0);
-  return sum_ / static_cast<double>(count_);
+  return sum_.to_double() / static_cast<double>(count_);
 }
 
 std::int64_t Histogram::quantile(double q) const {

@@ -12,6 +12,37 @@
 
 namespace asyncmac::util {
 
+/// Exact signed 128-bit accumulator for int64 samples (two's complement
+/// split into a high signed word and a low unsigned word). A plain
+/// `double` running sum silently drops low bits once the magnitude
+/// exceeds 2^53, which long-horizon tick sums reach routinely; this keeps
+/// every bit until the caller converts at the reporting boundary.
+struct Int128Sum {
+  std::int64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  void add(std::int64_t v) noexcept {
+    const std::uint64_t old = lo;
+    lo += static_cast<std::uint64_t>(v);
+    hi += (v < 0 ? -1 : 0) + (lo < old ? 1 : 0);
+  }
+
+  void add(const Int128Sum& o) noexcept {
+    const std::uint64_t old = lo;
+    lo += o.lo;
+    hi += o.hi + (lo < old ? 1 : 0);
+  }
+
+  void clear() noexcept { hi = 0; lo = 0; }
+
+  /// Lossy conversion for reporting (hi * 2^64 + lo as a double).
+  double to_double() const noexcept;
+
+  friend bool operator==(const Int128Sum& a, const Int128Sum& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
 class Histogram {
  public:
   Histogram();
@@ -25,7 +56,11 @@ class Histogram {
   std::int64_t min() const;
   std::int64_t max() const;
   double mean() const;
-  double sum() const noexcept { return sum_; }
+  /// Running sample sum as a double (reporting only — see sum_exact()).
+  double sum() const noexcept { return sum_.to_double(); }
+  /// Bit-exact running sample sum; survives past 2^53 where a double
+  /// accumulator starts dropping increments.
+  const Int128Sum& sum_exact() const noexcept { return sum_; }
 
   /// Approximate quantile q in [0,1]; exact at q=0 and q=1.
   std::int64_t quantile(double q) const;
@@ -39,7 +74,7 @@ class Histogram {
 
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
-  double sum_ = 0;
+  Int128Sum sum_;
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
 };

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "telemetry/jsonl.h"
+#include "telemetry/registry.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "verify/reference_channel.h"
@@ -39,7 +41,9 @@ void clamp_to_stations(Scenario& s) {
 
 }  // namespace
 
-trace::CheckResult run_case(const Scenario& s, const CaseCheck& extra) {
+namespace {
+
+trace::CheckResult run_case_impl(const Scenario& s, const CaseCheck& extra) {
   try {
     auto engine = run_scenario(s);
     const auto& slots = engine->trace().slots();
@@ -66,6 +70,22 @@ trace::CheckResult run_case(const Scenario& s, const CaseCheck& extra) {
   }
 }
 
+}  // namespace
+
+trace::CheckResult run_case(const Scenario& s, const CaseCheck& extra) {
+  static auto& case_count =
+      telemetry::Registry::global().counter("verify.cases");
+  static auto& violation_count =
+      telemetry::Registry::global().counter("verify.violations");
+  static auto& case_timer =
+      telemetry::Registry::global().timer("verify.case_ns");
+  const telemetry::ScopeTimer scope(case_timer);
+  case_count.add();
+  auto r = run_case_impl(s, extra);
+  if (!r.ok) violation_count.add();
+  return r;
+}
+
 Scenario shrink_counterexample(Scenario s, const CaseCheck& extra,
                                std::string* violation_out) {
   int budget = kShrinkBudget;
@@ -74,6 +94,9 @@ Scenario shrink_counterexample(Scenario s, const CaseCheck& extra,
   auto fails = [&](Scenario candidate) {
     if (budget <= 0) return false;
     --budget;
+    static auto& candidates =
+        telemetry::Registry::global().counter("verify.shrink_candidates");
+    candidates.add();
     clamp_to_stations(candidate);
     const auto r = run_case(candidate, extra);
     if (r.ok) return false;
@@ -188,6 +211,13 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.verdicts.reserve(
       static_cast<std::size_t>(std::min<std::uint64_t>(config.cases, 1 << 20)));
 
+  telemetry::emit(
+      "campaign.start",
+      {{"cases", config.cases},
+       {"jobs", static_cast<std::int64_t>(config.jobs)},
+       {"time_budget_s",
+        static_cast<std::int64_t>(config.time_budget_seconds)}});
+
   const auto started = std::chrono::steady_clock::now();
   auto budget_exceeded = [&] {
     if (config.time_budget_seconds <= 0) return false;
@@ -215,6 +245,21 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       result.verdicts.push_back(std::move(chunk[i]));
     }
     result.cases_run += count;
+    if (telemetry::enabled()) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      telemetry::emit(
+          "campaign.chunk",
+          {{"cases_run", result.cases_run},
+           {"violations",
+            static_cast<std::uint64_t>(result.failures.size())},
+           {"cases_per_sec",
+            elapsed_s > 0.0 ? static_cast<double>(result.cases_run) /
+                                  elapsed_s
+                            : 0.0}});
+    }
     if (budget_exceeded() && chunk_start + count < config.cases) {
       result.budget_exhausted = true;
       break;
@@ -227,6 +272,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                                           &result.shrunk_violation);
     result.shrunk_valid = true;
   }
+  telemetry::emit(
+      "campaign.done",
+      {{"cases_run", result.cases_run},
+       {"violations", static_cast<std::uint64_t>(result.failures.size())},
+       {"budget_exhausted", result.budget_exhausted}});
   return result;
 }
 

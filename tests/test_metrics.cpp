@@ -1,8 +1,14 @@
 // Direct unit tests for the metrics collector (elsewhere it is only
 // exercised through the engine).
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "metrics/collector.h"
+#include "util/rng.h"
 
 namespace asyncmac::metrics {
 namespace {
@@ -92,6 +98,92 @@ TEST(Collector, PerStationMarksIndependent) {
   EXPECT_EQ(c.stats().station[0].max_queued, 5u);
   EXPECT_EQ(c.stats().station[0].queued, 1u);
   EXPECT_EQ(c.stats().station[1].max_queued, 1u);
+}
+
+// Randomized event fuzz: drive the collector with an arbitrary but legal
+// interleaving of injections, deliveries, and slot ends while tracking
+// the queues in a trivial reference model, and assert the accounting
+// identities after every event.
+TEST(Collector, InvariantsHoldUnderRandomEventStream) {
+  struct QueuedPacket {
+    Tick cost;
+    Tick injected_at;
+  };
+
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    util::Rng rng(seed);
+    const std::uint32_t n = static_cast<std::uint32_t>(rng.range(1, 5));
+    Collector c(n);
+    std::vector<std::deque<QueuedPacket>> model(n);
+    std::uint64_t model_injected = 0, model_delivered = 0;
+    Tick model_injected_cost = 0, model_delivered_cost = 0;
+    std::uint64_t model_slots = 0;
+    Tick now = 0;
+
+    auto check = [&] {
+      const auto& s = c.stats();
+      std::uint64_t queued = 0;
+      Tick queued_cost = 0;
+      for (std::uint32_t st = 0; st < n; ++st) {
+        queued += model[st].size();
+        queued_cost += std::accumulate(
+            model[st].begin(), model[st].end(), Tick{0},
+            [](Tick acc, const QueuedPacket& p) { return acc + p.cost; });
+        EXPECT_EQ(s.station[st].queued, model[st].size());
+        EXPECT_GE(s.station[st].max_queued, s.station[st].queued);
+        EXPECT_EQ(s.station[st].injected,
+                  s.station[st].delivered + s.station[st].queued);
+      }
+      EXPECT_EQ(s.injected_packets, model_injected);
+      EXPECT_EQ(s.delivered_packets, model_delivered);
+      EXPECT_EQ(s.injected_packets, s.delivered_packets + s.queued_packets);
+      EXPECT_EQ(s.queued_packets, queued);
+      EXPECT_EQ(s.queued_cost, queued_cost);
+      EXPECT_EQ(s.injected_cost, model_injected_cost);
+      EXPECT_EQ(s.injected_cost, s.delivered_cost + s.queued_cost);
+      EXPECT_EQ(s.delivered_cost, model_delivered_cost);
+      EXPECT_GE(s.max_queued_packets, s.queued_packets);
+      EXPECT_GE(s.max_queued_cost, s.queued_cost);
+      EXPECT_EQ(s.latency.count(), s.delivered_packets);
+      EXPECT_EQ(s.total_slots, model_slots);
+      EXPECT_EQ(s.total_slots, s.listen_slots + s.transmit_slots);
+      EXPECT_LE(s.control_slots, s.transmit_slots);
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+      now += rng.range(0, 3 * U);
+      const StationId st = static_cast<StationId>(rng.below(n) + 1);
+      switch (rng.below(4)) {
+        case 0: {  // injection
+          const Tick cost = rng.range(1, 4) * U;
+          c.on_injection(st, cost, now);
+          model[st - 1].push_back({cost, now});
+          ++model_injected;
+          model_injected_cost += cost;
+          break;
+        }
+        case 1: {  // delivery (front of queue, if any)
+          if (model[st - 1].empty()) break;
+          const QueuedPacket p = model[st - 1].front();
+          model[st - 1].pop_front();
+          c.on_delivery(st, p.cost, p.injected_at, p.cost, now);
+          ++model_delivered;
+          model_delivered_cost += p.cost;
+          break;
+        }
+        default: {  // slot end
+          const std::uint64_t kind = rng.below(3);
+          c.on_slot_end(st, kind == 0 ? SlotAction::kListen
+                            : kind == 1 ? SlotAction::kTransmitPacket
+                                        : SlotAction::kTransmitControl);
+          ++model_slots;
+          break;
+        }
+      }
+      if (step % 64 == 0) check();
+    }
+    check();
+  }
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -279,6 +281,114 @@ TEST(Histogram, ClearResets) {
   EXPECT_TRUE(h.empty());
 }
 
+TEST(Histogram, SumStaysExactBeyondDoublePrecision) {
+  // A double accumulator absorbs +1 without effect once the running sum
+  // reaches 2^53; the exact accumulator must not. (This test fails
+  // against the old `double sum_` implementation.)
+  util::Histogram h;
+  h.add(std::int64_t{1} << 53);
+  h.add(1);
+  const util::Int128Sum want{0, (std::uint64_t{1} << 53) + 1};
+  EXPECT_EQ(h.sum_exact(), want);
+  EXPECT_DOUBLE_EQ(h.mean(), (std::ldexp(1.0, 53) + 1.0) / 2.0);
+}
+
+TEST(Histogram, SumExactAcrossManyLargeSamples) {
+  // 1024 samples of (2^53 + 1): the exact sum keeps all 1024 trailing
+  // +1s (2^63 + 1024); a double accumulator would have dropped each one.
+  util::Histogram h;
+  const std::int64_t big = (std::int64_t{1} << 53) + 1;
+  for (int i = 0; i < 1024; ++i) h.add(big);
+  const util::Int128Sum want{0, (std::uint64_t{1} << 63) + 1024};
+  EXPECT_EQ(h.sum_exact(), want);
+}
+
+TEST(Histogram, SumExactSurvivesMergeAndNegatives) {
+  util::Histogram a, b;
+  a.add(std::int64_t{1} << 53);
+  b.add(1);
+  b.add(-2);
+  a.merge(b);
+  const util::Int128Sum want{0, (std::uint64_t{1} << 53) - 1};
+  EXPECT_EQ(a.sum_exact(), want);
+}
+
+TEST(Histogram, Int128SumCarriesPastUint64) {
+  util::Int128Sum s;
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  s.add(max);
+  s.add(max);
+  s.add(2);  // total = 2^64 exactly
+  EXPECT_EQ(s.hi, 1);
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_DOUBLE_EQ(s.to_double(), std::ldexp(1.0, 64));
+  s.add(-1);
+  EXPECT_EQ(s.hi, 0);
+  EXPECT_EQ(s.lo, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, ClearThenMergeEqualsOther) {
+  // clear() keeps the resized bucket vector of a previous life; a merge
+  // into the cleared (empty) histogram must still reproduce `other`
+  // exactly, not be skewed by the stale capacity.
+  util::Histogram h;
+  h.add(std::int64_t{1} << 40);  // forces a large buckets_ resize
+  h.clear();
+
+  util::Histogram other;
+  for (int i = 1; i <= 10; ++i) other.add(i);
+  h.merge(other);
+  EXPECT_EQ(h.count(), other.count());
+  EXPECT_EQ(h.min(), other.min());
+  EXPECT_EQ(h.max(), other.max());
+  EXPECT_EQ(h.sum_exact(), other.sum_exact());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_EQ(h.quantile(q), other.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeAfterClearBothDirections) {
+  // The reverse orientation: a live histogram merges one that was
+  // cleared (merge must be a no-op), then one that was cleared and
+  // refilled.
+  util::Histogram cleared;
+  cleared.add(12345);
+  cleared.clear();
+
+  util::Histogram live;
+  live.add(7);
+  live.merge(cleared);
+  EXPECT_EQ(live.count(), 1u);
+  EXPECT_EQ(live.min(), 7);
+  EXPECT_EQ(live.max(), 7);
+
+  cleared.add(3);
+  live.merge(cleared);
+  EXPECT_EQ(live.count(), 2u);
+  EXPECT_EQ(live.min(), 3);
+  EXPECT_EQ(live.quantile(0.0), 3);
+  EXPECT_EQ(live.quantile(1.0), 7);
+}
+
+TEST(Histogram, QuantileExactAtExtremes) {
+  // q=0 and q=1 are documented exact even though interior quantiles are
+  // bucketed: min/max must come back bit-exact, including after merges
+  // and for single-sample histograms.
+  util::Histogram h;
+  h.add(1000001);
+  EXPECT_EQ(h.quantile(0.0), 1000001);
+  EXPECT_EQ(h.quantile(1.0), 1000001);
+
+  util::Histogram wide;
+  wide.add(-17);
+  wide.add(3);
+  wide.add((std::int64_t{1} << 50) + 9);
+  EXPECT_EQ(wide.quantile(0.0), -17);
+  EXPECT_EQ(wide.quantile(1.0), (std::int64_t{1} << 50) + 9);
+  h.merge(wide);
+  EXPECT_EQ(h.quantile(0.0), -17);
+  EXPECT_EQ(h.quantile(1.0), (std::int64_t{1} << 50) + 9);
+}
+
 // ------------------------------------------------------------------ table
 
 TEST(Table, RendersAlignedColumns) {
@@ -332,6 +442,46 @@ TEST(Csv, WritesHeaderAndRows) {
   EXPECT_EQ(line, "1,plain");
   std::getline(in, line);
   EXPECT_EQ(line, "2,\"with,comma\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, AddRowEscapesAdversarialCells) {
+  // add_row is the raw-cell entry point (the header goes through it, and
+  // callers with pre-stringified cells use it directly); it must quote
+  // cells containing separators, quotes, or newlines. (This test fails
+  // against the old implementation, which wrote cells verbatim.)
+  const std::string path = ::testing::TempDir() + "asyncmac_csv_adv.csv";
+  {
+    util::CsvWriter w(path, {"protocol(name,params)", "note"});
+    w.add_row({"ca-arrow(n=2,R=4)", "line\nbreak"});
+    w.add_row({"plain", "quote\"inside"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"protocol(name,params)\",note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"ca-arrow(n=2,R=4)\",\"line");
+  std::getline(in, line);  // continuation of the quoted newline cell
+  EXPECT_EQ(line, "break\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowPathDoesNotDoubleEscape) {
+  // The typed row() convenience funnels into add_row; a cell must be
+  // quoted exactly once on that path.
+  const std::string path = ::testing::TempDir() + "asyncmac_csv_once.csv";
+  {
+    util::CsvWriter w(path, {"s"});
+    w.row(std::string("a,b"));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\"");
   std::remove(path.c_str());
 }
 

@@ -31,6 +31,16 @@
 //   --jobs=J       grid mode: worker threads, 0 = all cores (default 0);
 //                  records are byte-identical for every J
 //   --csv=PATH     grid mode: also write the records as CSV
+//   --telemetry=P  stream run telemetry (counters, timers, events) as
+//                  JSONL to P; never changes simulation results (see
+//                  docs/OBSERVABILITY.md)
+//
+// Stats subcommand (summarize a telemetry JSONL file):
+//
+//   asyncmac_cli stats telemetry.jsonl [--top=N]
+//
+//   prints line/snapshot/event tallies, the top N counters (default 20),
+//   gauges, and timer histograms from the final snapshot.
 //
 // Fuzzing subcommand (property-fuzzing campaign, see src/verify/):
 //
@@ -46,6 +56,7 @@
 //   --repro=FILE     replay a repro file instead of running a campaign
 //   --case-seed=X    run the one scenario case seed X derives
 //   --emit-case=I    pin campaign case I as a clean repro to --repro-out
+//   --telemetry=P    stream campaign telemetry as JSONL to P
 //   (fuzz flags also accept the two-token "--flag value" form)
 //
 // Exit code 0 on success; 1 on fuzz violations / failed replay; 2 on bad
@@ -66,6 +77,8 @@
 #include "analysis/registry.h"
 #include "metrics/json.h"
 #include "sim/engine.h"
+#include "telemetry/jsonl.h"
+#include "telemetry/summary.h"
 #include "trace/renderer.h"
 #include "verify/campaign.h"
 #include "verify/repro.h"
@@ -96,6 +109,7 @@ struct Options {
   std::string n_list = "4";
   std::string r_list = "2";
   std::string rho_list = "0.5";
+  std::string telemetry_path;
 };
 
 std::vector<std::string> split_list(const std::string& s) {
@@ -115,6 +129,12 @@ std::vector<std::string> split_list(const std::string& s) {
   std::cerr << "asyncmac_cli: " << error
             << "\nsee the header of tools/asyncmac_cli.cpp for options\n";
   std::exit(2);
+}
+
+// Turn telemetry on (all instruments + JSONL streaming to `path`).
+// Exits with usage() if the file cannot be opened.
+void enable_telemetry_or_die(const std::string& path) {
+  if (!telemetry::enable_to_file(path)) usage("cannot write " + path);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -156,6 +176,8 @@ Options parse_args(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
     else if (arg.rfind("--csv=", 0) == 0)
       opt.csv_path = value("--csv=");
+    else if (arg.rfind("--telemetry=", 0) == 0)
+      opt.telemetry_path = value("--telemetry=");
     else
       usage("unknown argument: " + arg);
   }
@@ -291,6 +313,7 @@ struct FuzzOptions {
   std::uint64_t case_seed = 0;   // single-case mode (0 = off)
   bool has_emit_case = false;
   std::uint64_t emit_case = 0;   // corpus-pinning mode
+  std::string telemetry_path;
 };
 
 FuzzOptions parse_fuzz_args(int argc, char** argv) {
@@ -336,6 +359,8 @@ FuzzOptions parse_fuzz_args(int argc, char** argv) {
         opt.repro_in = value();
       else if (flag == "--case-seed")
         opt.case_seed = std::stoull(value());
+      else if (flag == "--telemetry")
+        opt.telemetry_path = value();
       else if (flag == "--emit-case") {
         opt.has_emit_case = true;
         opt.emit_case = std::stoull(value());
@@ -422,6 +447,8 @@ int emit_corpus_case(const FuzzOptions& opt) {
 
 int run_fuzz(int argc, char** argv) {
   const FuzzOptions opt = parse_fuzz_args(argc, argv);
+  if (!opt.telemetry_path.empty())
+    enable_telemetry_or_die(opt.telemetry_path);
   if (!opt.repro_in.empty()) return replay_repro_file(opt);
   if (opt.case_seed != 0) return run_single_case(opt.case_seed, opt.protocols);
   if (opt.has_emit_case) return emit_corpus_case(opt);
@@ -460,18 +487,56 @@ int run_fuzz(int argc, char** argv) {
   return 1;
 }
 
+// ------------------------------------------------------------------ stats
+
+int run_stats(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 20;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0)
+      top = std::stoul(arg.substr(6));
+    else if (arg.rfind("--", 0) == 0)
+      usage("unknown stats argument: " + arg);
+    else if (path.empty())
+      path = arg;
+    else
+      usage("stats takes one telemetry file");
+  }
+  if (path.empty()) usage("stats needs a telemetry JSONL file");
+  std::ifstream in(path);
+  if (!in) usage("cannot read " + path);
+  try {
+    const auto summary = telemetry::summarize_stream(in);
+    std::cout << telemetry::render_summary(summary, top);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "asyncmac_cli stats: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "fuzz")
     return run_fuzz(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "stats")
+    return run_stats(argc - 2, argv + 2);
   const Options opt = parse_args(argc, argv);
+  if (!opt.telemetry_path.empty())
+    enable_telemetry_or_die(opt.telemetry_path);
   if (opt.grid) return run_experiment_grid(opt);
   if (opt.msr) return run_msr(opt);
 
   const auto rho = util::Ratio::from_double(opt.rho);
   auto engine = build_engine(opt, rho, opt.seed);
   engine->run(sim::until(opt.horizon_units * U));
+  telemetry::emit(
+      "run.done",
+      {{"protocol", opt.protocol},
+       {"injected", engine->stats().injected_packets},
+       {"delivered", engine->stats().delivered_packets}});
 
   const auto& s = engine->stats();
   const auto& ch = engine->channel_stats();
