@@ -1,0 +1,237 @@
+// bench_engine — end-to-end slots/sec of the whole simulation engine.
+//
+// Every experiment in the reduction bottoms out in Engine::step, executed
+// billions of times across grids, so the serial per-slot cost caps the
+// science we can run. This harness times complete engine runs (protocol +
+// slot policy + injection + ledger + metrics) across the load-bearing
+// axes — station count, synchrony, injection pressure, telemetry — and
+// writes BENCH_engine.json so every future PR has a hot-loop trajectory
+// to diff (the same role BENCH_ledger.json plays for the ledger alone).
+//
+// Modes:
+//   bench_engine                 full budget (committed trajectory runs)
+//   bench_engine --quick         short budget (CI perf-smoke)
+//   ASYNCMAC_BENCH_BASELINE=f    merge baseline slots/sec from a previous
+//                                BENCH_engine.json and report speedups
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ca_arrow.h"
+#include "harness.h"
+#include "telemetry/registry.h"
+
+namespace {
+
+using namespace asyncmac;
+using namespace asyncmac::bench;
+
+struct EngineBenchConfig {
+  std::string name;
+  std::uint32_t n = 2;
+  std::uint32_t bound_r = 1;  ///< 1 = synchronous, else per-station async
+  bool injections = false;
+  bool telemetry = false;
+};
+
+std::string config_name(std::uint32_t n, std::uint32_t r, bool inj,
+                        bool telemetry) {
+  std::ostringstream os;
+  os << "n" << n << "_" << (r == 1 ? "sync" : "async_r" + std::to_string(r))
+     << (inj ? "_inj" : "_noinj") << (telemetry ? "_telemetry" : "");
+  return os.str();
+}
+
+/// The benchmark matrix: n x {sync R=1, async R=4} x {with, without
+/// injections}, telemetry off; plus telemetry-on variants at n=64 (the
+/// acceptance config's size) to price the instrumentation itself.
+std::vector<EngineBenchConfig> configs() {
+  std::vector<EngineBenchConfig> out;
+  for (std::uint32_t n : {2u, 8u, 64u, 512u}) {
+    for (std::uint32_t r : {1u, 4u}) {
+      for (bool inj : {false, true}) {
+        out.push_back({config_name(n, r, inj, false), n, r, inj, false});
+      }
+    }
+  }
+  for (std::uint32_t r : {1u, 4u}) {
+    for (bool inj : {false, true}) {
+      out.push_back({config_name(64, r, inj, true), 64, r, inj, true});
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<sim::Engine> build_engine(const EngineBenchConfig& c,
+                                          std::uint64_t prune_interval = 0) {
+  sim::EngineConfig cfg;
+  cfg.n = c.n;
+  cfg.bound_r = c.bound_r;
+  cfg.seed = 1;
+  if (prune_interval > 0) cfg.prune_interval = prune_interval;
+  return std::make_unique<sim::Engine>(
+      cfg, protocols<core::CaArrowProtocol>(c.n),
+      c.bound_r == 1 ? sync_policy() : per_station_policy(c.n, c.bound_r),
+      c.injections ? saturating(util::Ratio(1, 2), 8 * U) : nullptr);
+}
+
+/// Run `slot_budget` slots and return slots/sec (one warmup run, then the
+/// median of three timed runs — engine construction excluded).
+double slots_per_sec(const EngineBenchConfig& c, std::uint64_t slot_budget,
+                     std::uint64_t prune_interval = 0) {
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(c.telemetry);
+  std::vector<double> rates;
+  for (int rep = -1; rep < 3; ++rep) {
+    auto engine = build_engine(c, prune_interval);
+    sim::StopCondition stop;
+    stop.max_total_slots = rep < 0 ? slot_budget / 8 : slot_budget;
+    const auto t0 = std::chrono::steady_clock::now();
+    engine->run(stop);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rep < 0) continue;  // warmup
+    const double sec =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    rates.push_back(static_cast<double>(engine->stats().total_slots) / sec);
+  }
+  telemetry::set_enabled(was_enabled);
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
+}
+
+// ------------------------------------------------------- baseline merging
+
+/// Minimal extraction of {"name": ..., "slots_per_sec": ...} pairs from a
+/// previous BENCH_engine.json (schema owned by this file, so a flat scan
+/// is enough — no general JSON parser needed here).
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  std::string name;
+  while (std::getline(in, line)) {
+    const auto name_pos = line.find("\"name\": \"");
+    if (name_pos != std::string::npos) {
+      const auto start = name_pos + 9;
+      name = line.substr(start, line.find('"', start) - start);
+    }
+    const auto sps_pos = line.find("\"slots_per_sec\": ");
+    if (sps_pos != std::string::npos && !name.empty()) {
+      out[name] = std::strtod(line.c_str() + sps_pos + 17, nullptr);
+      name.clear();
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ trajectory
+
+void write_trajectory(bool quick) {
+  const std::uint64_t budget = quick ? 200000 : 2000000;
+  std::map<std::string, double> baseline;
+  if (const char* path = std::getenv("ASYNCMAC_BENCH_BASELINE");
+      path && *path)
+    baseline = load_baseline(path);
+
+  std::ofstream out("BENCH_engine.json");
+  out << "{\n  \"bench\": \"engine_slots_per_sec\",\n"
+      << "  \"unit\": \"slots_per_sec\",\n"
+      << "  \"protocol\": \"ca-arrow\",\n"
+      << "  \"slot_budget\": " << budget << ",\n  \"results\": [\n";
+  const auto cfgs = configs();
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const auto& c = cfgs[i];
+    const double sps = slots_per_sec(c, budget);
+    out << "    {\"name\": \"" << c.name << "\",\n"
+        << "     \"n\": " << c.n << ", \"r\": " << c.bound_r
+        << ", \"injections\": " << (c.injections ? "true" : "false")
+        << ", \"telemetry\": " << (c.telemetry ? "true" : "false")
+        << ",\n     \"slots_per_sec\": " << sps;
+    std::cout << "  " << c.name << ": " << static_cast<std::uint64_t>(sps)
+              << " slots/sec";
+    if (const auto it = baseline.find(c.name); it != baseline.end()) {
+      out << ",\n     \"baseline_slots_per_sec\": " << it->second
+          << ", \"speedup\": " << sps / it->second;
+      std::cout << "  (baseline " << static_cast<std::uint64_t>(it->second)
+                << ", speedup " << sps / it->second << "x)";
+    }
+    out << "}" << (i + 1 < cfgs.size() ? "," : "") << "\n";
+    std::cout << "\n";
+  }
+  out << "  ],\n  \"prune_interval_sweep\": [\n";
+  // Justify EngineConfig::prune_interval's default: sweep the cadence on
+  // the acceptance config (n=64 async) with injections (the prune actually
+  // has work to do only when transmissions fill the window).
+  {
+    EngineBenchConfig c{config_name(64, 4, true, false), 64, 4, true, false};
+    const std::uint64_t intervals[] = {256, 1024, 4096, 16384, 65536};
+    const std::size_t count = sizeof(intervals) / sizeof(intervals[0]);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double sps = slots_per_sec(c, budget, intervals[i]);
+      out << "    {\"prune_interval\": " << intervals[i]
+          << ", \"slots_per_sec\": " << sps << "}"
+          << (i + 1 < count ? "," : "") << "\n";
+      std::cout << "  prune_interval " << intervals[i] << ": "
+                << static_cast<std::uint64_t>(sps) << " slots/sec\n";
+    }
+  }
+  out << "  ]\n}\n";
+  std::cout << "(trajectory written to BENCH_engine.json)\n\n";
+}
+
+// ------------------------------------------- google-benchmark registrations
+
+void BM_EngineRun(benchmark::State& state) {
+  EngineBenchConfig c;
+  c.n = static_cast<std::uint32_t>(state.range(0));
+  c.bound_r = static_cast<std::uint32_t>(state.range(1));
+  c.injections = state.range(2) != 0;
+  std::uint64_t slots = 0;
+  for (auto _ : state) {
+    auto engine = build_engine(c);
+    sim::StopCondition stop;
+    stop.max_total_slots = 100000;
+    engine->run(stop);
+    slots += engine->stats().total_slots;
+  }
+  state.counters["slots_per_sec"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRun)
+    ->Args({64, 4, 0})
+    ->Args({64, 4, 1})
+    ->Args({64, 1, 0})
+    ->Args({512, 4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  // Strip our own flag before google-benchmark sees argv.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0)
+      quick = true;
+    else
+      argv[out_argc++] = argv[i];
+  }
+  argc = out_argc;
+  std::cout << "bench_engine — end-to-end engine slots/sec"
+            << (quick ? " (quick)" : "") << "\n\n";
+  write_trajectory(quick);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

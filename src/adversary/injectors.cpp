@@ -1,5 +1,7 @@
 #include "adversary/injectors.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace asyncmac::adversary {
@@ -31,6 +33,19 @@ void CostBucket::spend(Tick cost) {
 
 Tick CostBucket::tokens() const {
   return static_cast<Tick>(tokens_scaled_ / rho_.den);
+}
+
+Tick CostBucket::next_afford_time(Tick cost) const {
+  const __int128 need = static_cast<__int128>(cost) * rho_.den;
+  if (tokens_scaled_ >= need) return last_;
+  // The balance is capped at burst_ * den, so a cost above the burstiness
+  // never becomes affordable; neither does anything under a zero rate.
+  if (cost > burst_ || rho_.num == 0) return kTickInfinity;
+  const __int128 deficit = need - tokens_scaled_;
+  const __int128 dt = (deficit + rho_.num - 1) / rho_.num;
+  const __int128 when = static_cast<__int128>(last_) + dt;
+  if (when >= static_cast<__int128>(kTickInfinity)) return kTickInfinity;
+  return static_cast<Tick>(when);
 }
 
 // ---------------------------------------------------------------- helpers
@@ -82,13 +97,24 @@ void SaturatingInjector::poll(Tick now, const sim::EngineView& view,
       // Random pattern: affordability is checked against the cheapest
       // possible cost; the draw itself happens only if we can inject the
       // drawn station's packet (re-checked below).
-      if (!bucket_.can_afford(kTicksPerUnit)) break;
+      if (!bucket_.can_afford(kTicksPerUnit)) {
+        hint_cost_ = kTicksPerUnit;
+        break;
+      }
       target = static_cast<StationId>(1 + rng_.below(view.n()));
       cost = packet_cost_for(view, target);
-      if (!bucket_.can_afford(cost)) break;  // drawn target too expensive
+      if (!bucket_.can_afford(cost)) {
+        // Drawn target too expensive, but the next poll can afford the
+        // cheapest cost and would advance the RNG — so no skipping.
+        hint_cost_ = 0;
+        break;
+      }
     } else {
       cost = packet_cost_for(view, target);
-      if (!bucket_.can_afford(cost)) break;
+      if (!bucket_.can_afford(cost)) {
+        hint_cost_ = cost;
+        break;
+      }
       if (pattern_ == TargetPattern::kRoundRobin)
         rr_next_ = (rr_next_ % view.n()) + 1;
     }
@@ -98,6 +124,14 @@ void SaturatingInjector::poll(Tick now, const sim::EngineView& view,
     injected_cost_ += cost;
     if (keep_log_) log_.push_back(inj);
   }
+}
+
+Tick SaturatingInjector::next_arrival_hint(Tick now) {
+  // hint_cost_ is the cost whose affordability ended the last poll: until
+  // the bucket can pay it, a poll would change nothing (the pattern state
+  // is only consumed on injection, and bucket accrual merges exactly).
+  if (hint_cost_ == 0) return now;
+  return bucket_.next_afford_time(hint_cost_);
 }
 
 std::string SaturatingInjector::name() const {
@@ -146,6 +180,13 @@ void BurstyInjector::poll(Tick now, const sim::EngineView& view,
   next_burst_ = now + period_;
 }
 
+Tick BurstyInjector::next_arrival_hint(Tick) {
+  // Polls strictly before next_burst_ return without touching anything;
+  // the poll at (or first past) next_burst_ must happen even with an
+  // empty bucket, because it re-arms the burst clock.
+  return next_burst_;
+}
+
 std::string BurstyInjector::name() const {
   return "bursty(rho=" + bucket_.rate().str() + ")";
 }
@@ -161,6 +202,8 @@ DrainChasingInjector::DrainChasingInjector(util::Ratio rho, Tick burst_cost,
 void DrainChasingInjector::poll(Tick now, const sim::EngineView& view,
                                 std::vector<sim::Injection>& out) {
   bucket_.advance(now);
+  if (min_cost_ == 0)
+    min_cost_ = std::min(packet_cost_for(view, a_), packet_cost_for(view, b_));
   // Target whichever of {a, b} did NOT just transmit successfully, so the
   // protocol must keep switching the withheld channel between them.
   const StationId busy = view.last_successful_station();
@@ -171,6 +214,14 @@ void DrainChasingInjector::poll(Tick now, const sim::EngineView& view,
     bucket_.spend(cost);
     out.push_back({now, target, cost});
   }
+}
+
+Tick DrainChasingInjector::next_arrival_hint(Tick now) {
+  // The target flips with the channel, so only the cheaper victim's
+  // afford time is a sound skip bound: before it, neither target's packet
+  // is payable and a poll is a pure (mergeable) bucket advance.
+  if (min_cost_ == 0) return now;
+  return bucket_.next_afford_time(min_cost_);
 }
 
 std::string DrainChasingInjector::name() const {
@@ -185,6 +236,11 @@ MaxQueueInjector::MaxQueueInjector(util::Ratio rho, Tick burst_cost)
 void MaxQueueInjector::poll(Tick now, const sim::EngineView& view,
                             std::vector<sim::Injection>& out) {
   bucket_.advance(now);
+  if (min_cost_ == 0) {
+    min_cost_ = packet_cost_for(view, 1);
+    for (StationId s = 2; s <= view.n(); ++s)
+      min_cost_ = std::min(min_cost_, packet_cost_for(view, s));
+  }
   for (;;) {
     StationId target = 1;
     Tick worst = -1;
@@ -199,6 +255,13 @@ void MaxQueueInjector::poll(Tick now, const sim::EngineView& view,
     bucket_.spend(cost);
     out.push_back({now, target, cost});
   }
+}
+
+Tick MaxQueueInjector::next_arrival_hint(Tick now) {
+  // Same reasoning as DrainChasingInjector: the adaptive target can move,
+  // so skip only until the cheapest station's packet is payable.
+  if (min_cost_ == 0) return now;
+  return bucket_.next_afford_time(min_cost_);
 }
 
 std::string MaxQueueInjector::name() const {
@@ -248,6 +311,10 @@ void ScriptedInjector::poll(Tick now, const sim::EngineView&,
                             std::vector<sim::Injection>& out) {
   while (next_ < script_.size() && script_[next_].time <= now)
     out.push_back(script_[next_++]);
+}
+
+Tick ScriptedInjector::next_arrival_hint(Tick) {
+  return next_ < script_.size() ? script_[next_].time : kTickInfinity;
 }
 
 }  // namespace asyncmac::adversary

@@ -36,6 +36,12 @@ class CostBucket {
   util::Ratio rate() const { return rho_; }
   Tick burst() const { return burst_; }
 
+  /// Earliest time t >= the last advance() such that advance(t) would make
+  /// `cost` affordable; kTickInfinity when it never becomes affordable
+  /// (cost above the burstiness cap, or a zero rate). Exact — the basis of
+  /// the injectors' next_arrival_hint implementations.
+  Tick next_afford_time(Tick cost) const;
+
  private:
   util::Ratio rho_;
   Tick burst_;
@@ -66,6 +72,7 @@ class SaturatingInjector final : public sim::InjectionPolicy {
 
   void poll(Tick now, const sim::EngineView& view,
             std::vector<sim::Injection>& out) override;
+  Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
   const std::vector<sim::Injection>& log() const { return log_; }
@@ -83,6 +90,10 @@ class SaturatingInjector final : public sim::InjectionPolicy {
   std::vector<sim::Injection> log_;
   bool keep_log_ = false;
   Tick injected_cost_ = 0;
+  /// Cost whose affordability ended the last poll; 0 means "no skipping"
+  /// (a poll could mutate state — e.g. the random pattern's RNG — even
+  /// without injecting).
+  Tick hint_cost_ = 0;
 };
 
 /// Lets tokens pile up and dumps everything affordable every
@@ -95,6 +106,9 @@ class BurstyInjector final : public sim::InjectionPolicy {
 
   void poll(Tick now, const sim::EngineView& view,
             std::vector<sim::Injection>& out) override;
+  /// Exactly next_burst_: any poll at or past it mutates the burst clock
+  /// (regardless of bucket balance), and any poll before it is a no-op.
+  Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
  private:
@@ -122,11 +136,16 @@ class DrainChasingInjector final : public sim::InjectionPolicy {
 
   void poll(Tick now, const sim::EngineView& view,
             std::vector<sim::Injection>& out) override;
+  Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
  private:
   CostBucket bucket_;
   StationId a_, b_;
+  /// min(cost(a), cost(b)) — the adaptive target choice can flip between
+  /// polls, so the hint must be when the *cheaper* victim's packet becomes
+  /// affordable. Cached on first poll (fixed_slot_length is constant).
+  Tick min_cost_ = 0;
 };
 
 /// Adaptive worst-case-fairness adversary: every packet goes to the
@@ -140,10 +159,14 @@ class MaxQueueInjector final : public sim::InjectionPolicy {
 
   void poll(Tick now, const sim::EngineView& view,
             std::vector<sim::Injection>& out) override;
+  Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
  private:
   CostBucket bucket_;
+  /// Cheapest per-station cost — the adaptive max-queue target can change
+  /// between polls. Cached on first poll (fixed_slot_length is constant).
+  Tick min_cost_ = 0;
 };
 
 /// Declarative description of an injection adversary — the common
@@ -186,6 +209,9 @@ class ScriptedInjector final : public sim::InjectionPolicy {
 
   void poll(Tick now, const sim::EngineView& view,
             std::vector<sim::Injection>& out) override;
+  /// The next scripted time (kTickInfinity once exhausted) — polls before
+  /// it cannot emit and touch no state.
+  Tick next_arrival_hint(Tick now) override;
   std::string name() const override { return "scripted"; }
 
  private:

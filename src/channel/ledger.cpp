@@ -9,8 +9,9 @@ namespace asyncmac::channel {
 
 namespace {
 // Telemetry instruments (write-only observability; see DESIGN.md §5 and
-// docs/OBSERVABILITY.md). Resolved once, lock-free afterwards; every
-// record is a no-op behind one relaxed load while telemetry is disabled.
+// docs/OBSERVABILITY.md). The hot paths (add, feedback) never touch these
+// directly: deltas accumulate in plain Ledger members and reach the
+// atomic instruments through flush_telemetry() on the cold path.
 struct LedgerTelemetry {
   telemetry::Counter& adds =
       telemetry::Registry::global().counter("channel.transmissions");
@@ -18,6 +19,8 @@ struct LedgerTelemetry {
       telemetry::Registry::global().counter("channel.feedback_queries");
   telemetry::Counter& feedback_scanned =
       telemetry::Registry::global().counter("channel.feedback_scanned");
+  telemetry::Counter& feedback_fast_silence =
+      telemetry::Registry::global().counter("channel.feedback_fast_silence");
   telemetry::Counter& prunes =
       telemetry::Registry::global().counter("channel.prunes");
   telemetry::Counter& pruned_entries =
@@ -47,8 +50,8 @@ void Ledger::add(Transmission t) {
   ++stats_.transmissions;
   if (t.is_control) ++stats_.control_transmissions;
   window_.push_back(t);
-  LedgerTelemetry::get().adds.add();
-  LedgerTelemetry::get().window_peak.observe(window_.size());
+  ++pending_adds_;
+  if (window_.size() > window_peak_local_) window_peak_local_ = window_.size();
 }
 
 bool Ledger::overlaps_other(const Transmission& t) const {
@@ -102,6 +105,21 @@ void Ledger::finalize_until(Tick now) {
 
 Feedback Ledger::feedback(Tick s, Tick t) {
   AM_CHECK(s < t);
+  ++pending_queries_;
+  // O(1) silence fast paths. An empty window trivially yields silence.
+  // When s >= latest_end_ every registered interval has end <= s, so none
+  // overlaps [s, t) or ends inside (s, t] — but undecided entries must
+  // still be finalized so LedgerStats stay current for adaptive
+  // adversaries reading channel_stats() mid-run.
+  if (window_.empty()) {
+    ++pending_fast_silence_;
+    return Feedback::kSilence;
+  }
+  if (s >= latest_end_) {
+    ++pending_fast_silence_;
+    if (finalized_ < window_.size()) finalize_until(t);
+    return Feedback::kSilence;
+  }
   finalize_until(t);
   // Only a bounded neighborhood of the slot can matter: an entry with
   // begin <= s - max_duration_ has end <= s, so it neither overlaps [s, t)
@@ -116,8 +134,7 @@ Feedback Ledger::feedback(Tick s, Tick t) {
   bool any_overlap = false;
   std::uint64_t scanned = 0;
   auto record = [&](Feedback fb) {
-    LedgerTelemetry::get().feedback_queries.add();
-    LedgerTelemetry::get().feedback_scanned.add(scanned);
+    pending_scanned_ += scanned;
     return fb;
   };
   // Scan the neighborhood: begins in (s - max_duration_, t).
@@ -145,8 +162,27 @@ void Ledger::prune_before(Tick horizon) {
     --finalized_;
     ++removed;
   }
-  LedgerTelemetry::get().prunes.add();
-  LedgerTelemetry::get().pruned_entries.add(removed);
+  ++pending_prunes_;
+  pending_pruned_entries_ += removed;
+  flush_telemetry();
+}
+
+void Ledger::flush_telemetry() {
+  if ((pending_adds_ | pending_queries_ | pending_scanned_ |
+       pending_fast_silence_ | pending_prunes_ | pending_pruned_entries_ |
+       window_peak_local_) == 0)
+    return;
+  LedgerTelemetry& t = LedgerTelemetry::get();
+  t.adds.add(pending_adds_);
+  t.feedback_queries.add(pending_queries_);
+  t.feedback_scanned.add(pending_scanned_);
+  t.feedback_fast_silence.add(pending_fast_silence_);
+  t.prunes.add(pending_prunes_);
+  t.pruned_entries.add(pending_pruned_entries_);
+  t.window_peak.observe(window_peak_local_);
+  pending_adds_ = pending_queries_ = pending_scanned_ =
+      pending_fast_silence_ = pending_prunes_ = pending_pruned_entries_ = 0;
+  window_peak_local_ = 0;
 }
 
 bool Ledger::transmission_successful(StationId station, Tick end) const {

@@ -53,6 +53,10 @@ class Ledger {
   /// full_history() for trace rendering; otherwise finalized transmissions
   /// are pruned once out of range.
   explicit Ledger(bool keep_history = false) : keep_history_(keep_history) {}
+  ~Ledger() { flush_telemetry(); }
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
 
   /// Register a transmission occupying [t.begin, t.end). Begins must be
   /// non-decreasing across calls and durations strictly positive.
@@ -67,8 +71,18 @@ class Ledger {
   /// when it collided. Requires t <= the latest safe query time (all
   /// transmissions beginning before t already added). Cost is
   /// O(log W + neighborhood), not O(W): the begin-sorted window is seeked
-  /// with lower_bound to the first entry that can reach the slot.
+  /// with lower_bound to the first entry that can reach the slot. Two O(1)
+  /// silence fast paths skip the seek entirely: an empty window, and a
+  /// slot starting at or after latest_end() (every registered interval is
+  /// already over, so nothing can overlap [s, t) or ack-end inside it).
   Feedback feedback(Tick s, Tick t);
+
+  /// Push batched telemetry deltas into the global atomic instruments.
+  /// feedback()/add() accumulate plain-integer counters on the hot path;
+  /// prune_before(), the destructor and the engine's run() exit flush
+  /// them, so instrument readings lag a live run by at most one prune
+  /// interval.
+  void flush_telemetry();
 
   /// Finalize the success flag of all transmissions with end <= now.
   void finalize_until(Tick now);
@@ -112,6 +126,16 @@ class Ledger {
   Tick latest_end_ = 0;
   Tick max_duration_ = 0;
   bool keep_history_;
+
+  // Batched telemetry deltas (plain integers on the hot path; see
+  // flush_telemetry).
+  std::uint64_t pending_adds_ = 0;
+  std::uint64_t pending_queries_ = 0;
+  std::uint64_t pending_scanned_ = 0;
+  std::uint64_t pending_fast_silence_ = 0;
+  std::uint64_t pending_prunes_ = 0;
+  std::uint64_t pending_pruned_entries_ = 0;
+  std::size_t window_peak_local_ = 0;
 };
 
 }  // namespace asyncmac::channel

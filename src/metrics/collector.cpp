@@ -49,24 +49,4 @@ void Collector::on_delivery(StationId station, Tick declared_cost,
   s.queued_cost -= declared_cost;
 }
 
-void Collector::on_slot_end(StationId station, SlotAction action) {
-  ++stats_.total_slots;
-  auto& s = st(station);
-  ++s.slots;
-  switch (action) {
-    case SlotAction::kListen:
-      ++stats_.listen_slots;
-      break;
-    case SlotAction::kTransmitPacket:
-      ++stats_.transmit_slots;
-      ++s.transmit_slots;
-      break;
-    case SlotAction::kTransmitControl:
-      ++stats_.transmit_slots;
-      ++stats_.control_slots;
-      ++s.transmit_slots;
-      break;
-  }
-}
-
 }  // namespace asyncmac::metrics

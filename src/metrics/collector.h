@@ -19,7 +19,29 @@ class Collector {
   /// packet; `declared_cost` and `injected_at` come from the packet.
   void on_delivery(StationId station, Tick declared_cost, Tick injected_at,
                    Tick realized, Tick now);
-  void on_slot_end(StationId station, SlotAction action);
+  /// Defined inline: this is the one collector call on the engine's
+  /// innermost per-event path, and RunStats::total_slots must stay exact
+  /// per step (StopCondition::max_total_slots reads it), so it cannot be
+  /// batched like telemetry — it can only be made cheap.
+  void on_slot_end(StationId station, SlotAction action) {
+    ++stats_.total_slots;
+    StationStats& s = stats_.station[station - 1];
+    ++s.slots;
+    switch (action) {
+      case SlotAction::kListen:
+        ++stats_.listen_slots;
+        break;
+      case SlotAction::kTransmitPacket:
+        ++stats_.transmit_slots;
+        ++s.transmit_slots;
+        break;
+      case SlotAction::kTransmitControl:
+        ++stats_.transmit_slots;
+        ++stats_.control_slots;
+        ++s.transmit_slots;
+        break;
+    }
+  }
 
   const RunStats& stats() const noexcept { return stats_; }
 

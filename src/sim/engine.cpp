@@ -8,9 +8,11 @@
 namespace asyncmac::sim {
 
 namespace {
-// Write-only telemetry instruments (docs/OBSERVABILITY.md). Disabled
-// telemetry reduces each record to a single relaxed atomic load, so the
-// deterministic hot loop is unaffected.
+// Write-only telemetry instruments (docs/OBSERVABILITY.md). The hot loop
+// never touches these directly: per-step deltas accumulate in plain
+// Engine members and are pushed here by flush_telemetry() on the cold
+// path (prune cadence, run() exit, destruction), so the innermost path
+// performs no atomic operations for telemetry at all.
 struct EngineTelemetry {
   telemetry::Counter& slots =
       telemetry::Registry::global().counter("engine.slots");
@@ -20,6 +22,8 @@ struct EngineTelemetry {
       telemetry::Registry::global().counter("engine.deliveries");
   telemetry::Counter& prunes =
       telemetry::Registry::global().counter("engine.prunes");
+  telemetry::Counter& polls_skipped =
+      telemetry::Registry::global().counter("engine.injection_polls_skipped");
 
   static EngineTelemetry& get() {
     static EngineTelemetry t;
@@ -36,11 +40,17 @@ Engine::Engine(EngineConfig cfg,
       slot_policy_(std::move(slot_policy)),
       injection_(std::move(injection)),
       ledger_(cfg.keep_channel_history),
-      metrics_(cfg.n) {
+      metrics_(cfg.n),
+      events_(cfg.n) {
   AM_REQUIRE(cfg_.n >= 1, "need at least one station");
   AM_REQUIRE(cfg_.bound_r >= 1, "R must be >= 1");
+  AM_REQUIRE(cfg_.prune_interval >= 1, "prune interval must be >= 1");
   AM_REQUIRE(protocols.size() == cfg_.n, "one protocol per station");
   AM_REQUIRE(slot_policy_ != nullptr, "slot policy is required");
+  max_slot_ticks_ = static_cast<Tick>(cfg_.bound_r) * kTicksPerUnit;
+
+  if (cfg_.record_deliveries)
+    deliveries_.reserve(cfg_.delivery_reserve_hint);
 
   util::Rng seeder(cfg_.seed);
   stations_.reserve(cfg_.n);
@@ -53,6 +63,8 @@ Engine::Engine(EngineConfig cfg,
 
   // Packets injected at time 0 are visible to the very first decision.
   poll_injections(0);
+  next_injection_poll_ =
+      injection_ ? injection_->next_arrival_hint(0) : kTickInfinity;
 
   // All stations wake up simultaneously at time 0 (Section II / Lemma 1's
   // base case) and commit their first slot.
@@ -62,7 +74,7 @@ Engine::Engine(EngineConfig cfg,
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() { flush_telemetry(); }
 
 Engine::StationRuntime& Engine::rt(StationId id) {
   AM_CHECK(id >= 1 && id <= stations_.size());
@@ -88,8 +100,7 @@ void Engine::begin_slot(StationRuntime& s, Tick begin, SlotAction action) {
   s.action = action;
   const Tick len =
       slot_policy_->slot_length(s.ctx.id(), s.slot_index, begin, action);
-  AM_CHECK_MSG(len >= kTicksPerUnit &&
-                   len <= static_cast<Tick>(cfg_.bound_r) * kTicksPerUnit,
+  AM_CHECK_MSG(len >= kTicksPerUnit && len <= max_slot_ticks_,
                "slot policy returned length " << len << " outside [1, R] for "
                                               << "station " << s.ctx.id());
   s.slot_end = begin + len;
@@ -103,7 +114,8 @@ void Engine::begin_slot(StationRuntime& s, Tick begin, SlotAction action) {
     tx.packet = tx.is_control ? 0 : s.ctx.front().seq;
     ledger_.add(tx);
   }
-  events_.emplace(s.slot_end, s.ctx.id());
+  // Re-key the station's single pending event in place (no push/pop).
+  events_.update(s.ctx.id(), s.slot_end);
 }
 
 void Engine::poll_injections(Tick now) {
@@ -115,9 +127,7 @@ void Engine::poll_injections(Tick now) {
     AM_CHECK_MSG(inj.time >= last_injection_time_,
                  "injection times must be non-decreasing");
     AM_CHECK(inj.station >= 1 && inj.station <= cfg_.n);
-    AM_CHECK_MSG(inj.cost >= kTicksPerUnit &&
-                     inj.cost <=
-                         static_cast<Tick>(cfg_.bound_r) * kTicksPerUnit,
+    AM_CHECK_MSG(inj.cost >= kTicksPerUnit && inj.cost <= max_slot_ticks_,
                  "packet cost must lie in [1, R] time units");
     last_injection_time_ = inj.time;
     Packet p;
@@ -128,17 +138,25 @@ void Engine::poll_injections(Tick now) {
     rt(inj.station).ctx.push(p);
     metrics_.on_injection(inj.station, inj.cost, now);
   }
-  EngineTelemetry::get().injections.add(injection_buffer_.size());
+  pending_injections_ += injection_buffer_.size();
 }
 
 bool Engine::step() {
   if (events_.empty()) return false;
-  const auto [t, id] = events_.top();
-  events_.pop();
+  const Tick t = events_.top_time();
+  const StationId id = events_.top_station();
   now_ = t;
-  poll_injections(t);
+  // Injection skip-ahead: the standing hint bounds the next time a poll
+  // could matter, so events strictly before it skip the virtual poll
+  // entirely (exact by the next_arrival_hint contract).
+  if (t >= next_injection_poll_) {
+    poll_injections(t);
+    next_injection_poll_ = injection_->next_arrival_hint(t);
+  } else if (injection_) {
+    ++pending_polls_skipped_;
+  }
 
-  StationRuntime& s = rt(id);
+  StationRuntime& s = stations_[id - 1];
   AM_CHECK(s.slot_end == t);
 
   const Feedback fb = ledger_.feedback(s.slot_begin, s.slot_end);
@@ -154,9 +172,9 @@ bool Engine::step() {
     if (cfg_.record_deliveries)
       deliveries_.push_back(
           {p.seq, id, p.injected_at, p.cost, realized, t});
-    EngineTelemetry::get().deliveries.add();
+    ++pending_deliveries_;
   }
-  EngineTelemetry::get().slots.add();
+  ++pending_slots_;
   metrics_.on_slot_end(id, s.action);
   if (cfg_.record_trace)
     trace_.record({id, s.slot_index, s.slot_begin, s.slot_end, s.action, fb});
@@ -166,6 +184,15 @@ bool Engine::step() {
   begin_slot(s, /*begin=*/t, next);
 
   maybe_prune();
+#if defined(__GNUC__) || defined(__clang__)
+  // The re-keyed heap already names the next event's station; pull its
+  // runtime and protocol toward L1 while the loop overhead runs. With
+  // many stations the next runtime is usually cold — this hides most of
+  // that latency and is a pure hint (no semantic effect).
+  const StationRuntime& ns = stations_[events_.top_station() - 1];
+  __builtin_prefetch(&ns);
+  __builtin_prefetch(ns.protocol.get());
+#endif
   return true;
 }
 
@@ -175,21 +202,37 @@ void Engine::maybe_prune() {
   // unchanged while the live window — and with it every feedback() and
   // finalize_until() scan — stays bounded instead of growing with the
   // horizon (O(T^2) total work on long history runs).
-  if (++steps_since_prune_ < 4096) return;
+  if (++steps_since_prune_ < cfg_.prune_interval) return;
   steps_since_prune_ = 0;
   Tick horizon = kTickInfinity;
   for (const auto& s : stations_) horizon = std::min(horizon, s.slot_begin);
   ledger_.prune_before(horizon);
   EngineTelemetry::get().prunes.add();
+  flush_telemetry();
+}
+
+void Engine::flush_telemetry() {
+  if ((pending_slots_ | pending_deliveries_ | pending_injections_ |
+       pending_polls_skipped_) == 0)
+    return;
+  EngineTelemetry& t = EngineTelemetry::get();
+  t.slots.add(pending_slots_);
+  t.deliveries.add(pending_deliveries_);
+  t.injections.add(pending_injections_);
+  t.polls_skipped.add(pending_polls_skipped_);
+  pending_slots_ = pending_deliveries_ = pending_injections_ =
+      pending_polls_skipped_ = 0;
 }
 
 void Engine::run(const StopCondition& stop) {
   while (!events_.empty()) {
-    if (events_.top().first > stop.max_time) break;
+    if (events_.top_time() > stop.max_time) break;
     if (stats().total_slots >= stop.max_total_slots) break;
     if (!step()) break;
     if (stop.predicate && stop.predicate(*this)) break;
   }
+  flush_telemetry();
+  ledger_.flush_telemetry();
 }
 
 std::size_t Engine::queue_size(StationId station) const {

@@ -4,9 +4,26 @@
 //
 // The engine owns: one StationContext + Protocol per station, the channel
 // transmission Ledger, the adversarial SlotPolicy and InjectionPolicy, a
-// metrics Collector and an optional trace Recorder. It advances a priority
-// queue of slot-end events in (time, station-id) order, which makes every
-// run bit-for-bit deterministic for a fixed configuration and seed.
+// metrics Collector and an optional trace Recorder. It advances slot-end
+// events in (time, station-id) order, which makes every run bit-for-bit
+// deterministic for a fixed configuration and seed.
+//
+// Hot-loop structure (see docs/PERFORMANCE.md for measurements):
+//  * Exactly n slot-end events are ever pending — one per station, since
+//    a station always has exactly one committed slot. The scheduler is
+//    therefore an indexed array-backed min-heap (sim/event_heap.h) whose
+//    entries are re-keyed in place: begin_slot sifts the station's single
+//    entry instead of push/pop churn on a priority queue. The (end,
+//    station) order is identical to the previous std::priority_queue
+//    scheduler, so traces are byte-for-byte unchanged.
+//  * Injection polling skips ahead: after each poll the InjectionPolicy
+//    returns a next_arrival_hint, and polls strictly before the hint are
+//    skipped entirely (the hint contract in sim/injection.h makes this
+//    exact, not approximate). Workloads with sparse arrivals no longer
+//    pay a virtual poll on every slot end.
+//  * Per-step telemetry is accumulated in plain counters and flushed to
+//    the atomic instruments at prune cadence / run end / destruction, so
+//    the innermost path performs no atomic operations for telemetry.
 //
 // Correctness notes (why event order gives exact channel semantics):
 //  * A transmission is registered at its slot's *start*, i.e. when the
@@ -24,11 +41,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "channel/ledger.h"
 #include "metrics/collector.h"
+#include "sim/event_heap.h"
 #include "sim/injection.h"
 #include "sim/protocol.h"
 #include "sim/slot_policy.h"
@@ -48,6 +65,15 @@ struct EngineConfig {
   /// When false, a kTransmitControl action is a protocol bug (model rows
   /// of Table I that forbid control messages).
   bool allow_control = true;
+  /// Slot-end events between ledger prunes (and batched-telemetry
+  /// flushes). Must be >= 1. The default balances prune work against live
+  /// window growth; bench_engine sweeps it (see docs/PERFORMANCE.md).
+  std::uint64_t prune_interval = 4096;
+  /// Initial capacity reserved for the delivery log when
+  /// record_deliveries is set. The log grows unbounded with deliveries —
+  /// long validator runs should bound StopCondition::max_total_slots (or
+  /// max_time) rather than rely on the reserve.
+  std::size_t delivery_reserve_hint = 1024;
 };
 
 struct StopCondition {
@@ -137,6 +163,11 @@ class Engine final : public EngineView {
   void poll_injections(Tick now);
   void begin_slot(StationRuntime& rt, Tick begin, SlotAction action);
   void maybe_prune();
+  /// Push the batched per-step telemetry deltas into the global atomic
+  /// instruments. Called on the cold path only (prune cadence, run()
+  /// exit, destruction); between flushes the global counters lag by at
+  /// most prune_interval slots.
+  void flush_telemetry();
   StationRuntime& rt(StationId id);
   const StationRuntime& rt(StationId id) const;
 
@@ -149,15 +180,27 @@ class Engine final : public EngineView {
   trace::Recorder trace_;
   std::vector<DeliveryRecord> deliveries_;
 
-  using Event = std::pair<Tick, StationId>;  // (slot end, station)
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  /// One pending slot-end event per station, re-keyed in place.
+  SlotEventHeap events_;
 
   Tick now_ = 0;
+  /// bound_r * kTicksPerUnit, hoisted out of the per-slot length checks.
+  Tick max_slot_ticks_ = 0;
+  /// Earliest time the next injection poll may be needed (the standing
+  /// next_arrival_hint); events strictly before it skip poll_injections.
+  Tick next_injection_poll_ = 0;
   Tick last_injection_time_ = 0;
   PacketSeq next_seq_ = 1;
   StationId last_successful_ = kInvalidStation;
   std::uint64_t steps_since_prune_ = 0;
   std::vector<Injection> injection_buffer_;
+
+  // Batched telemetry deltas (plain integers on the hot path; see
+  // flush_telemetry).
+  std::uint64_t pending_slots_ = 0;
+  std::uint64_t pending_deliveries_ = 0;
+  std::uint64_t pending_injections_ = 0;
+  std::uint64_t pending_polls_skipped_ = 0;
 };
 
 }  // namespace asyncmac::sim

@@ -1,0 +1,127 @@
+// asyncmac/sim/event_heap.h
+//
+// Indexed, array-backed min-heap of slot-end events, keyed by station.
+//
+// The engine's event set has a structural invariant the generic
+// std::priority_queue cannot exploit: exactly one slot-end event is ever
+// pending per station — a station always has exactly one committed slot,
+// whose end is replaced (never removed) when the slot is processed. The
+// heap therefore holds a fixed n entries for the whole run: update()
+// re-keys a station's single entry and sifts it in place, so the hot loop
+// does no push/pop churn and no container growth.
+//
+// Ordering is (end tick, station id) lexicographic — identical to the
+// previous std::priority_queue<std::pair<Tick, StationId>, ...,
+// std::greater<>> scheduler, which makes the event processing order (and
+// with it every trace byte) bit-for-bit identical. Simultaneous slot ends
+// are processed in ascending station order; no two entries compare equal
+// because station ids are unique.
+//
+// Layout choices, each measured on the slots/sec bench
+// (docs/PERFORMANCE.md):
+//  * A node is ONE unsigned __int128: (end << 32) | station. End ticks
+//    are non-negative and station ids fit 32 bits, so lexicographic
+//    (end, station) order coincides with plain integer order — one
+//    branch-predictable comparison instead of a two-level tie-break whose
+//    station branch mispredicts on the all-ties synchronous schedules.
+//  * The heap is 4-ary: half the dependent levels of a binary heap, and
+//    the four children of a node sit in 64 contiguous bytes.
+//  * update() sinks bottom-up (Wegener's heapsort trick): walk the
+//    min-child path to a leaf without testing the moving node — in the
+//    hot case (the minimum re-keyed to a later end) it belongs near the
+//    bottom anyway — then climb to the true position, usually one
+//    comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace asyncmac::sim {
+
+class SlotEventHeap {
+ public:
+  /// All stations start with key kTickInfinity ("no slot committed yet");
+  /// the identity layout is a valid heap for equal keys under the
+  /// station-id tie-break.
+  explicit SlotEventHeap(std::uint32_t n) : heap_(n), pos_(n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      heap_[i] = make(kTickInfinity, static_cast<StationId>(i + 1));
+      pos_[i] = i;
+    }
+  }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Earliest pending (end, station) under the lexicographic order.
+  Tick top_time() const noexcept { return time_part(heap_[0]); }
+  StationId top_station() const noexcept { return station_part(heap_[0]); }
+
+  /// Current key of a station's single entry.
+  Tick time_of(StationId station) const noexcept {
+    return time_part(heap_[pos_[station - 1]]);
+  }
+
+  /// Re-key `station`'s entry to `end` and restore the heap invariant by
+  /// sifting the one displaced entry. O(log n), no allocation.
+  void update(StationId station, Tick end) noexcept {
+    std::size_t i = pos_[station - 1];
+    const Node moving = make(end, station);
+    if (i > 0 && moving < heap_[(i - 1) >> 2]) {
+      climb(i, moving);
+      return;
+    }
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 4 * i + 1;
+      if (child >= n) break;
+      const std::size_t lim = child + 4 < n ? child + 4 : n;
+      std::size_t m = child;
+      for (std::size_t j = child + 1; j < lim; ++j)
+        if (heap_[j] < heap_[m]) m = j;
+      place(i, heap_[m]);
+      i = m;
+    }
+    climb(i, moving);
+  }
+
+ private:
+  /// (end << 32) | station. End ticks are engine times (>= 0, with
+  /// kTickInfinity = INT64_MAX as the "no event" sentinel), so the packed
+  /// integer order is exactly the (end, station) lexicographic order.
+  using Node = unsigned __int128;
+
+  static Node make(Tick end, StationId station) noexcept {
+    return (static_cast<Node>(static_cast<std::uint64_t>(end)) << 32) |
+           station;
+  }
+  static Tick time_part(Node n) noexcept {
+    return static_cast<Tick>(static_cast<std::uint64_t>(n >> 32));
+  }
+  static StationId station_part(Node n) noexcept {
+    return static_cast<StationId>(n);
+  }
+
+  void place(std::size_t i, Node n) noexcept {
+    heap_[i] = n;
+    pos_[station_part(n) - 1] = static_cast<std::uint32_t>(i);
+  }
+
+  /// Sift `moving` up from position i to its true position.
+  void climb(std::size_t i, Node moving) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!(moving < heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, moving);
+  }
+
+  std::vector<Node> heap_;        ///< heap order -> packed (end, station)
+  std::vector<std::uint32_t> pos_;  ///< station id - 1 -> index in heap_
+};
+
+}  // namespace asyncmac::sim

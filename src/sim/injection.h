@@ -45,14 +45,29 @@ class InjectionPolicy {
  public:
   virtual ~InjectionPolicy() = default;
 
-  /// Called by the engine every time simulated time advances to `now`.
-  /// Append all injections with time <= now; times must be non-decreasing
-  /// across the whole run. The engine pushes the packets onto station
-  /// queues before processing the slot boundary at `now`, matching the
-  /// paper's convention that a packet injected "at the end of slot j" is
-  /// available to the protocol's decision for slot j+1.
+  /// Called by the engine when simulated time advances to `now` (subject
+  /// to the next_arrival_hint contract below). Append all injections with
+  /// time <= now; times must be non-decreasing across the whole run. The
+  /// engine pushes the packets onto station queues before processing the
+  /// slot boundary at `now`, matching the paper's convention that a packet
+  /// injected "at the end of slot j" is available to the protocol's
+  /// decision for slot j+1.
   virtual void poll(Tick now, const EngineView& view,
                     std::vector<Injection>& out) = 0;
+
+  /// Skip-ahead contract. Called by the engine immediately after poll()
+  /// returns at time `now`; the returned hint H licenses the engine to
+  /// SKIP every poll at times strictly before H and poll again only at
+  /// the first event time >= H. A policy must therefore guarantee that a
+  /// poll at any time t in [now, H) would (a) append no injections and
+  /// (b) leave the policy in a state indistinguishable — for all future
+  /// polls — from not having been called at all (token-bucket accrual
+  /// qualifies: advancing to t and then to t' equals advancing straight
+  /// to t', cap included). Under-promising is always safe: returning
+  /// `now` reproduces the pre-hint poll-on-every-event behaviour exactly,
+  /// and is the default so existing policies are unaffected. Return
+  /// kTickInfinity when no future poll can ever inject.
+  virtual Tick next_arrival_hint(Tick now) { return now; }
 
   virtual std::string name() const = 0;
 };

@@ -141,6 +141,17 @@ Scenario scenario_from_seed(std::uint64_t case_seed,
         inj.drain_a + inject_rng.range(1, s.n - inj.drain_a));
   }
   inj.seed = inject_rng.next();
+  // Gap stressor: reshape some bursty injectors into rare, widely-spaced
+  // bursts (long silent gaps at a low refill rate). This is the workload
+  // that exercises the engine's injection skip-ahead — thousands of slot
+  // ends between polls — so the fuzzer's differential oracle covers it.
+  // Appended at the end of the inject group: the splittable RNG keeps all
+  // earlier draws (and every other group) unperturbed.
+  if (inj.kind == "bursty" && inject_rng.below(100) < 40) {
+    inj.period_ticks =
+        static_cast<Tick>(inject_rng.range(200, 1000)) * kTicksPerUnit;
+    inj.rho = util::Ratio(inject_rng.range(1, 10), 100);
+  }
   return s;
 }
 

@@ -1,0 +1,182 @@
+// tests/engine_golden_cases.h
+//
+// The pinned engine-golden corpus: a fixed list of end-to-end engine
+// configurations whose serialized trace + RunStats JSON are committed
+// under tests/golden/engine/ and must be reproduced byte-for-byte by
+// every future build. The corpus was generated with the pre-PR-4 event
+// loop (std::priority_queue scheduler, per-event injection polling), so
+// matching it proves the indexed n-event scheduler, the injection
+// skip-ahead and the ledger fast paths are semantics-preserving — the
+// "old vs new loop" identity test, pinned as data.
+//
+// Shared by tools/golden_engine_gen (writes the files; run it only on a
+// conscious semantics change, with a DESIGN.md note) and
+// tests/test_engine_golden.cpp (verifies them).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "analysis/registry.h"
+#include "metrics/json.h"
+#include "sim/engine.h"
+#include "trace/serialize.h"
+
+namespace asyncmac::testing {
+
+struct EngineGoldenCase {
+  std::string name;          ///< file stem under tests/golden/engine/
+  std::string protocol;      ///< analysis registry name
+  std::uint32_t n = 2;
+  std::uint32_t bound_r = 1;
+  std::string slot_policy;   ///< adversary::make_slot_policy name
+  /// Injector kind: an adversary::injector_kinds() name, or "none" for a
+  /// workload without packet arrivals.
+  adversary::InjectorSpec injector;
+  bool no_injector = false;
+  Tick horizon_units = 100;
+  std::uint64_t seed = 1;
+};
+
+/// The corpus. Chosen to cover every hot-loop path the PR-4 overhaul
+/// touches: synchronous all-ties schedules (indexed-heap tie-breaking),
+/// asynchronous R=4 mixes, saturating / bursty-with-long-gaps /
+/// drain-chasing / maxqueue injectors (every next_arrival_hint
+/// implementation), injection-free listen-heavy runs (empty-window
+/// feedback fast path) and random/stretch-tx slot policies.
+inline std::vector<EngineGoldenCase> engine_golden_cases() {
+  std::vector<EngineGoldenCase> cases;
+  {
+    EngineGoldenCase c;
+    c.name = "ca_arrow_n4_r4_perstation_saturating";
+    c.protocol = "ca-arrow";
+    c.n = 4;
+    c.bound_r = 4;
+    c.slot_policy = "perstation";
+    c.injector.kind = "saturating";
+    c.injector.rho = util::Ratio(1, 2);
+    c.injector.burst_ticks = 8 * kTicksPerUnit;
+    c.injector.pattern = "roundrobin";
+    c.horizon_units = 300;
+    c.seed = 11;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "ao_arrow_n3_r2_random_bursty_gap";
+    c.protocol = "ao-arrow";
+    c.n = 3;
+    c.bound_r = 2;
+    c.slot_policy = "random";
+    c.injector.kind = "bursty";
+    c.injector.rho = util::Ratio(1, 4);
+    c.injector.burst_ticks = 16 * kTicksPerUnit;
+    c.injector.pattern = "roundrobin";
+    c.injector.period_ticks = 40 * kTicksPerUnit;  // long silent gaps
+    c.horizon_units = 400;
+    c.seed = 23;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "beb_n4_r1_sync_saturating_ties";
+    c.protocol = "beb";
+    c.n = 4;
+    c.bound_r = 1;
+    c.slot_policy = "sync";  // every slot end ties across all stations
+    c.injector.kind = "saturating";
+    c.injector.rho = util::Ratio(3, 5);
+    c.injector.burst_ticks = 6 * kTicksPerUnit;
+    c.injector.pattern = "random";
+    c.injector.seed = 7;
+    c.horizon_units = 250;
+    c.seed = 31;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "rrw_n2_r1_sync_drain_chasing";
+    c.protocol = "rrw";
+    c.n = 2;
+    c.bound_r = 1;
+    c.slot_policy = "sync";
+    c.injector.kind = "drain-chasing";
+    c.injector.rho = util::Ratio(9, 10);
+    c.injector.burst_ticks = 4 * kTicksPerUnit;
+    c.injector.drain_a = 1;
+    c.injector.drain_b = 2;
+    c.horizon_units = 300;
+    c.seed = 5;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "aloha_n5_r3_cyclic_maxqueue";
+    c.protocol = "aloha";
+    c.n = 5;
+    c.bound_r = 3;
+    c.slot_policy = "cyclic";
+    c.injector.kind = "maxqueue";
+    c.injector.rho = util::Ratio(3, 10);
+    c.injector.burst_ticks = 9 * kTicksPerUnit;
+    c.horizon_units = 200;
+    c.seed = 77;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "ca_arrow_n8_r2_stretchtx_saturating_single";
+    c.protocol = "ca-arrow";
+    c.n = 8;
+    c.bound_r = 2;
+    c.slot_policy = "stretch-tx";
+    c.injector.kind = "saturating";
+    c.injector.rho = util::Ratio(7, 10);
+    c.injector.burst_ticks = 10 * kTicksPerUnit;
+    c.injector.pattern = "single";
+    c.injector.single_target = 3;
+    c.horizon_units = 250;
+    c.seed = 42;
+    cases.push_back(c);
+  }
+  {
+    EngineGoldenCase c;
+    c.name = "ao_arrow_n6_r4_perstation_none";
+    c.protocol = "ao-arrow";
+    c.n = 6;
+    c.bound_r = 4;
+    c.slot_policy = "perstation";
+    c.no_injector = true;  // empty-channel feedback fast path
+    c.horizon_units = 300;
+    c.seed = 3;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+/// Run a corpus case and render the golden artifact: serialized trace
+/// followed by the RunStats + channel-stats JSON, so both the observable
+/// schedule and the full statistics are pinned byte-for-byte.
+inline std::string run_engine_golden_case(const EngineGoldenCase& c) {
+  sim::EngineConfig cfg;
+  cfg.n = c.n;
+  cfg.bound_r = c.bound_r;
+  cfg.seed = c.seed;
+  cfg.record_trace = true;
+  cfg.record_deliveries = true;
+  sim::Engine engine(
+      cfg, analysis::make_protocols(c.protocol, c.n),
+      adversary::make_slot_policy(c.slot_policy, c.n, c.bound_r, c.seed),
+      c.no_injector ? nullptr : adversary::make_injector(c.injector));
+  engine.run(sim::until(c.horizon_units * kTicksPerUnit));
+  std::string out =
+      trace::serialize_trace({c.n, c.bound_r}, engine.trace().slots());
+  out += metrics::to_json(engine.stats(), &engine.channel_stats());
+  out += "\n";
+  return out;
+}
+
+}  // namespace asyncmac::testing

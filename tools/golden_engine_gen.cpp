@@ -1,0 +1,32 @@
+// golden_engine_gen — (re)generate the pinned engine-golden corpus under
+// tests/golden/engine/. The corpus pins the engine's observable behaviour
+// (serialized trace + RunStats JSON) byte-for-byte, so regenerating it is
+// only ever a conscious decision after an intentional semantics change —
+// record the why in DESIGN.md when you do. Usage:
+//
+//   golden_engine_gen <output-dir>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "engine_golden_cases.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: golden_engine_gen <output-dir>\n";
+    return 2;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::filesystem::create_directories(dir);
+  for (const auto& c : asyncmac::testing::engine_golden_cases()) {
+    const std::filesystem::path path = dir / (c.name + ".trace");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    out << asyncmac::testing::run_engine_golden_case(c);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
