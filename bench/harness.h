@@ -8,6 +8,9 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +46,62 @@ inline void maybe_init_telemetry() {
     return true;
   }();
   (void)done;
+}
+
+/// Minimal extraction of {"name": ..., "<unit_key>": ...} pairs from a
+/// previous BENCH_*.json trajectory (schema owned by the bench binaries,
+/// so a flat line scan is enough — no general JSON parser needed here).
+inline std::map<std::string, double> load_baseline(const std::string& path,
+                                                   const std::string& unit_key) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  const std::string key = "\"" + unit_key + "\": ";
+  std::string line;
+  std::string name;
+  while (std::getline(in, line)) {
+    const auto name_pos = line.find("\"name\": \"");
+    if (name_pos != std::string::npos) {
+      const auto start = name_pos + 9;
+      name = line.substr(start, line.find('"', start) - start);
+    }
+    const auto val_pos = line.find(key);
+    if (val_pos != std::string::npos && !name.empty()) {
+      out[name] = std::strtod(line.c_str() + val_pos + key.size(), nullptr);
+      name.clear();
+    }
+  }
+  return out;
+}
+
+/// Load a baseline trajectory and reconcile it against the configs the
+/// current suite is about to run. Config-set mismatches (a baseline from
+/// an older or newer suite) warn and skip the stray entries instead of
+/// failing the whole bench: stale names are dropped, missing names simply
+/// get no speedup column. Returns only the usable entries.
+inline std::map<std::string, double> merge_baseline(
+    const std::string& path, const std::string& unit_key,
+    const std::vector<std::string>& expected) {
+  std::map<std::string, double> raw = load_baseline(path, unit_key);
+  if (raw.empty()) {
+    std::cerr << "warning: baseline " << path << " has no " << unit_key
+              << " entries; continuing without speedups\n";
+    return raw;
+  }
+  std::map<std::string, double> out;
+  for (const auto& name : expected) {
+    if (const auto it = raw.find(name); it != raw.end()) {
+      out.emplace(name, it->second);
+      raw.erase(it);
+    } else {
+      std::cerr << "warning: baseline " << path << " lacks config \"" << name
+                << "\" (older suite?); skipping its speedup\n";
+    }
+  }
+  for (const auto& stray : raw)
+    std::cerr << "warning: baseline " << path << " names unknown config \""
+              << stray.first << "\"; skipping it\n";
+  return out;
 }
 
 /// One protocol instance per station, all of type T.

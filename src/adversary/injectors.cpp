@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/state.h"
 #include "util/check.h"
 
 namespace asyncmac::adversary {
@@ -46,6 +47,16 @@ Tick CostBucket::next_afford_time(Tick cost) const {
   const __int128 when = static_cast<__int128>(last_) + dt;
   if (when >= static_cast<__int128>(kTickInfinity)) return kTickInfinity;
   return static_cast<Tick>(when);
+}
+
+void CostBucket::save_state(snapshot::Writer& w) const {
+  snapshot::save_i128(w, tokens_scaled_);
+  w.i64(last_);
+}
+
+void CostBucket::load_state(snapshot::Reader& r) {
+  tokens_scaled_ = snapshot::load_i128(r);
+  last_ = r.i64();
 }
 
 // ---------------------------------------------------------------- helpers
@@ -138,6 +149,40 @@ std::string SaturatingInjector::name() const {
   return "saturating(rho=" + bucket_.rate().str() + ")";
 }
 
+void SaturatingInjector::save_state(snapshot::Writer& w) const {
+  bucket_.save_state(w);
+  w.u32(rr_next_);
+  snapshot::save_rng(w, rng_);
+  w.i64(injected_cost_);
+  w.i64(hint_cost_);
+  w.boolean(keep_log_);
+  w.u64(log_.size());
+  for (const sim::Injection& inj : log_) {
+    w.i64(inj.time);
+    w.u32(inj.station);
+    w.i64(inj.cost);
+  }
+}
+
+void SaturatingInjector::load_state(snapshot::Reader& r) {
+  bucket_.load_state(r);
+  rr_next_ = r.u32();
+  snapshot::load_rng(r, rng_);
+  injected_cost_ = r.i64();
+  hint_cost_ = r.i64();
+  keep_log_ = r.boolean();
+  const std::uint64_t count = r.u64();
+  log_.clear();
+  log_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sim::Injection inj;
+    inj.time = r.i64();
+    inj.station = r.u32();
+    inj.cost = r.i64();
+    log_.push_back(inj);
+  }
+}
+
 // ------------------------------------------------------------- BurstyInjector
 
 BurstyInjector::BurstyInjector(util::Ratio rho, Tick burst_cost,
@@ -191,6 +236,20 @@ std::string BurstyInjector::name() const {
   return "bursty(rho=" + bucket_.rate().str() + ")";
 }
 
+void BurstyInjector::save_state(snapshot::Writer& w) const {
+  bucket_.save_state(w);
+  w.i64(next_burst_);
+  w.u32(rr_next_);
+  snapshot::save_rng(w, rng_);
+}
+
+void BurstyInjector::load_state(snapshot::Reader& r) {
+  bucket_.load_state(r);
+  next_burst_ = r.i64();
+  rr_next_ = r.u32();
+  snapshot::load_rng(r, rng_);
+}
+
 // -------------------------------------------------------- DrainChasingInjector
 
 DrainChasingInjector::DrainChasingInjector(util::Ratio rho, Tick burst_cost,
@@ -226,6 +285,16 @@ Tick DrainChasingInjector::next_arrival_hint(Tick now) {
 
 std::string DrainChasingInjector::name() const {
   return "drain-chasing(rho=" + bucket_.rate().str() + ")";
+}
+
+void DrainChasingInjector::save_state(snapshot::Writer& w) const {
+  bucket_.save_state(w);
+  w.i64(min_cost_);
+}
+
+void DrainChasingInjector::load_state(snapshot::Reader& r) {
+  bucket_.load_state(r);
+  min_cost_ = r.i64();
 }
 
 // ------------------------------------------------------------ MaxQueueInjector
@@ -266,6 +335,16 @@ Tick MaxQueueInjector::next_arrival_hint(Tick now) {
 
 std::string MaxQueueInjector::name() const {
   return "max-queue(rho=" + bucket_.rate().str() + ")";
+}
+
+void MaxQueueInjector::save_state(snapshot::Writer& w) const {
+  bucket_.save_state(w);
+  w.i64(min_cost_);
+}
+
+void MaxQueueInjector::load_state(snapshot::Reader& r) {
+  bucket_.load_state(r);
+  min_cost_ = r.i64();
 }
 
 // ------------------------------------------------------------------ factory
@@ -315,6 +394,18 @@ void ScriptedInjector::poll(Tick now, const sim::EngineView&,
 
 Tick ScriptedInjector::next_arrival_hint(Tick) {
   return next_ < script_.size() ? script_[next_].time : kTickInfinity;
+}
+
+void ScriptedInjector::save_state(snapshot::Writer& w) const {
+  w.u64(next_);
+}
+
+void ScriptedInjector::load_state(snapshot::Reader& r) {
+  const std::uint64_t cursor = r.u64();
+  if (cursor > script_.size())
+    throw snapshot::SnapshotError(snapshot::ErrorKind::kCorrupt,
+                                  "scripted injector cursor past script end");
+  next_ = static_cast<std::size_t>(cursor);
 }
 
 }  // namespace asyncmac::adversary

@@ -42,6 +42,11 @@ class CostBucket {
   /// the injectors' next_arrival_hint implementations.
   Tick next_afford_time(Tick cost) const;
 
+  /// Checkpoint/resume: the mutable balance and accrual clock only; the
+  /// rate and burstiness are construction parameters the caller rebuilds.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   util::Ratio rho_;
   Tick burst_;
@@ -79,6 +84,9 @@ class SaturatingInjector final : public sim::InjectionPolicy {
   void set_keep_log(bool keep) { keep_log_ = keep; }
   Tick injected_cost() const { return injected_cost_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   StationId pick(const sim::EngineView& view);
 
@@ -111,6 +119,9 @@ class BurstyInjector final : public sim::InjectionPolicy {
   Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   StationId pick(const sim::EngineView& view);
 
@@ -139,6 +150,9 @@ class DrainChasingInjector final : public sim::InjectionPolicy {
   Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   CostBucket bucket_;
   StationId a_, b_;
@@ -161,6 +175,9 @@ class MaxQueueInjector final : public sim::InjectionPolicy {
             std::vector<sim::Injection>& out) override;
   Tick next_arrival_hint(Tick now) override;
   std::string name() const override;
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   CostBucket bucket_;
@@ -213,6 +230,10 @@ class ScriptedInjector final : public sim::InjectionPolicy {
   /// it cannot emit and touch no state.
   Tick next_arrival_hint(Tick now) override;
   std::string name() const override { return "scripted"; }
+
+  /// The script itself is construction data; only the cursor is state.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   std::vector<sim::Injection> script_;

@@ -1,5 +1,6 @@
 #include "adversary/slot_policies.h"
 
+#include "snapshot/state.h"
 #include "util/check.h"
 
 namespace asyncmac::adversary {
@@ -67,6 +68,20 @@ Tick RandomSlotPolicy::slot_length(StationId s, SlotIndex, Tick, SlotAction) {
 
 std::string RandomSlotPolicy::name() const { return "random"; }
 
+void RandomSlotPolicy::save_state(snapshot::Writer& w) const {
+  w.u64(rngs_.size());
+  for (const util::Rng& rng : rngs_) snapshot::save_rng(w, rng);
+}
+
+void RandomSlotPolicy::load_state(snapshot::Reader& r) {
+  const std::uint64_t count = r.u64();
+  if (count != rngs_.size())
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "random slot policy was saved with a different station count");
+  for (util::Rng& rng : rngs_) snapshot::load_rng(r, rng);
+}
+
 StretchTransmitsPolicy::StretchTransmitsPolicy(Tick stretch_ticks)
     : stretch_(require_slot_length(stretch_ticks)) {}
 
@@ -97,6 +112,16 @@ Tick RegimeFlipSlotPolicy::slot_length(StationId s, SlotIndex j, Tick begin,
 
 std::string RegimeFlipSlotPolicy::name() const {
   return "regime-flip(" + before_->name() + "->" + after_->name() + ")";
+}
+
+void RegimeFlipSlotPolicy::save_state(snapshot::Writer& w) const {
+  before_->save_state(w);
+  after_->save_state(w);
+}
+
+void RegimeFlipSlotPolicy::load_state(snapshot::Reader& r) {
+  before_->load_state(r);
+  after_->load_state(r);
 }
 
 std::unique_ptr<sim::SlotPolicy> make_slot_policy(const std::string& name,

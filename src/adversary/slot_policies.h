@@ -73,6 +73,9 @@ class RandomSlotPolicy final : public sim::SlotPolicy {
   Tick slot_length(StationId s, SlotIndex, Tick, SlotAction) override;
   std::string name() const override;
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
  private:
   Tick min_, max_;
   std::vector<util::Rng> rngs_;
@@ -104,6 +107,11 @@ class RegimeFlipSlotPolicy final : public sim::SlotPolicy {
   Tick slot_length(StationId s, SlotIndex j, Tick begin,
                    SlotAction a) override;
   std::string name() const override;
+
+  /// Recurses into both regimes, so a flip policy over stateful policies
+  /// (e.g. random) checkpoints correctly; flip_at_ is construction data.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
  private:
   std::unique_ptr<sim::SlotPolicy> before_, after_;

@@ -1,11 +1,15 @@
 #include "analysis/experiment.h"
 
+#include <filesystem>
 #include <memory>
+#include <mutex>
 
 #include "adversary/injectors.h"
 #include "adversary/slot_policies.h"
 #include "analysis/registry.h"
 #include "sim/engine.h"
+#include "snapshot/format.h"
+#include "snapshot/io.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
@@ -57,6 +61,110 @@ ExperimentRecord run_cell(const std::string& protocol, std::uint32_t n,
   return rec;
 }
 
+// ------------------------------------------------------- grid checkpoints
+
+/// CRC over the sweep-defining dimensions (not jobs / checkpoint_dir): a
+/// manifest only resumes the exact grid it was written for.
+std::uint32_t spec_fingerprint(const ExperimentSpec& spec) {
+  snapshot::Writer w;
+  for (const auto& p : spec.protocols) w.str(p);
+  for (std::uint32_t n : spec.station_counts) w.u32(n);
+  for (std::uint32_t r : spec.bounds_r) w.u32(r);
+  for (int rho : spec.rho_percents) w.i64(rho);
+  for (const auto& p : spec.slot_policies) w.str(p);
+  w.i64(spec.burst_units);
+  w.i64(spec.horizon_units);
+  w.u64(spec.seed);
+  w.i64(spec.seeds);
+  return snapshot::crc32(w.buffer().data(), w.buffer().size());
+}
+
+void save_record(snapshot::Writer& w, const ExperimentRecord& rec) {
+  w.str(rec.protocol);
+  w.u32(rec.n);
+  w.u32(rec.bound_r);
+  w.i64(rec.rho_pct);
+  w.str(rec.slot_policy);
+  w.u64(rec.seed);
+  w.u64(rec.injected);
+  w.u64(rec.delivered);
+  w.u64(rec.queued);
+  w.f64(rec.max_queue_cost_units);
+  w.f64(rec.final_queue_cost_units);
+  w.u64(rec.collisions);
+  w.u64(rec.control_msgs);
+  w.f64(rec.delivered_fraction);
+  w.f64(rec.p99_latency_units);
+}
+
+ExperimentRecord load_record(snapshot::Reader& r) {
+  ExperimentRecord rec;
+  rec.protocol = r.str();
+  rec.n = r.u32();
+  rec.bound_r = r.u32();
+  rec.rho_pct = static_cast<int>(r.i64());
+  rec.slot_policy = r.str();
+  rec.seed = r.u64();
+  rec.injected = r.u64();
+  rec.delivered = r.u64();
+  rec.queued = r.u64();
+  rec.max_queue_cost_units = r.f64();
+  rec.final_queue_cost_units = r.f64();
+  rec.collisions = r.u64();
+  rec.control_msgs = r.u64();
+  rec.delivered_fraction = r.f64();
+  rec.p99_latency_units = r.f64();
+  return rec;
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/grid-manifest.snap";
+}
+
+void write_manifest(const std::string& dir, std::uint32_t fingerprint,
+                    const std::vector<std::uint8_t>& done,
+                    const std::vector<ExperimentRecord>& records) {
+  snapshot::Writer w;
+  w.u32(fingerprint);
+  w.u64(done.size());
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    w.boolean(done[i] != 0);
+    if (done[i]) save_record(w, records[i]);
+  }
+  snapshot::write_file(manifest_path(dir),
+                       snapshot::FileKind::kGridManifest, w.buffer());
+}
+
+/// Load the manifest (when one exists) into done/records; returns the
+/// number of already-completed cells. Throws SnapshotError(kMismatch) on
+/// a manifest from a different spec or cell count.
+std::size_t load_manifest(const std::string& dir, std::uint32_t fingerprint,
+                          std::vector<std::uint8_t>& done,
+                          std::vector<ExperimentRecord>& records) {
+  if (!std::filesystem::exists(manifest_path(dir))) return 0;
+  const auto payload = snapshot::read_file(manifest_path(dir),
+                                           snapshot::FileKind::kGridManifest);
+  snapshot::Reader r(payload);
+  if (r.u32() != fingerprint)
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "grid manifest in " + dir + " was written for a different sweep");
+  if (r.u64() != done.size())
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "grid manifest in " + dir + " has a different cell count");
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    done[i] = r.boolean() ? 1 : 0;
+    if (done[i]) {
+      records[i] = load_record(r);
+      ++completed;
+    }
+  }
+  r.expect_end();
+  return completed;
+}
+
 }  // namespace
 
 std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
@@ -91,12 +199,30 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
                    spec.seed + static_cast<std::uint64_t>(s) * 1000003});
 
   std::vector<ExperimentRecord> records(cells.size());
+
+  // Checkpointing: `skip` is an immutable pre-run snapshot of the
+  // manifest (safe to read from every worker); `done` and the manifest
+  // rewrite are guarded by one mutex, and a cell is marked done only
+  // after its record is fully written (the mutex orders that store
+  // against the manifest serializer's read).
+  const bool checkpointing = !spec.checkpoint_dir.empty();
+  std::vector<std::uint8_t> done(cells.size(), 0);
+  std::uint32_t fingerprint = 0;
+  if (checkpointing) {
+    std::filesystem::create_directories(spec.checkpoint_dir);
+    fingerprint = spec_fingerprint(spec);
+    load_manifest(spec.checkpoint_dir, fingerprint, done, records);
+  }
+  const std::vector<std::uint8_t> skip = done;
+  std::mutex manifest_mutex;
+
   telemetry::emit("grid.start",
                   {{"cells", static_cast<std::uint64_t>(cells.size())},
                    {"jobs", static_cast<std::int64_t>(spec.jobs)},
                    {"horizon_units", static_cast<std::int64_t>(
                                          spec.horizon_units)}});
   util::parallel_for(spec.jobs, cells.size(), [&](std::size_t i) {
+    if (skip[i]) return;
     static auto& cell_count =
         telemetry::Registry::global().counter("analysis.grid_cells");
     static auto& cell_timer =
@@ -105,6 +231,11 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
     const Cell& c = cells[i];
     records[i] = run_cell(*c.protocol, c.n, c.r, c.rho, *c.policy,
                           spec.burst_units, spec.horizon_units, c.seed);
+    if (checkpointing) {
+      const std::lock_guard<std::mutex> lock(manifest_mutex);
+      done[i] = 1;
+      write_manifest(spec.checkpoint_dir, fingerprint, done, records);
+    }
     cell_count.add();
   });
   telemetry::emit("grid.done",

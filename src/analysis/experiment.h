@@ -34,6 +34,16 @@ struct ExperimentSpec {
   /// Every cell is an independent deterministic Engine, so the records are
   /// byte-identical for every jobs value (including their order).
   unsigned jobs = 0;
+  /// When non-empty, run_grid keeps a manifest (grid-manifest.snap, see
+  /// docs/CHECKPOINT.md) in this directory: after every finished cell the
+  /// manifest is atomically rewritten with the completed-cell set and
+  /// their records. A rerun with the same spec resumes at the first
+  /// incomplete cell and returns records byte-identical to an
+  /// uninterrupted sweep (cells are deterministic, so replayed or resumed
+  /// makes no difference). A manifest from a *different* spec raises
+  /// snapshot::SnapshotError(kMismatch). jobs and checkpoint_dir are not
+  /// part of the spec fingerprint.
+  std::string checkpoint_dir;
 };
 
 struct ExperimentRecord {

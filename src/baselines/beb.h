@@ -12,6 +12,7 @@
 #pragma once
 
 #include "sim/protocol.h"
+#include "snapshot/io.h"
 
 namespace asyncmac::baselines {
 
@@ -46,6 +47,15 @@ class BebProtocol final : public sim::Protocol {
   }
 
   std::string name() const override { return "BEB"; }
+
+  void save_state(snapshot::Writer& w) const override {
+    w.u32(window_);
+    w.u64(backoff_);
+  }
+  void load_state(snapshot::Reader& r, sim::StationContext&) override {
+    window_ = r.u32();
+    backoff_ = r.u64();
+  }
 
  private:
   std::uint32_t window_;

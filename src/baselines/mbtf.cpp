@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/io.h"
 #include "util/check.h"
 
 namespace asyncmac::baselines {
@@ -53,6 +54,22 @@ SlotAction MbtfProtocol::next_action(const std::optional<sim::SlotResult>& prev,
   if (list_[token_] == ctx.id() && !ctx.queue_empty())
     return SlotAction::kTransmitPacket;
   return SlotAction::kListen;
+}
+
+void MbtfProtocol::save_state(snapshot::Writer& w) const {
+  w.u64(list_.size());
+  for (StationId s : list_) w.u32(s);
+  w.u64(token_);
+  w.u64(seq_len_);
+}
+
+void MbtfProtocol::load_state(snapshot::Reader& r, sim::StationContext&) {
+  const std::uint64_t count = r.u64();
+  list_.clear();
+  list_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) list_.push_back(r.u32());
+  token_ = static_cast<std::size_t>(r.u64());
+  seq_len_ = r.u64();
 }
 
 }  // namespace asyncmac::baselines

@@ -34,6 +34,9 @@ class MbtfProtocol final : public sim::Protocol {
   StationId holder() const;
   const std::vector<StationId>& list() const noexcept { return list_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   void ensure_init(const sim::StationContext& ctx);
   void sequence_ended(const sim::StationContext& ctx);

@@ -1,5 +1,7 @@
 #include "baselines/rrw.h"
 
+#include "snapshot/io.h"
+
 namespace asyncmac::baselines {
 
 std::unique_ptr<sim::Protocol> RrwProtocol::clone() const {
@@ -13,6 +15,12 @@ SlotAction RrwProtocol::next_action(const std::optional<sim::SlotResult>& prev,
   if (turn_ == ctx.id() && !ctx.queue_empty())
     return SlotAction::kTransmitPacket;
   return SlotAction::kListen;
+}
+
+void RrwProtocol::save_state(snapshot::Writer& w) const { w.u32(turn_); }
+
+void RrwProtocol::load_state(snapshot::Reader& r, sim::StationContext&) {
+  turn_ = r.u32();
 }
 
 }  // namespace asyncmac::baselines

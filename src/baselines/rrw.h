@@ -31,6 +31,9 @@ class RrwProtocol final : public sim::Protocol {
 
   StationId turn() const noexcept { return turn_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   StationId turn_ = 1;
 };

@@ -1,5 +1,7 @@
 #include "baselines/silence_tdma.h"
 
+#include "snapshot/io.h"
+
 namespace asyncmac::baselines {
 
 std::unique_ptr<sim::Protocol> SilenceCountTdmaProtocol::clone() const {
@@ -21,6 +23,15 @@ SlotAction SilenceCountTdmaProtocol::next_action(
     return SlotAction::kTransmitPacket;
   }
   return SlotAction::kListen;
+}
+
+void SilenceCountTdmaProtocol::save_state(snapshot::Writer& w) const {
+  w.u64(silent_run_);
+}
+
+void SilenceCountTdmaProtocol::load_state(snapshot::Reader& r,
+                                          sim::StationContext&) {
+  silent_run_ = r.u64();
 }
 
 }  // namespace asyncmac::baselines

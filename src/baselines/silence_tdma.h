@@ -30,6 +30,9 @@ class SilenceCountTdmaProtocol final : public sim::Protocol {
                          sim::StationContext& ctx) override;
   std::string name() const override { return "silence-count-TDMA"; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   std::uint64_t silent_run_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "baselines/sync_binary_le.h"
 
+#include "snapshot/io.h"
+
 namespace asyncmac::baselines {
 
 core::LeaderElectionFactory SyncBinaryLeAutomaton::factory() {
@@ -44,6 +46,35 @@ SlotAction SyncBinaryLeProtocol::next_action(
   if (a == SlotAction::kTransmitPacket && ctx.queue_empty())
     a = SlotAction::kTransmitControl;
   return a;
+}
+
+void SyncBinaryLeAutomaton::save_state(snapshot::Writer& w) const {
+  w.u32(id_);
+  w.u8(static_cast<std::uint8_t>(outcome_));
+  w.u32(phase_);
+  w.u64(slots_);
+}
+
+void SyncBinaryLeAutomaton::load_state(snapshot::Reader& r) {
+  id_ = r.u32();
+  outcome_ = static_cast<Outcome>(r.u8());
+  phase_ = r.u32();
+  slots_ = r.u64();
+}
+
+void SyncBinaryLeProtocol::save_state(snapshot::Writer& w) const {
+  w.boolean(automaton_.has_value());
+  if (automaton_) automaton_->save_state(w);
+}
+
+void SyncBinaryLeProtocol::load_state(snapshot::Reader& r,
+                                      sim::StationContext& ctx) {
+  if (r.boolean()) {
+    automaton_.emplace(ctx.id());
+    automaton_->load_state(r);
+  } else {
+    automaton_.reset();
+  }
 }
 
 }  // namespace asyncmac::baselines

@@ -36,6 +36,9 @@ class SyncBinaryLeAutomaton final : public core::LeaderElection {
     return std::make_unique<SyncBinaryLeAutomaton>(*this);
   }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   static core::LeaderElectionFactory factory();
 
  private:
@@ -68,6 +71,9 @@ class SyncBinaryLeProtocol final : public sim::Protocol {
     return automaton_ ? automaton_->outcome() : Outcome::kActive;
   }
   std::uint64_t slots() const { return automaton_ ? automaton_->slots() : 0; }
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
 
  private:
   std::optional<SyncBinaryLeAutomaton> automaton_;

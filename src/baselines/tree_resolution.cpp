@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "snapshot/io.h"
 #include "util/check.h"
 
 namespace asyncmac::baselines {
@@ -66,6 +67,37 @@ SlotAction TreeResolutionProtocol::next_action(
   if (a == SlotAction::kTransmitPacket && ctx.queue_empty())
     a = SlotAction::kTransmitControl;
   return a;
+}
+
+void TreeResolutionAutomaton::save_state(snapshot::Writer& w) const {
+  w.u32(id_);
+  w.u32(bit_);
+  w.i64(counter_);
+  w.u8(static_cast<std::uint8_t>(outcome_));
+  w.u64(slots_);
+}
+
+void TreeResolutionAutomaton::load_state(snapshot::Reader& r) {
+  id_ = r.u32();
+  bit_ = r.u32();
+  counter_ = r.i64();
+  outcome_ = static_cast<Outcome>(r.u8());
+  slots_ = r.u64();
+}
+
+void TreeResolutionProtocol::save_state(snapshot::Writer& w) const {
+  w.boolean(automaton_.has_value());
+  if (automaton_) automaton_->save_state(w);
+}
+
+void TreeResolutionProtocol::load_state(snapshot::Reader& r,
+                                        sim::StationContext& ctx) {
+  if (r.boolean()) {
+    automaton_.emplace(ctx.id(), ctx.n());
+    automaton_->load_state(r);
+  } else {
+    automaton_.reset();
+  }
 }
 
 }  // namespace asyncmac::baselines

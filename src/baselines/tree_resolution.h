@@ -32,6 +32,9 @@ class TreeResolutionAutomaton final : public core::LeaderElection {
     return std::make_unique<TreeResolutionAutomaton>(*this);
   }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   static core::LeaderElectionFactory factory();
 
  private:
@@ -61,6 +64,9 @@ class TreeResolutionProtocol final : public sim::Protocol {
   const TreeResolutionAutomaton* automaton() const {
     return automaton_ ? &*automaton_ : nullptr;
   }
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
 
  private:
   std::optional<TreeResolutionAutomaton> automaton_;

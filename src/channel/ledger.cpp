@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/io.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
 
@@ -183,6 +184,99 @@ void Ledger::flush_telemetry() {
   pending_adds_ = pending_queries_ = pending_scanned_ =
       pending_fast_silence_ = pending_prunes_ = pending_pruned_entries_ = 0;
   window_peak_local_ = 0;
+}
+
+namespace {
+
+void save_transmission(snapshot::Writer& w, const Transmission& t) {
+  w.u32(t.station);
+  w.i64(t.begin);
+  w.i64(t.end);
+  w.boolean(t.is_control);
+  w.u64(t.packet);
+  w.boolean(t.successful);
+  w.boolean(t.decided);
+}
+
+Transmission load_transmission(snapshot::Reader& r) {
+  Transmission t;
+  t.station = r.u32();
+  t.begin = r.i64();
+  t.end = r.i64();
+  t.is_control = r.boolean();
+  t.packet = r.u64();
+  t.successful = r.boolean();
+  t.decided = r.boolean();
+  return t;
+}
+
+}  // namespace
+
+void Ledger::save_state(snapshot::Writer& w) const {
+  w.boolean(keep_history_);
+  w.u64(window_.size());
+  for (const Transmission& t : window_) save_transmission(w, t);
+  w.u64(finalized_);
+  w.u64(history_.size());
+  for (const Transmission& t : history_) save_transmission(w, t);
+  w.u64(stats_.transmissions);
+  w.u64(stats_.successful);
+  w.u64(stats_.collided);
+  w.u64(stats_.control_transmissions);
+  w.u64(stats_.successful_packets);
+  w.i64(stats_.successful_packet_time);
+  w.i64(stats_.successful_control_time);
+  w.i64(last_begin_);
+  w.i64(latest_end_);
+  w.i64(max_duration_);
+  // Batched telemetry deltas ride along so a resumed run flushes the same
+  // not-yet-flushed counts (telemetry itself is outside the determinism
+  // contract, but carrying the deltas keeps it *approximately* seamless).
+  w.u64(pending_adds_);
+  w.u64(pending_queries_);
+  w.u64(pending_scanned_);
+  w.u64(pending_fast_silence_);
+  w.u64(pending_prunes_);
+  w.u64(pending_pruned_entries_);
+  w.u64(window_peak_local_);
+}
+
+void Ledger::load_state(snapshot::Reader& r) {
+  const bool keep_history = r.boolean();
+  if (keep_history != keep_history_)
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "ledger keep_history flag differs from the snapshot's");
+  const std::uint64_t window_count = r.u64();
+  window_.clear();
+  for (std::uint64_t i = 0; i < window_count; ++i)
+    window_.push_back(load_transmission(r));
+  finalized_ = static_cast<std::size_t>(r.u64());
+  if (finalized_ > window_.size())
+    throw snapshot::SnapshotError(snapshot::ErrorKind::kCorrupt,
+                                  "ledger finalized cursor beyond window");
+  const std::uint64_t history_count = r.u64();
+  history_.clear();
+  history_.reserve(static_cast<std::size_t>(history_count));
+  for (std::uint64_t i = 0; i < history_count; ++i)
+    history_.push_back(load_transmission(r));
+  stats_.transmissions = r.u64();
+  stats_.successful = r.u64();
+  stats_.collided = r.u64();
+  stats_.control_transmissions = r.u64();
+  stats_.successful_packets = r.u64();
+  stats_.successful_packet_time = r.i64();
+  stats_.successful_control_time = r.i64();
+  last_begin_ = r.i64();
+  latest_end_ = r.i64();
+  max_duration_ = r.i64();
+  pending_adds_ = r.u64();
+  pending_queries_ = r.u64();
+  pending_scanned_ = r.u64();
+  pending_fast_silence_ = r.u64();
+  pending_prunes_ = r.u64();
+  pending_pruned_entries_ = r.u64();
+  window_peak_local_ = static_cast<std::size_t>(r.u64());
 }
 
 bool Ledger::transmission_successful(StationId station, Tick end) const {

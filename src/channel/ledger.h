@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "channel/transmission.h"
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::channel {
@@ -114,6 +115,14 @@ class Ledger {
   /// Feedback queries only scan entries with begin > s - max_duration();
   /// differential tests target slots straddling exactly that boundary.
   Tick max_duration() const noexcept { return max_duration_; }
+
+  /// Checkpoint/resume (docs/CHECKPOINT.md): serialize/restore the full
+  /// mutable state — live window, finalized cursor, archived history,
+  /// cumulative stats and the batched telemetry deltas. load_state
+  /// requires the ledger to have been constructed with the same
+  /// keep_history flag (SnapshotError::kMismatch otherwise).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   bool overlaps_other(const Transmission& t) const;

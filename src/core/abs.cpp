@@ -1,5 +1,6 @@
 #include "core/abs.h"
 
+#include "snapshot/io.h"
 #include "util/check.h"
 
 namespace asyncmac::core {
@@ -98,6 +99,32 @@ SlotAction AbsAutomaton::next(const std::optional<sim::SlotResult>& prev) {
   return action;
 }
 
+void AbsAutomaton::save_state(snapshot::Writer& w) const {
+  w.u32(cfg_.id);
+  w.u32(cfg_.R);
+  w.u64(cfg_.threshold0);
+  w.u64(cfg_.threshold1);
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u8(static_cast<std::uint8_t>(outcome_));
+  w.u32(phase_);
+  w.u64(counter_);
+  w.u64(target_);
+  w.u64(slots_);
+}
+
+void AbsAutomaton::load_state(snapshot::Reader& r) {
+  cfg_.id = r.u32();
+  cfg_.R = r.u32();
+  cfg_.threshold0 = r.u64();
+  cfg_.threshold1 = r.u64();
+  state_ = static_cast<State>(r.u8());
+  outcome_ = static_cast<Outcome>(r.u8());
+  phase_ = r.u32();
+  counter_ = r.u64();
+  target_ = r.u64();
+  slots_ = r.u64();
+}
+
 AbsProtocol::AbsProtocol(std::uint64_t threshold0, std::uint64_t threshold1)
     : override_t0_(threshold0), override_t1_(threshold1) {}
 
@@ -118,6 +145,22 @@ SlotAction AbsProtocol::next_action(const std::optional<sim::SlotResult>& prev,
   if (a == SlotAction::kTransmitPacket && ctx.queue_empty())
     a = SlotAction::kTransmitControl;  // pure leader election (no message)
   return a;
+}
+
+void AbsProtocol::save_state(snapshot::Writer& w) const {
+  w.boolean(automaton_.has_value());
+  if (automaton_) automaton_->save_state(w);
+}
+
+void AbsProtocol::load_state(snapshot::Reader& r, sim::StationContext& ctx) {
+  if (r.boolean()) {
+    // Any valid config works as the emplacement seed — load_state
+    // overwrites it with the snapshotted one.
+    automaton_.emplace(AbsAutomaton::standard(ctx.id(), ctx.bound_r()));
+    automaton_->load_state(r);
+  } else {
+    automaton_.reset();
+  }
 }
 
 }  // namespace asyncmac::core

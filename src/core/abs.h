@@ -68,6 +68,9 @@ class AbsAutomaton final : public LeaderElection {
     return std::make_unique<AbsAutomaton>(*this);
   }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
   /// The standard LeaderElectionFactory: ABS with the paper's thresholds.
   static LeaderElectionFactory factory();
 
@@ -112,6 +115,9 @@ class AbsProtocol final : public sim::Protocol {
   }
 
   const AbsAutomaton* automaton() const { return automaton_ ? &*automaton_ : nullptr; }
+
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
 
  private:
   std::optional<std::uint64_t> override_t0_, override_t1_;

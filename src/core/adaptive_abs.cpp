@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "core/bounds.h"
+#include "snapshot/io.h"
 #include "util/check.h"
 
 namespace asyncmac::core {
@@ -89,6 +90,37 @@ SlotAction AdaptiveAbsProtocol::next_action(
   }
   AM_CHECK(false);
   return SlotAction::kListen;
+}
+
+void AdaptiveAbsProtocol::save_state(snapshot::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u8(static_cast<std::uint8_t>(status_));
+  w.boolean(abs_.has_value());
+  if (abs_) abs_->save_state(w);
+  w.u32(r_est_);
+  w.u32(epochs_);
+  w.u32(max_phases_);
+  w.u64(silent_run_);
+  w.u64(barrier_target_);
+  w.u64(slots_);
+}
+
+void AdaptiveAbsProtocol::load_state(snapshot::Reader& r,
+                                     sim::StationContext& ctx) {
+  state_ = static_cast<State>(r.u8());
+  status_ = static_cast<Status>(r.u8());
+  if (r.boolean()) {
+    abs_.emplace(AbsAutomaton::standard(ctx.id(), ctx.bound_r()));
+    abs_->load_state(r);
+  } else {
+    abs_.reset();
+  }
+  r_est_ = r.u32();
+  epochs_ = r.u32();
+  max_phases_ = r.u32();
+  silent_run_ = r.u64();
+  barrier_target_ = r.u64();
+  slots_ = r.u64();
 }
 
 }  // namespace asyncmac::core

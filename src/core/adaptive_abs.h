@@ -52,6 +52,9 @@ class AdaptiveAbsProtocol final : public sim::Protocol {
   std::uint32_t epochs() const noexcept { return epochs_; }
   std::uint64_t total_slots() const noexcept { return slots_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   SlotAction restart_barrier();
 

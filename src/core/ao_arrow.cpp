@@ -1,6 +1,7 @@
 #include "core/ao_arrow.h"
 
 #include "core/bounds.h"
+#include "snapshot/io.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
 
@@ -178,6 +179,43 @@ SlotAction AoArrowProtocol::next_action(
   }
   AM_CHECK(false);
   return SlotAction::kListen;
+}
+
+void AoArrowProtocol::save_state(snapshot::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.boolean(le_ != nullptr);
+  if (le_) le_->save_state(w);
+  w.u32(wait_);
+  w.u64(silent_run_);
+  w.u64(countdown_);
+  w.u64(threshold_);
+  w.u64(sync_countdown_);
+  w.u64(elections_);
+  w.u64(wins_);
+  w.u64(long_silences_);
+  w.u64(syncs_);
+}
+
+void AoArrowProtocol::load_state(snapshot::Reader& r,
+                                 sim::StationContext& ctx) {
+  state_ = static_cast<State>(r.u8());
+  if (r.boolean()) {
+    le_ = le_factory_ ? le_factory_(ctx.id(), ctx.n(), ctx.bound_r())
+                      : AbsAutomaton::factory()(ctx.id(), ctx.n(),
+                                                ctx.bound_r());
+    le_->load_state(r);
+  } else {
+    le_.reset();
+  }
+  wait_ = r.u32();
+  silent_run_ = r.u64();
+  countdown_ = r.u64();
+  threshold_ = r.u64();
+  sync_countdown_ = r.u64();
+  elections_ = r.u64();
+  wins_ = r.u64();
+  long_silences_ = r.u64();
+  syncs_ = r.u64();
 }
 
 }  // namespace asyncmac::core

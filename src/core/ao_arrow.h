@@ -88,6 +88,12 @@ class AoArrowProtocol final : public sim::Protocol {
   /// Box-9 synchronizing packets sent.
   std::uint64_t sync_transmissions() const noexcept { return syncs_; }
 
+  /// Checkpoint/resume. The election subroutine is restored through
+  /// le_factory_ (the snapshot stores only its state, not its type), so a
+  /// resumed run must be constructed with the same factory.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   SlotAction begin_iteration(sim::StationContext& ctx);
   SlotAction enter_leader_election(sim::StationContext& ctx);

@@ -1,5 +1,6 @@
 #include "core/ca_arrow.h"
 
+#include "snapshot/io.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
 
@@ -77,6 +78,22 @@ SlotAction CaArrowProtocol::next_action(
   }
   AM_CHECK(false);
   return SlotAction::kListen;
+}
+
+void CaArrowProtocol::save_state(snapshot::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u32(turn_);
+  w.u64(countdown_);
+  w.boolean(heard_transmission_);
+  w.u64(turns_taken_);
+}
+
+void CaArrowProtocol::load_state(snapshot::Reader& r, sim::StationContext&) {
+  state_ = static_cast<State>(r.u8());
+  turn_ = r.u32();
+  countdown_ = r.u64();
+  heard_transmission_ = r.boolean();
+  turns_taken_ = r.u64();
 }
 
 }  // namespace asyncmac::core

@@ -52,6 +52,9 @@ class CaArrowProtocol final : public sim::Protocol {
   StationId turn() const noexcept { return turn_; }
   std::uint64_t turns_taken() const noexcept { return turns_taken_; }
 
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r, sim::StationContext& ctx) override;
+
  private:
   SlotAction begin_phase(sim::StationContext& ctx);
   void advance_turn(const sim::StationContext& ctx);

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "sim/protocol.h"
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::core {
@@ -39,6 +40,14 @@ class LeaderElection {
   /// Deep copy including all automaton state (protocols embedding an
   /// election must themselves be cloneable).
   virtual std::unique_ptr<LeaderElection> clone() const = 0;
+
+  /// Checkpoint/resume: serialize/restore all automaton state, the
+  /// construction parameters included (load_state runs on an instance the
+  /// embedding protocol freshly created through its factory and must
+  /// overwrite everything). Pure virtual on purpose — a forgotten
+  /// implementation would silently break resumed determinism.
+  virtual void save_state(snapshot::Writer& w) const = 0;
+  virtual void load_state(snapshot::Reader& r) = 0;
 };
 
 /// Creates a fresh election instance for a station about to compete.

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "metrics/run_stats.h"
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::metrics {
@@ -47,6 +48,12 @@ class Collector {
 
   /// Current total queue cost across all stations (ticks).
   Tick queued_cost() const noexcept { return stats_.queued_cost; }
+
+  /// Checkpoint/resume: serialize/restore the complete RunStats, latency
+  /// histogram included. load_state requires the collector to have been
+  /// constructed for the same station count (SnapshotError::kMismatch).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   StationStats& st(StationId id);

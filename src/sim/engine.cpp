@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/state.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
 
@@ -184,6 +185,11 @@ bool Engine::step() {
   begin_slot(s, /*begin=*/t, next);
 
   maybe_prune();
+  if (cfg_.checkpoint_interval != 0 &&
+      ++steps_since_checkpoint_ >= cfg_.checkpoint_interval) {
+    steps_since_checkpoint_ = 0;
+    if (cfg_.checkpoint_sink) cfg_.checkpoint_sink(*this);
+  }
 #if defined(__GNUC__) || defined(__clang__)
   // The re-keyed heap already names the next event's station; pull its
   // runtime and protocol toward L1 while the loop overhead runs. With
@@ -272,6 +278,185 @@ bool Engine::all_finished() const {
                      [](const StationRuntime& s) {
                        return s.protocol->finished();
                      });
+}
+
+// ------------------------------------------------------ checkpoint/resume
+
+namespace {
+
+[[noreturn]] void throw_mismatch(const char* what) {
+  throw snapshot::SnapshotError(
+      snapshot::ErrorKind::kMismatch,
+      std::string("engine snapshot was saved under a different ") + what);
+}
+
+SlotAction read_action(snapshot::Reader& r) {
+  const std::uint8_t v = r.u8();
+  if (v > static_cast<std::uint8_t>(SlotAction::kTransmitControl))
+    throw snapshot::SnapshotError(snapshot::ErrorKind::kCorrupt,
+                                  "invalid slot action byte");
+  return static_cast<SlotAction>(v);
+}
+
+Feedback read_feedback(snapshot::Reader& r) {
+  const std::uint8_t v = r.u8();
+  if (v > static_cast<std::uint8_t>(Feedback::kAck))
+    throw snapshot::SnapshotError(snapshot::ErrorKind::kCorrupt,
+                                  "invalid feedback byte");
+  return static_cast<Feedback>(v);
+}
+
+}  // namespace
+
+void Engine::save_state(snapshot::Writer& w) const {
+  // Defensive echo of the configuration facets the mutable state depends
+  // on; load_state refuses a payload saved under a different shape.
+  w.u32(cfg_.n);
+  w.u32(cfg_.bound_r);
+  w.boolean(cfg_.keep_channel_history);
+  w.boolean(cfg_.record_trace);
+  w.boolean(cfg_.record_deliveries);
+  w.boolean(cfg_.allow_control);
+
+  for (const StationRuntime& s : stations_) {
+    w.u64(s.ctx.queue_.size());
+    for (const Packet& p : s.ctx.queue_) {
+      w.u64(p.seq);
+      w.u32(p.station);
+      w.i64(p.injected_at);
+      w.i64(p.cost);
+    }
+    w.i64(s.ctx.queue_cost_);
+    snapshot::save_rng(w, s.ctx.rng_);
+    w.u64(s.slot_index);
+    w.i64(s.slot_begin);
+    w.i64(s.slot_end);
+    w.u8(static_cast<std::uint8_t>(s.action));
+    s.protocol->save_state(w);
+  }
+
+  slot_policy_->save_state(w);
+  w.boolean(injection_ != nullptr);
+  if (injection_) injection_->save_state(w);
+
+  ledger_.save_state(w);
+  metrics_.save_state(w);
+
+  const auto& slots = trace_.slots();
+  w.u64(slots.size());
+  for (const trace::SlotRecord& rec : slots) {
+    w.u32(rec.station);
+    w.u64(rec.index);
+    w.i64(rec.begin);
+    w.i64(rec.end);
+    w.u8(static_cast<std::uint8_t>(rec.action));
+    w.u8(static_cast<std::uint8_t>(rec.feedback));
+  }
+
+  w.u64(deliveries_.size());
+  for (const DeliveryRecord& d : deliveries_) {
+    w.u64(d.seq);
+    w.u32(d.station);
+    w.i64(d.injected_at);
+    w.i64(d.declared_cost);
+    w.i64(d.realized_cost);
+    w.i64(d.delivered_at);
+  }
+
+  w.i64(now_);
+  w.i64(next_injection_poll_);
+  w.i64(last_injection_time_);
+  w.u64(next_seq_);
+  w.u32(last_successful_);
+  w.u64(steps_since_prune_);
+  w.u64(steps_since_checkpoint_);
+  // Batched telemetry deltas ride along so a resumed engine flushes the
+  // same residue; telemetry itself is outside the determinism contract.
+  w.u64(pending_slots_);
+  w.u64(pending_deliveries_);
+  w.u64(pending_injections_);
+  w.u64(pending_polls_skipped_);
+}
+
+void Engine::load_state(snapshot::Reader& r) {
+  if (r.u32() != cfg_.n) throw_mismatch("station count");
+  if (r.u32() != cfg_.bound_r) throw_mismatch("asynchrony bound R");
+  if (r.boolean() != cfg_.keep_channel_history)
+    throw_mismatch("keep_channel_history setting");
+  if (r.boolean() != cfg_.record_trace) throw_mismatch("record_trace setting");
+  if (r.boolean() != cfg_.record_deliveries)
+    throw_mismatch("record_deliveries setting");
+  if (r.boolean() != cfg_.allow_control) throw_mismatch("allow_control model");
+
+  for (StationRuntime& s : stations_) {
+    const std::uint64_t qlen = r.u64();
+    s.ctx.queue_.clear();
+    for (std::uint64_t i = 0; i < qlen; ++i) {
+      Packet p;
+      p.seq = r.u64();
+      p.station = r.u32();
+      p.injected_at = r.i64();
+      p.cost = r.i64();
+      s.ctx.queue_.push_back(p);
+    }
+    s.ctx.queue_cost_ = r.i64();
+    snapshot::load_rng(r, s.ctx.rng_);
+    s.slot_index = r.u64();
+    s.slot_begin = r.i64();
+    s.slot_end = r.i64();
+    s.action = read_action(r);
+    s.protocol->load_state(r, s.ctx);
+    // The heap's top order depends only on the (end, station) key set, so
+    // re-keying every station reproduces the saved scheduler exactly.
+    events_.update(s.ctx.id(), s.slot_end);
+  }
+
+  slot_policy_->load_state(r);
+  const bool had_injection = r.boolean();
+  if (had_injection != (injection_ != nullptr))
+    throw_mismatch("injection adversary presence");
+  if (injection_) injection_->load_state(r);
+
+  ledger_.load_state(r);
+  metrics_.load_state(r);
+
+  const std::uint64_t trace_count = r.u64();
+  trace_.clear();
+  for (std::uint64_t i = 0; i < trace_count; ++i) {
+    trace::SlotRecord rec;
+    rec.station = r.u32();
+    rec.index = r.u64();
+    rec.begin = r.i64();
+    rec.end = r.i64();
+    rec.action = read_action(r);
+    rec.feedback = read_feedback(r);
+    trace_.record(rec);
+  }
+
+  const std::uint64_t delivery_count = r.u64();
+  deliveries_.clear();
+  for (std::uint64_t i = 0; i < delivery_count; ++i) {
+    DeliveryRecord d;
+    d.seq = r.u64();
+    d.station = r.u32();
+    d.injected_at = r.i64();
+    d.declared_cost = r.i64();
+    d.realized_cost = r.i64();
+    d.delivered_at = r.i64();
+    deliveries_.push_back(d);
+  }
+
+  now_ = r.i64();
+  next_injection_poll_ = r.i64();
+  last_injection_time_ = r.i64();
+  next_seq_ = r.u64();
+  last_successful_ = r.u32();
+  steps_since_prune_ = r.u64();
+  steps_since_checkpoint_ = r.u64();
+  pending_slots_ = r.u64();
+  pending_deliveries_ = r.u64();
+  pending_injections_ = r.u64();
+  pending_polls_skipped_ = r.u64();
 }
 
 }  // namespace asyncmac::sim

@@ -74,6 +74,14 @@ struct EngineConfig {
   /// long validator runs should bound StopCondition::max_total_slots (or
   /// max_time) rather than rely on the reserve.
   std::size_t delivery_reserve_hint = 1024;
+  /// Autosave cadence in processed slot-end events (0 = off). The engine
+  /// never touches the filesystem itself: every checkpoint_interval steps
+  /// it invokes checkpoint_sink with *this, and the sink (e.g.
+  /// snapshot::AutoSaver) serializes and persists. The counter is part of
+  /// the snapshot, so a resumed run autosaves on the same slot boundaries
+  /// as an uninterrupted one.
+  std::uint64_t checkpoint_interval = 0;
+  std::function<void(const class Engine&)> checkpoint_sink;
 };
 
 struct StopCondition {
@@ -146,6 +154,28 @@ class Engine final : public EngineView {
   /// True when every protocol reports finished() (one-shot tasks).
   bool all_finished() const;
 
+  // ---- Checkpoint/resume ----
+  /// Serialize the complete mutable simulation state: station queues,
+  /// RNG streams, protocol state, committed slots, ledger (window and
+  /// archive), metrics, trace, delivery log, adversary state and the
+  /// engine's own cursors. Configuration (EngineConfig, protocol choice,
+  /// policy construction parameters) is NOT included — restoring requires
+  /// an Engine built from the identical configuration, whose load_state
+  /// then overwrites every mutable field. After load_state the engine
+  /// continues bit-for-bit as the saved run would have (telemetry
+  /// counters excepted; they are process-global and out of contract).
+  void save_state(snapshot::Writer& w) const;
+  /// Throws snapshot::SnapshotError (kMismatch) when the payload was
+  /// saved under a different n / R / recording configuration, and
+  /// (kCorrupt) on enum bytes or invariants no writer produces.
+  void load_state(snapshot::Reader& r);
+  /// (Re-)install the autosave sink after construction — a resumed engine
+  /// is built by a factory that cannot capture the caller's saver. Only
+  /// fires when checkpoint_interval was configured.
+  void set_checkpoint_sink(std::function<void(const Engine&)> sink) {
+    cfg_.checkpoint_sink = std::move(sink);
+  }
+
  private:
   struct StationRuntime {
     StationContext ctx;
@@ -193,6 +223,7 @@ class Engine final : public EngineView {
   PacketSeq next_seq_ = 1;
   StationId last_successful_ = kInvalidStation;
   std::uint64_t steps_since_prune_ = 0;
+  std::uint64_t steps_since_checkpoint_ = 0;
   std::vector<Injection> injection_buffer_;
 
   // Batched telemetry deltas (plain integers on the hot path; see

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "channel/ledger.h"
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::sim {
@@ -70,6 +71,13 @@ class InjectionPolicy {
   virtual Tick next_arrival_hint(Tick now) { return now; }
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint/resume: serialize mutable adversary state (token buckets,
+  /// target cursors, RNG streams, script positions). The defaults are
+  /// correct only for stateless policies; every bucket-based injector
+  /// must override both.
+  virtual void save_state(snapshot::Writer& w) const { (void)w; }
+  virtual void load_state(snapshot::Reader& r) { (void)r; }
 };
 
 }  // namespace asyncmac::sim

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/station.h"
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::sim {
@@ -55,6 +56,19 @@ class Protocol {
   /// One-shot protocols (leader election / SST) report completion so that
   /// drivers can stop early; ongoing PT protocols never finish.
   virtual bool finished() const { return false; }
+
+  /// Checkpoint/resume (docs/CHECKPOINT.md): serialize every mutable
+  /// automaton field. The defaults are correct ONLY for protocols with no
+  /// mutable state outside StationContext (the engine snapshots the queue
+  /// and ctx RNG itself); any protocol with member state must override
+  /// both. load_state is called on a freshly constructed protocol built
+  /// from the same configuration; `ctx` provides id/n/R for protocols
+  /// that rebuild sub-automata (e.g. AO-ARRoW's leader-election factory).
+  virtual void save_state(snapshot::Writer& w) const { (void)w; }
+  virtual void load_state(snapshot::Reader& r, StationContext& ctx) {
+    (void)r;
+    (void)ctx;
+  }
 };
 
 }  // namespace asyncmac::sim

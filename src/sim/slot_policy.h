@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "snapshot/fwd.h"
 #include "util/types.h"
 
 namespace asyncmac::sim {
@@ -34,6 +35,12 @@ class SlotPolicy {
     (void)station;
     return 0;
   }
+
+  /// Checkpoint/resume: serialize mutable scheduler state. The defaults
+  /// are correct only for stateless (configuration-only) policies;
+  /// stateful ones (e.g. the seeded random policy) must override both.
+  virtual void save_state(snapshot::Writer& w) const { (void)w; }
+  virtual void load_state(snapshot::Reader& r) { (void)r; }
 };
 
 }  // namespace asyncmac::sim

@@ -1,0 +1,118 @@
+// asyncmac/snapshot/checkpoint.h
+//
+// High-level checkpoint/resume for whole engine runs (docs/CHECKPOINT.md).
+//
+// A checkpoint file (FileKind::kEngineRun) carries two sections:
+//   1. a RunSpec — the declarative configuration of the run (protocol
+//      registry name, topology, adversaries, seed, recording flags), and
+//   2. the Engine's serialized mutable state (sim::Engine::save_state).
+// Resume rebuilds the engine from the RunSpec via the same factories the
+// CLI and experiment grids use, then overwrites its mutable state; from
+// that point the run continues bit-for-bit as the saved run would have
+// (the determinism contract pinned by tests/test_checkpoint_engine.cpp).
+//
+// The AutoSaver is the standard EngineConfig::checkpoint_sink: it writes
+// rotating, atomically-renamed snapshot files into a directory with
+// bounded retention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/injectors.h"
+#include "sim/engine.h"
+#include "snapshot/format.h"
+#include "snapshot/io.h"
+#include "util/types.h"
+
+namespace asyncmac::snapshot {
+
+/// Declarative description of an engine run — everything needed to
+/// reconstruct an identical Engine before loading a snapshot into it.
+struct RunSpec {
+  std::string protocol = "ao-arrow";  ///< analysis registry name
+  std::uint32_t n = 4;
+  std::uint32_t bound_r = 2;
+  std::string slot_policy = "perstation";  ///< adversary policy name
+  bool has_injector = true;
+  adversary::InjectorSpec injector;
+  std::uint64_t seed = 1;            ///< engine + slot-policy seed
+  Tick horizon_units = 100000;       ///< intended run length (time units)
+  bool keep_channel_history = false;
+  bool record_trace = false;
+  bool record_deliveries = false;
+  bool allow_control = true;
+  std::uint64_t prune_interval = 4096;
+  std::uint64_t checkpoint_interval = 0;
+
+  bool operator==(const RunSpec&) const = default;
+};
+
+/// InjectorSpec payload serialization (shared with verify's campaign
+/// cursor, which embeds scenarios the same way).
+void save_injector_spec(Writer& w, const adversary::InjectorSpec& spec);
+adversary::InjectorSpec load_injector_spec(Reader& r);
+
+void save_run_spec(Writer& w, const RunSpec& spec);
+RunSpec load_run_spec(Reader& r);
+
+/// Build a fresh engine from the spec through the shared factories
+/// (analysis::make_protocols, adversary::make_slot_policy/make_injector).
+/// The checkpoint_sink is left unset — install one after construction if
+/// the resumed run should keep autosaving. Throws std::invalid_argument
+/// on unknown protocol / policy / injector names.
+std::unique_ptr<sim::Engine> build_engine(const RunSpec& spec);
+
+/// Serialize spec + engine state into a kEngineRun payload (unframed).
+std::vector<std::uint8_t> encode_checkpoint(const RunSpec& spec,
+                                            const sim::Engine& engine);
+
+/// Frame and atomically write a checkpoint file.
+void write_checkpoint(const std::string& path, const RunSpec& spec,
+                      const sim::Engine& engine);
+
+struct ResumedRun {
+  RunSpec spec;
+  std::unique_ptr<sim::Engine> engine;
+};
+
+/// Decode a kEngineRun payload: rebuild the engine from the embedded
+/// RunSpec and load the saved state into it. Throws SnapshotError on
+/// corrupt payloads.
+ResumedRun decode_checkpoint(const std::vector<std::uint8_t>& payload);
+
+/// Read + validate a checkpoint file (magic, kind, version, CRC), then
+/// decode it. Throws SnapshotError with a typed kind on every failure
+/// mode; never undefined behaviour on corrupt input.
+ResumedRun resume_checkpoint(const std::string& path);
+
+/// Rotating checkpoint writer for EngineConfig::checkpoint_sink. Writes
+/// ckpt-NNNNNN.snap files into `dir` (created if missing) and removes the
+/// oldest once more than `retention` exist. Write errors propagate as
+/// SnapshotError(kIo) — a checkpointed run should fail loudly, not
+/// silently stop snapshotting.
+class AutoSaver {
+ public:
+  AutoSaver(std::string dir, RunSpec spec, std::size_t retention = 3);
+
+  void operator()(const sim::Engine& engine) { save(engine); }
+  void save(const sim::Engine& engine);
+
+  /// Paths currently on disk, oldest first.
+  const std::vector<std::string>& files() const noexcept { return files_; }
+  /// Most recent checkpoint path (empty before the first save).
+  std::string latest() const {
+    return files_.empty() ? std::string() : files_.back();
+  }
+
+ private:
+  std::string dir_;
+  RunSpec spec_;
+  std::size_t retention_;
+  std::uint64_t counter_ = 0;
+  std::vector<std::string> files_;
+};
+
+}  // namespace asyncmac::snapshot

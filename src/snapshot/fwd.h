@@ -1,0 +1,11 @@
+// asyncmac/snapshot/fwd.h
+//
+// Forward declarations of the snapshot serialization primitives, for
+// interface headers that declare save_state/load_state virtuals without
+// pulling in the full io machinery.
+#pragma once
+
+namespace asyncmac::snapshot {
+class Writer;
+class Reader;
+}  // namespace asyncmac::snapshot

@@ -1,0 +1,139 @@
+#include "snapshot/io.h"
+
+#include <array>
+#include <cstring>
+
+namespace asyncmac::snapshot {
+
+const char* to_string(ErrorKind k) noexcept {
+  switch (k) {
+    case ErrorKind::kIo: return "snapshot io error";
+    case ErrorKind::kTruncated: return "snapshot truncated";
+    case ErrorKind::kBadMagic: return "snapshot bad magic";
+    case ErrorKind::kBadVersion: return "snapshot bad version";
+    case ErrorKind::kBadCrc: return "snapshot bad crc";
+    case ErrorKind::kCorrupt: return "snapshot corrupt";
+    case ErrorKind::kMismatch: return "snapshot mismatch";
+  }
+  return "snapshot error";
+}
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t crc) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+void Writer::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void Writer::bytes(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n)
+    throw SnapshotError(ErrorKind::kTruncated,
+                        "need " + std::to_string(n) + " bytes, have " +
+                            std::to_string(remaining()));
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return *p_++;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(*p_++) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(*p_++) << (8 * i);
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1)
+    throw SnapshotError(ErrorKind::kCorrupt,
+                        "boolean byte " + std::to_string(v));
+  return v != 0;
+}
+
+std::string Reader::str() {
+  const std::uint64_t len = u64();
+  // need() guards the allocation: a corrupt huge length is reported as
+  // truncation instead of an out-of-memory attempt.
+  need(static_cast<std::size_t>(len));
+  std::string s(reinterpret_cast<const char*>(p_),
+                static_cast<std::size_t>(len));
+  p_ += len;
+  return s;
+}
+
+void Reader::bytes(void* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, p_, n);
+  p_ += n;
+}
+
+void Reader::expect_end() const {
+  if (remaining() != 0)
+    throw SnapshotError(ErrorKind::kCorrupt,
+                        std::to_string(remaining()) +
+                            " trailing bytes after payload");
+}
+
+}  // namespace asyncmac::snapshot

@@ -53,6 +53,16 @@ void Histogram::add(std::int64_t sample) {
   ++buckets_[b];
 }
 
+void Histogram::restore(State s) {
+  AM_CHECK_MSG(s.buckets.size() >= kSubBuckets * 64,
+               "histogram state from an incompatible bucket layout");
+  buckets_ = std::move(s.buckets);
+  count_ = s.count;
+  sum_ = s.sum;
+  min_ = s.min;
+  max_ = s.max;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (other.empty()) return;
   if (empty()) {

@@ -68,6 +68,19 @@ class Histogram {
   /// One-line human-readable summary: "n=… min=… p50=… p99=… max=…".
   std::string summary() const;
 
+  /// Exact internal state, for checkpoint/resume (snapshot/checkpoint.h).
+  /// restore() replaces everything; the bucket vector length must match
+  /// this build's bucket layout (it is fixed at construction).
+  struct State {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    Int128Sum sum;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+  State state() const { return {buckets_, count_, sum_, min_, max_}; }
+  void restore(State s);
+
  private:
   static std::size_t bucket_of(std::int64_t v) noexcept;
   static std::int64_t bucket_upper(std::size_t b) noexcept;

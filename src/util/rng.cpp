@@ -68,6 +68,12 @@ double Rng::uniform01() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  AM_CHECK_MSG((s[0] | s[1] | s[2] | s[3]) != 0,
+               "all-zero xoshiro state is unreachable");
+  s_ = s;
+}
+
 Rng Rng::split() {
   Rng child;
   child.reseed(next() ^ 0xd2b74407b1ce6e93ULL);

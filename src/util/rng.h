@@ -45,6 +45,12 @@ class Rng {
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next(); }
 
+  /// Raw xoshiro256** state, for checkpoint/resume. set_state() restores
+  /// the exact stream position; all-zero state is rejected (it is the one
+  /// fixed point the generator can never leave).
+  const std::array<std::uint64_t, 4>& state() const noexcept { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s);
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 
+#include "snapshot/format.h"
+#include "snapshot/io.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
@@ -22,6 +25,62 @@ constexpr std::uint64_t kChunk = 64;
 // Candidate evaluations the shrinker may spend (each one is a whole
 // simulated run).
 constexpr int kShrinkBudget = 200;
+
+// ---------------------------------------------------- campaign cursor
+
+// CRC over what determines per-case verdicts: seed, case count and the
+// protocol pool. jobs / budget / shrink only affect how far we get.
+std::uint32_t campaign_fingerprint(const CampaignConfig& config,
+                                   const std::vector<std::string>& pool) {
+  snapshot::Writer w;
+  w.u64(config.seed);
+  w.u64(config.cases);
+  for (const auto& p : pool) w.str(p);
+  return snapshot::crc32(w.buffer().data(), w.buffer().size());
+}
+
+void write_cursor(const std::string& path, std::uint32_t fingerprint,
+                  const std::vector<CaseVerdict>& verdicts) {
+  snapshot::Writer w;
+  w.u32(fingerprint);
+  w.u64(verdicts.size());
+  for (const CaseVerdict& v : verdicts) {
+    w.u64(v.index);
+    w.u64(v.case_seed);
+    w.boolean(v.ok);
+    w.str(v.violation);
+  }
+  snapshot::write_file(path, snapshot::FileKind::kCampaignCursor, w.buffer());
+}
+
+/// Load a cursor file (when one exists) and return the verdicts already
+/// decided; throws SnapshotError(kMismatch) on a cursor from a different
+/// campaign.
+std::vector<CaseVerdict> load_cursor(const std::string& path,
+                                     std::uint32_t fingerprint) {
+  std::vector<CaseVerdict> verdicts;
+  if (!std::filesystem::exists(path)) return verdicts;
+  const auto payload =
+      snapshot::read_file(path, snapshot::FileKind::kCampaignCursor);
+  snapshot::Reader r(payload);
+  if (r.u32() != fingerprint)
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "campaign cursor " + path +
+            " was written for a different campaign (seed/cases/pool)");
+  const std::uint64_t count = r.u64();
+  verdicts.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CaseVerdict v;
+    v.index = r.u64();
+    v.case_seed = r.u64();
+    v.ok = r.boolean();
+    v.violation = r.str();
+    verdicts.push_back(std::move(v));
+  }
+  r.expect_end();
+  return verdicts;
+}
 
 // Keep a shrunken scenario's injector well-formed after its station
 // count dropped.
@@ -211,6 +270,21 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.verdicts.reserve(
       static_cast<std::size_t>(std::min<std::uint64_t>(config.cases, 1 << 20)));
 
+  const bool checkpointing = !config.checkpoint_path.empty();
+  std::uint32_t fingerprint = 0;
+  if (checkpointing) {
+    fingerprint = campaign_fingerprint(config, gen.pool());
+    result.verdicts = load_cursor(config.checkpoint_path, fingerprint);
+    result.cases_run = result.verdicts.size();
+    // Failing scenarios regenerate from their case seeds (a campaign only
+    // ever runs generated cases, so case_seed is never the handwritten-0
+    // sentinel).
+    for (const CaseVerdict& v : result.verdicts)
+      if (!v.ok)
+        result.failures.push_back(
+            {v, scenario_from_seed(v.case_seed, gen.pool())});
+  }
+
   telemetry::emit(
       "campaign.start",
       {{"cases", config.cases},
@@ -225,8 +299,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     return elapsed >= std::chrono::seconds(config.time_budget_seconds);
   };
 
-  for (std::uint64_t chunk_start = 0; chunk_start < config.cases;
-       chunk_start += kChunk) {
+  for (std::uint64_t chunk_start = result.cases_run;
+       chunk_start < config.cases; chunk_start += kChunk) {
     const std::uint64_t count =
         std::min<std::uint64_t>(kChunk, config.cases - chunk_start);
     std::vector<CaseVerdict> chunk(static_cast<std::size_t>(count));
@@ -245,6 +319,14 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       result.verdicts.push_back(std::move(chunk[i]));
     }
     result.cases_run += count;
+    if (checkpointing)
+      write_cursor(config.checkpoint_path, fingerprint, result.verdicts);
+    if (config.stop_after_cases > 0 &&
+        result.cases_run >= config.stop_after_cases &&
+        result.cases_run < config.cases) {
+      result.budget_exhausted = true;
+      break;
+    }
     if (telemetry::enabled()) {
       const double elapsed_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -

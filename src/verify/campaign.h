@@ -44,6 +44,17 @@ struct CampaignConfig {
   /// Restrict generation to these protocols (empty = default pool).
   std::vector<std::string> protocols;
   CaseCheck extra_check;       ///< optional synthetic-violation hook
+  /// When non-empty, the campaign writes a cursor file here after every
+  /// chunk (verdicts so far + the case index to resume at, see
+  /// docs/CHECKPOINT.md) and, on start, resumes from an existing cursor
+  /// instead of re-running completed chunks. Verdicts are byte-identical
+  /// to an uninterrupted campaign. A cursor from a different (seed,
+  /// cases, protocol pool) raises snapshot::SnapshotError(kMismatch).
+  std::string checkpoint_path;
+  /// Test hook: stop cleanly after at least this many cases (rounded up
+  /// to a chunk boundary), reporting budget_exhausted — a deterministic
+  /// stand-in for killing the process mid-campaign. 0 = off.
+  std::uint64_t stop_after_cases = 0;
 };
 
 /// Run one scenario and check everything: slot contiguity, feedback

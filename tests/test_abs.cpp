@@ -158,7 +158,13 @@ std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
   std::string pol = p.policy;
   for (auto& c : pol)
     if (c == '-') c = '_';
-  return "n" + std::to_string(p.n) + "_R" + std::to_string(p.R) + "_" + pol;
+  std::string name = "n";
+  name += std::to_string(p.n);
+  name += "_R";
+  name += std::to_string(p.R);
+  name += "_";
+  name += pol;
+  return name;
 }
 
 class AbsSweep : public ::testing::TestWithParam<SweepParam> {};

@@ -53,8 +53,15 @@ std::string cf_name(const ::testing::TestParamInfo<CfParam>& info) {
   std::string pol = p.policy;
   for (auto& c : pol)
     if (c == '-') c = '_';
-  return "n" + std::to_string(p.n) + "_R" + std::to_string(p.R) + "_rho" +
-         std::to_string(p.rho_pct) + "_" + pol;
+  std::string name = "n";
+  name += std::to_string(p.n);
+  name += "_R";
+  name += std::to_string(p.R);
+  name += "_rho";
+  name += std::to_string(p.rho_pct);
+  name += "_";
+  name += pol;
+  return name;
 }
 
 class CaArrowCollisionFree : public ::testing::TestWithParam<CfParam> {};

@@ -1,0 +1,263 @@
+// The determinism contract of engine checkpoint/resume
+// (snapshot/checkpoint.h): kill a run at an arbitrary slot, write a
+// checkpoint file, rebuild from it in a fresh engine, continue — the
+// trace and RunStats of the resumed run must be byte-identical to the
+// uninterrupted one. Pinned across the full engine-golden corpus (every
+// hot-loop path), generated fuzz scenarios, and a chained double-resume;
+// plus RunSpec round-trip, AutoSaver retention and the typed mismatch /
+// corruption errors of the decode path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine_golden_cases.h"
+#include "metrics/json.h"
+#include "sim/engine.h"
+#include "snapshot/checkpoint.h"
+#include "trace/serialize.h"
+#include "verify/scenario.h"
+
+namespace asyncmac {
+namespace {
+
+using snapshot::ErrorKind;
+using snapshot::RunSpec;
+using snapshot::SnapshotError;
+
+/// Map a golden-corpus case to the declarative RunSpec the checkpoint
+/// subsystem uses (the corpus runs with trace + delivery recording on).
+RunSpec spec_from_golden(const testing::EngineGoldenCase& c) {
+  RunSpec spec;
+  spec.protocol = c.protocol;
+  spec.n = c.n;
+  spec.bound_r = c.bound_r;
+  spec.slot_policy = c.slot_policy;
+  spec.has_injector = !c.no_injector;
+  spec.injector = c.injector;
+  spec.seed = c.seed;
+  spec.horizon_units = c.horizon_units;
+  spec.record_trace = true;
+  spec.record_deliveries = true;
+  return spec;
+}
+
+/// Map a fuzz scenario the same way (verify engines record the trace and
+/// keep the full channel history for the differential oracle).
+RunSpec spec_from_scenario(const verify::Scenario& s) {
+  RunSpec spec;
+  spec.protocol = s.protocol;
+  spec.n = s.n;
+  spec.bound_r = s.bound_r;
+  spec.slot_policy = s.slot_policy;
+  spec.has_injector = true;
+  spec.injector = s.injector;
+  spec.seed = s.seed;
+  spec.horizon_units = s.horizon_units;
+  spec.record_trace = true;
+  spec.keep_channel_history = true;
+  return spec;
+}
+
+/// The full observable artifact of a run: serialized trace + stats JSON.
+std::string render(const RunSpec& spec, const sim::Engine& engine) {
+  std::string out = trace::serialize_trace({spec.n, spec.bound_r},
+                                           engine.trace().slots());
+  out += metrics::to_json(engine.stats(), &engine.channel_stats());
+  return out;
+}
+
+std::string run_uninterrupted(const RunSpec& spec) {
+  auto engine = snapshot::build_engine(spec);
+  engine->run(sim::until(spec.horizon_units * kTicksPerUnit));
+  return render(spec, *engine);
+}
+
+/// Run to `kill_slots` processed events, checkpoint to disk, drop the
+/// engine, resume from the file and finish the run.
+std::string run_killed_and_resumed(const RunSpec& spec,
+                                   std::uint64_t kill_slots,
+                                   const std::string& path) {
+  {
+    auto engine = snapshot::build_engine(spec);
+    // Cap by event count AND horizon so an oversized kill point degrades
+    // into "checkpoint at the end" instead of running past the horizon.
+    sim::StopCondition stop = sim::until(spec.horizon_units * kTicksPerUnit);
+    stop.max_total_slots = kill_slots;
+    engine->run(stop);
+    snapshot::write_checkpoint(path, spec, *engine);
+  }
+  snapshot::ResumedRun run = snapshot::resume_checkpoint(path);
+  EXPECT_EQ(run.spec, spec);
+  run.engine->run(sim::until(spec.horizon_units * kTicksPerUnit));
+  return render(spec, *run.engine);
+}
+
+TEST(CheckpointEngine, GoldenCorpusResumesByteIdentical) {
+  for (const auto& c : testing::engine_golden_cases()) {
+    const RunSpec spec = spec_from_golden(c);
+    const std::string control = run_uninterrupted(spec);
+    ASSERT_EQ(run_uninterrupted(spec), control) << c.name;
+
+    // Kill early and late — both segments must splice invisibly.
+    for (const std::uint64_t kill : {std::uint64_t{17}, std::uint64_t{211}}) {
+      const std::string path = "ckpt_engine_" + c.name + ".snap";
+      EXPECT_EQ(run_killed_and_resumed(spec, kill, path), control)
+          << c.name << " killed at " << kill;
+    }
+  }
+}
+
+TEST(CheckpointEngine, GoldenCorpusMatchesDirectConstruction) {
+  // snapshot::build_engine goes through the same registries as the golden
+  // generator; the artifacts must agree byte-for-byte.
+  for (const auto& c : testing::engine_golden_cases()) {
+    const RunSpec spec = spec_from_golden(c);
+    EXPECT_EQ(run_uninterrupted(spec) + "\n",
+              testing::run_engine_golden_case(c))
+        << c.name;
+  }
+}
+
+TEST(CheckpointEngine, GeneratedScenariosResumeByteIdentical) {
+  // Fuzz-generated scenarios reach protocol/policy/injector combinations
+  // the curated corpus does not; resume must hold there too.
+  const verify::ScenarioGen gen(20260805);
+  int tested = 0;
+  for (std::uint64_t i = 0; tested < 3 && i < 32; ++i) {
+    verify::Scenario s = gen.generate(i);
+    if (s.horizon_units > 400) continue;  // keep the test cheap
+    const RunSpec spec = spec_from_scenario(s);
+    const std::string control = run_uninterrupted(spec);
+    const std::string path =
+        "ckpt_scenario_" + std::to_string(i) + ".snap";
+    EXPECT_EQ(run_killed_and_resumed(spec, 29, path), control)
+        << s.describe();
+    ++tested;
+  }
+  EXPECT_EQ(tested, 3);
+}
+
+TEST(CheckpointEngine, ChainedResumeStaysIdentical) {
+  // Resume, run a bit, checkpoint again, resume again: determinism must
+  // survive arbitrarily many kill points in one lineage.
+  const RunSpec spec = spec_from_golden(testing::engine_golden_cases()[0]);
+  const std::string control = run_uninterrupted(spec);
+
+  const std::string p1 = "ckpt_chain_1.snap";
+  const std::string p2 = "ckpt_chain_2.snap";
+  {
+    auto engine = snapshot::build_engine(spec);
+    sim::StopCondition stop = sim::until(spec.horizon_units * kTicksPerUnit);
+    stop.max_total_slots = 40;
+    engine->run(stop);
+    snapshot::write_checkpoint(p1, spec, *engine);
+  }
+  {
+    snapshot::ResumedRun mid = snapshot::resume_checkpoint(p1);
+    sim::StopCondition stop = sim::until(spec.horizon_units * kTicksPerUnit);
+    stop.max_total_slots = 160;  // cumulative: 120 further events
+    mid.engine->run(stop);
+    snapshot::write_checkpoint(p2, mid.spec, *mid.engine);
+  }
+  snapshot::ResumedRun last = snapshot::resume_checkpoint(p2);
+  last.engine->run(sim::until(spec.horizon_units * kTicksPerUnit));
+  EXPECT_EQ(render(spec, *last.engine), control);
+}
+
+TEST(CheckpointEngine, RunSpecRoundTrip) {
+  RunSpec spec = spec_from_golden(testing::engine_golden_cases()[1]);
+  spec.checkpoint_interval = 4096;
+  spec.allow_control = false;
+  spec.prune_interval = 123;
+  snapshot::Writer w;
+  snapshot::save_run_spec(w, spec);
+  snapshot::Reader r(w.buffer());
+  EXPECT_EQ(snapshot::load_run_spec(r), spec);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(CheckpointEngine, AutoSaverRotatesWithBoundedRetention) {
+  RunSpec spec = spec_from_golden(testing::engine_golden_cases()[0]);
+  spec.checkpoint_interval = 50;
+  const std::string dir = "ckpt_retention_dir";
+  std::filesystem::remove_all(dir);
+
+  auto saver = std::make_shared<snapshot::AutoSaver>(dir, spec, 2);
+  EXPECT_EQ(saver->latest(), "");
+  auto engine = snapshot::build_engine(spec);
+  engine->set_checkpoint_sink(
+      [saver](const sim::Engine& e) { (*saver)(e); });
+  engine->run(sim::until(spec.horizon_units * kTicksPerUnit));
+
+  // Many autosaves fired, but only `retention` files remain — the oldest
+  // were removed, and files() lists survivors oldest-first.
+  ASSERT_EQ(saver->files().size(), 2u);
+  EXPECT_LT(saver->files()[0], saver->files()[1]);
+  EXPECT_EQ(saver->latest(), saver->files()[1]);
+  std::size_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".snap");
+    ++on_disk;
+  }
+  EXPECT_EQ(on_disk, 2u);
+
+  // The newest survivor must resume cleanly.
+  snapshot::ResumedRun run = snapshot::resume_checkpoint(saver->latest());
+  EXPECT_EQ(run.spec, spec);
+}
+
+TEST(CheckpointEngine, LoadIntoDifferentConfigurationIsMismatch) {
+  const RunSpec spec = spec_from_golden(testing::engine_golden_cases()[0]);
+  auto engine = snapshot::build_engine(spec);
+  sim::StopCondition stop;
+  stop.max_total_slots = 25;
+  engine->run(stop);
+  snapshot::Writer w;
+  engine->save_state(w);
+
+  RunSpec other = spec;
+  other.n = spec.n + 1;
+  auto victim = snapshot::build_engine(other);
+  snapshot::Reader r(w.buffer());
+  try {
+    victim->load_state(r);
+    FAIL() << "expected SnapshotError(kMismatch)";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kMismatch) << e.what();
+  }
+}
+
+TEST(CheckpointEngine, DecodeRejectsUnknownProtocolAndTrailingBytes) {
+  const RunSpec spec = spec_from_golden(testing::engine_golden_cases()[0]);
+  auto engine = snapshot::build_engine(spec);
+  engine->run(sim::until(10 * kTicksPerUnit));
+
+  // Unknown registry name: the snapshot came from a binary shipping
+  // protocols this one does not.
+  RunSpec alien = spec;
+  alien.protocol = "carrier-pigeon";
+  auto payload = snapshot::encode_checkpoint(alien, *engine);
+  try {
+    snapshot::decode_checkpoint(payload);
+    FAIL() << "expected SnapshotError(kMismatch)";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kMismatch) << e.what();
+  }
+
+  // Trailing garbage after a valid engine state: schema drift, kCorrupt.
+  payload = snapshot::encode_checkpoint(spec, *engine);
+  payload.push_back(0);
+  try {
+    snapshot::decode_checkpoint(payload);
+    FAIL() << "expected SnapshotError(kCorrupt)";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kCorrupt) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace asyncmac

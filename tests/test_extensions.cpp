@@ -119,8 +119,13 @@ INSTANTIATE_TEST_SUITE_P(
       std::string pol = param_info.param.policy;
       for (auto& c : pol)
         if (c == '-') c = '_';
-      return "n" + std::to_string(param_info.param.n) + "_r" +
-             std::to_string(param_info.param.r) + "_" + pol;
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += "_r";
+      name += std::to_string(param_info.param.r);
+      name += "_";
+      name += pol;
+      return name;
     });
 
 TEST(AdaptiveAbs, DoublesUnderMirroredFeedback) {

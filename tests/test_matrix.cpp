@@ -29,7 +29,13 @@ std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
   auto [n, R, policy] = info.param;
   for (auto& c : policy)
     if (c == '-') c = '_';
-  return "n" + std::to_string(n) + "_R" + std::to_string(R) + "_" + policy;
+  std::string name = "n";
+  name += std::to_string(n);
+  name += "_R";
+  name += std::to_string(R);
+  name += "_";
+  name += policy;
+  return name;
 }
 
 // --------------------------------------------------------------- ABS

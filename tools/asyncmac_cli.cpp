@@ -7,65 +7,33 @@
 //                --burst=16 --policy=perstation --horizon=100000
 //   (one command line; wrapped here for width)
 //
-// Options:
-//   --protocol=P   ao-arrow | ca-arrow | rrw | mbtf | aloha | beb |
-//                  silence-tdma | adaptive-abs        (default ao-arrow)
-//   --n=N          stations (default 4)
-//   --r=R          asynchrony bound R (default 2)
-//   --rho=F        injection rate in [0, 1] (default 0.5)
-//   --burst=B      burstiness in time units (default 16)
-//   --policy=S     sync | max | perstation | cyclic | random | stretch-tx
-//                  (default perstation)
-//   --pattern=S    roundrobin | single | random | maxqueue (default
-//                  roundrobin)
-//   --horizon=T    simulated time units (default 100000)
-//   --seed=S       master seed (default 1)
-//   --json         print stats as JSON instead of text
-//   --trace=T      also render the first T time units of the schedule
-//   --msr          estimate the Max Stable Rate instead of a single run
-//   --grid         run a full experiment grid instead of a single run:
-//                  --protocol/--n/--r/--rho/--policy accept comma lists
-//                  and the cross product (x --seeds replications) runs on
-//                  --jobs workers (see analysis/experiment.h)
-//   --seeds=K      grid mode: seed replications per cell (default 1)
-//   --jobs=J       grid mode: worker threads, 0 = all cores (default 0);
-//                  records are byte-identical for every J
-//   --csv=PATH     grid mode: also write the records as CSV
-//   --telemetry=P  stream run telemetry (counters, timers, events) as
-//                  JSONL to P; never changes simulation results (see
-//                  docs/OBSERVABILITY.md)
+// `asyncmac_cli --help` prints the full flag reference (print_help below
+// is the single source of truth; the help smoke tests in
+// tools/CMakeLists.txt pin its coverage). Modes:
 //
-// Stats subcommand (summarize a telemetry JSONL file):
+//   (default)           one simulation run, stats as text or --json
+//   --grid              experiment grid over comma-list dimensions
+//   --msr               Max Stable Rate estimate
+//   resume <ckpt>       continue a run from a checkpoint file
+//   fuzz [...]          property-fuzzing campaign (src/verify/)
+//   stats <jsonl>       summarize a telemetry JSONL stream
 //
-//   asyncmac_cli stats telemetry.jsonl [--top=N]
+// Checkpointing (docs/CHECKPOINT.md): a single run with
+// --checkpoint-every=K --checkpoint-dir=D autosaves rotating snapshots
+// every K slot events; `resume` rebuilds the engine from the embedded
+// RunSpec and continues bit-for-bit. Grid mode takes --checkpoint-dir
+// alone and keeps a per-cell manifest so an interrupted sweep restarts at
+// the first incomplete cell.
 //
-//   prints line/snapshot/event tallies, the top N counters (default 20),
-//   gauges, and timer histograms from the final snapshot.
-//
-// Fuzzing subcommand (property-fuzzing campaign, see src/verify/):
-//
-//   asyncmac_cli fuzz --seed 1 --cases 1000 --jobs 0
-//
-//   --seed=S         campaign seed; case K's seed derives from it
-//   --cases=K        generated cases (default 1000)
-//   --jobs=J         worker threads, 0 = all cores (default 0)
-//   --time-budget=T  wall-clock cap in seconds, 0 = unlimited
-//   --protocol=LIST  restrict the generated protocol pool (comma list)
-//   --no-shrink      skip counterexample minimization
-//   --repro-out=P    failure repro path (default asyncmac_fuzz_repro.json)
-//   --repro=FILE     replay a repro file instead of running a campaign
-//   --case-seed=X    run the one scenario case seed X derives
-//   --emit-case=I    pin campaign case I as a clean repro to --repro-out
-//   --telemetry=P    stream campaign telemetry as JSONL to P
-//   (fuzz flags also accept the two-token "--flag value" form)
-//
-// Exit code 0 on success; 1 on fuzz violations / failed replay; 2 on bad
-// usage.
+// Exit code 0 on success; 1 on fuzz violations / failed replay / bad
+// checkpoint; 2 on bad usage.
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,6 +45,7 @@
 #include "analysis/registry.h"
 #include "metrics/json.h"
 #include "sim/engine.h"
+#include "snapshot/checkpoint.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/summary.h"
 #include "trace/renderer.h"
@@ -110,6 +79,8 @@ struct Options {
   std::string r_list = "2";
   std::string rho_list = "0.5";
   std::string telemetry_path;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
 };
 
 std::vector<std::string> split_list(const std::string& s) {
@@ -127,8 +98,93 @@ std::vector<std::string> split_list(const std::string& s) {
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "asyncmac_cli: " << error
-            << "\nsee the header of tools/asyncmac_cli.cpp for options\n";
+            << "\nrun `asyncmac_cli --help` for the full flag reference\n";
   std::exit(2);
+}
+
+// The complete flag reference, covering every mode and subcommand. The
+// help smoke tests (tools/CMakeLists.txt) pin that run/grid/msr/fuzz/
+// stats/resume and the checkpoint/telemetry flags all appear here — keep
+// it in sync when adding flags.
+[[noreturn]] void print_help() {
+  std::cout <<
+      "asyncmac_cli - discrete-event MAC simulator driver\n"
+      "\n"
+      "usage:\n"
+      "  asyncmac_cli [run flags]              one simulation run\n"
+      "  asyncmac_cli --grid [run flags]       experiment grid sweep\n"
+      "  asyncmac_cli --msr [run flags]        Max Stable Rate estimate\n"
+      "  asyncmac_cli resume <ckpt|dir> [...]  continue a checkpointed run\n"
+      "                 (a directory resumes its newest ckpt-*.snap)\n"
+      "  asyncmac_cli fuzz [fuzz flags]        property-fuzzing campaign\n"
+      "  asyncmac_cli stats <file> [--top=N]   summarize telemetry JSONL\n"
+      "  asyncmac_cli --help                   this reference\n"
+      "\n"
+      "run flags (single run, --msr, and --grid):\n"
+      "  --protocol=P   ao-arrow | ca-arrow | adaptive-abs | abs | rrw |\n"
+      "                 mbtf | aloha | beb | silence-tdma | sync-binary-le\n"
+      "                 | listen | tree-resolution     (default ao-arrow)\n"
+      "  --n=N          stations (default 4)\n"
+      "  --r=R          asynchrony bound R >= 1 (default 2)\n"
+      "  --rho=F        injection rate in [0, 1] (default 0.5)\n"
+      "  --burst=B      burstiness in time units (default 16)\n"
+      "  --policy=S     sync | max | perstation | cyclic | random |\n"
+      "                 stretch-tx (default perstation)\n"
+      "  --pattern=S    roundrobin | single | random | maxqueue (default\n"
+      "                 roundrobin)\n"
+      "  --horizon=T    simulated time units (default 100000)\n"
+      "  --seed=S       master seed (default 1)\n"
+      "  --json         print stats as JSON instead of text\n"
+      "  --trace=T      also render the first T time units of the schedule\n"
+      "  --telemetry=P  stream run telemetry as JSONL to P (never changes\n"
+      "                 simulation results; see docs/OBSERVABILITY.md)\n"
+      "  --checkpoint-every=K  single run: autosave a snapshot every K\n"
+      "                 slot events (requires --checkpoint-dir)\n"
+      "  --checkpoint-dir=D    single run: rotating snapshot directory;\n"
+      "                 grid: per-cell manifest directory for resumable\n"
+      "                 sweeps (see docs/CHECKPOINT.md)\n"
+      "\n"
+      "grid flags (--grid; --protocol/--n/--r/--rho/--policy take comma\n"
+      "lists and the cross product x --seeds replications runs on --jobs\n"
+      "workers, see analysis/experiment.h):\n"
+      "  --seeds=K      seed replications per cell (default 1)\n"
+      "  --jobs=J       worker threads, 0 = all cores (default 0);\n"
+      "                 records are byte-identical for every J\n"
+      "  --csv=PATH     also write the records as CSV\n"
+      "\n"
+      "resume flags (after: asyncmac_cli resume path/to/ckpt.snap or the\n"
+      "autosave directory):\n"
+      "  --horizon=T    run to T time units instead of the checkpoint's\n"
+      "                 recorded horizon\n"
+      "  --json / --trace=T / --telemetry=P   as in run mode\n"
+      "  --checkpoint-dir=D    keep autosaving into D (cadence comes from\n"
+      "                 the checkpoint's own --checkpoint-every)\n"
+      "  exit 1 with a typed error (io/truncated/bad-magic/bad-version/\n"
+      "  bad-crc/corrupt/mismatch) when the file cannot be resumed\n"
+      "\n"
+      "fuzz flags (two-token `--flag value` form also accepted):\n"
+      "  --seed=S         campaign seed; case K's seed derives from it\n"
+      "  --cases=K        generated cases (default 1000)\n"
+      "  --jobs=J         worker threads, 0 = all cores (default 0)\n"
+      "  --time-budget=T  wall-clock cap in seconds, 0 = unlimited\n"
+      "  --protocol=LIST  restrict the generated protocol pool\n"
+      "  --no-shrink      skip counterexample minimization\n"
+      "  --repro-out=P    failure repro path (default\n"
+      "                   asyncmac_fuzz_repro.json)\n"
+      "  --repro=FILE     replay a repro file instead of a campaign\n"
+      "  --case-seed=X    run the one scenario case seed X derives\n"
+      "  --emit-case=I    pin campaign case I as a clean repro\n"
+      "  --telemetry=P    stream campaign telemetry as JSONL to P\n"
+      "  --checkpoint=P   write a resumable chunk cursor to P; a rerun\n"
+      "                   with the same campaign resumes after the last\n"
+      "                   completed chunk (docs/CHECKPOINT.md)\n"
+      "\n"
+      "stats flags:\n"
+      "  --top=N        show the top N counters (default 20)\n"
+      "\n"
+      "exit codes: 0 success; 1 fuzz violations, failed replay or bad\n"
+      "checkpoint; 2 bad usage\n";
+  std::exit(0);
 }
 
 // Turn telemetry on (all instruments + JSONL streaming to `path`).
@@ -178,10 +234,25 @@ Options parse_args(int argc, char** argv) {
       opt.csv_path = value("--csv=");
     else if (arg.rfind("--telemetry=", 0) == 0)
       opt.telemetry_path = value("--telemetry=");
+    else if (arg.rfind("--checkpoint-every=", 0) == 0)
+      opt.checkpoint_every = std::stoull(value("--checkpoint-every="));
+    else if (arg.rfind("--checkpoint-dir=", 0) == 0)
+      opt.checkpoint_dir = value("--checkpoint-dir=");
+    else if (arg == "--help" || arg == "-h")
+      print_help();
     else
       usage("unknown argument: " + arg);
   }
   if (opt.seeds < 1) usage("--seeds must be >= 1");
+  if (opt.checkpoint_every > 0 && opt.checkpoint_dir.empty())
+    usage("--checkpoint-every needs --checkpoint-dir");
+  if (opt.checkpoint_every > 0 && (opt.grid || opt.msr))
+    usage("--checkpoint-every applies to single runs only (grid mode "
+          "checkpoints per cell via --checkpoint-dir)");
+  if (!opt.checkpoint_dir.empty() && opt.msr)
+    usage("--checkpoint-dir is not supported in --msr mode");
+  if (!opt.checkpoint_dir.empty() && !opt.grid && opt.checkpoint_every == 0)
+    usage("single-run --checkpoint-dir needs --checkpoint-every");
   if (!opt.grid) {
     // Single-run (and MSR) modes take scalar dimensions.
     if (opt.n_list.find(',') != std::string::npos ||
@@ -222,12 +293,17 @@ int run_experiment_grid(const Options& opt) {
   spec.seed = opt.seed;
   spec.seeds = opt.seeds;
   spec.jobs = opt.jobs;
+  spec.checkpoint_dir = opt.checkpoint_dir;
 
   std::vector<analysis::ExperimentRecord> records;
   try {
     records = analysis::run_grid(spec);
   } catch (const std::invalid_argument& e) {
     usage(e.what());
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli: grid checkpoint in " << opt.checkpoint_dir
+              << ": " << e.what() << "\n";
+    return 1;
   }
   std::cout << analysis::to_table(records);
   if (!opt.csv_path.empty()) {
@@ -262,6 +338,67 @@ std::unique_ptr<sim::InjectionPolicy> make_injector(const Options& opt,
     return adversary::make_injector(spec);
   } catch (const std::invalid_argument&) {
     usage("unknown pattern: " + opt.pattern);
+  }
+}
+
+/// The single-run configuration as a snapshot::RunSpec, so a checkpointed
+/// run embeds exactly what `resume` needs to rebuild the engine. Mirrors
+/// make_policy/make_injector/build_engine below (which --msr keeps using
+/// with a swept rho/seed).
+snapshot::RunSpec make_run_spec(const Options& opt, util::Ratio rho) {
+  snapshot::RunSpec spec;
+  spec.protocol = opt.protocol;
+  spec.n = opt.n;
+  spec.bound_r = opt.r;
+  spec.slot_policy = opt.policy;
+  spec.has_injector = true;
+  spec.injector.rho = rho;
+  spec.injector.burst_ticks = opt.burst_units * U;
+  spec.injector.seed = opt.seed + 1;
+  if (opt.pattern == "maxqueue") {
+    spec.injector.kind = "maxqueue";
+  } else {
+    spec.injector.kind = "saturating";
+    spec.injector.pattern = opt.pattern;
+  }
+  spec.seed = opt.seed;
+  spec.horizon_units = opt.horizon_units;
+  spec.record_trace = opt.trace_units > 0;
+  spec.checkpoint_interval = opt.checkpoint_every;
+  return spec;
+}
+
+/// Stats text/JSON + optional trace render, shared between run mode and
+/// `resume` (the determinism contract makes their output identical for
+/// the same effective run, which the resume smoke test diffs).
+void report_run(const snapshot::RunSpec& spec, double rho,
+                const sim::Engine& engine, bool json, Tick trace_units) {
+  const auto& s = engine.stats();
+  const auto& ch = engine.channel_stats();
+  if (json) {
+    std::cout << metrics::to_json(s, &ch);
+  } else {
+    std::cout << "protocol=" << spec.protocol << " n=" << spec.n
+              << " R=" << spec.bound_r << " rho=" << rho
+              << " policy=" << spec.slot_policy << " horizon="
+              << spec.horizon_units << "\n"
+              << "  injected   " << s.injected_packets << " packets ("
+              << to_units(s.injected_cost) << " cost units)\n"
+              << "  delivered  " << s.delivered_packets << "\n"
+              << "  queued     " << s.queued_packets << " (max cost "
+              << to_units(s.max_queued_cost) << " units)\n"
+              << "  channel    " << ch.transmissions << " transmissions, "
+              << ch.successful << " successful, " << ch.collided
+              << " collided, " << ch.control_transmissions << " control\n";
+    if (!s.latency.empty())
+      std::cout << "  latency    p50 " << to_units(s.latency.quantile(0.5))
+                << "  p99 " << to_units(s.latency.quantile(0.99))
+                << "  max " << to_units(s.latency.max()) << " (units)\n";
+  }
+  if (trace_units > 0) {
+    trace::RenderOptions r;
+    r.to = trace_units * U;
+    std::cout << "\n" << trace::render_schedule(engine.trace().slots(), r);
   }
 }
 
@@ -314,6 +451,7 @@ struct FuzzOptions {
   bool has_emit_case = false;
   std::uint64_t emit_case = 0;   // corpus-pinning mode
   std::string telemetry_path;
+  std::string checkpoint_path;   // campaign cursor file
 };
 
 FuzzOptions parse_fuzz_args(int argc, char** argv) {
@@ -361,6 +499,10 @@ FuzzOptions parse_fuzz_args(int argc, char** argv) {
         opt.case_seed = std::stoull(value());
       else if (flag == "--telemetry")
         opt.telemetry_path = value();
+      else if (flag == "--checkpoint")
+        opt.checkpoint_path = value();
+      else if (flag == "--help" || flag == "-h")
+        print_help();
       else if (flag == "--emit-case") {
         opt.has_emit_case = true;
         opt.emit_case = std::stoull(value());
@@ -460,6 +602,7 @@ int run_fuzz(int argc, char** argv) {
   cfg.time_budget_seconds = opt.time_budget;
   cfg.shrink = opt.shrink;
   cfg.protocols = opt.protocols;
+  cfg.checkpoint_path = opt.checkpoint_path;
 
   std::cout << "fuzz: seed=" << opt.seed << " cases=" << opt.cases
             << " jobs=" << opt.jobs << "\n";
@@ -468,6 +611,10 @@ int run_fuzz(int argc, char** argv) {
     result = verify::run_campaign(cfg);
   } catch (const std::invalid_argument& e) {
     usage(e.what());
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli fuzz: " << opt.checkpoint_path << ": "
+              << e.what() << "\n";
+    return 1;
   }
   std::cout << verify::summarize(result);
   if (result.failures.empty()) return 0;
@@ -516,6 +663,102 @@ int run_stats(int argc, char** argv) {
   return 0;
 }
 
+// ----------------------------------------------------------------- resume
+
+int run_resume(int argc, char** argv) {
+  std::string path;
+  Tick horizon_units = -1;  // -1 = use the checkpoint's recorded horizon
+  bool json = false;
+  Tick trace_units = 0;
+  std::string telemetry_path;
+  std::string checkpoint_dir;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--horizon=", 0) == 0)
+      horizon_units = std::stol(arg.substr(10));
+    else if (arg == "--json")
+      json = true;
+    else if (arg.rfind("--trace=", 0) == 0)
+      trace_units = std::stol(arg.substr(8));
+    else if (arg.rfind("--telemetry=", 0) == 0)
+      telemetry_path = arg.substr(12);
+    else if (arg.rfind("--checkpoint-dir=", 0) == 0)
+      checkpoint_dir = arg.substr(17);
+    else if (arg == "--help" || arg == "-h")
+      print_help();
+    else if (arg.rfind("--", 0) == 0)
+      usage("unknown resume argument: " + arg);
+    else if (path.empty())
+      path = arg;
+    else
+      usage("resume takes one checkpoint file");
+  }
+  if (path.empty()) usage("resume needs a checkpoint file or directory");
+  if (!telemetry_path.empty()) enable_telemetry_or_die(telemetry_path);
+
+  // A directory means "the newest autosave in it": AutoSaver names files
+  // ckpt-NNNNNN.snap with a monotone counter, so the lexicographically
+  // greatest one is the latest snapshot.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::string best;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("ckpt-", 0) == 0 && name.size() > 5 &&
+          name.compare(name.size() - 5, 5, ".snap") == 0 &&
+          (best.empty() || name > best))
+        best = (std::filesystem::path(path) / name).string();
+    }
+    if (best.empty()) {
+      std::cerr << "asyncmac_cli resume: " << path
+                << ": no ckpt-*.snap files\n";
+      return 1;
+    }
+    path = best;
+  }
+
+  snapshot::ResumedRun run;
+  try {
+    run = snapshot::resume_checkpoint(path);
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli resume: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  snapshot::RunSpec spec = run.spec;
+  if (horizon_units >= 0) spec.horizon_units = horizon_units;
+
+  // Keep autosaving when asked to (the cadence is baked into the
+  // checkpoint; a spec without one cannot re-arm from here).
+  std::shared_ptr<snapshot::AutoSaver> saver;
+  if (!checkpoint_dir.empty()) {
+    if (spec.checkpoint_interval == 0)
+      usage("this checkpoint was written without --checkpoint-every; "
+            "--checkpoint-dir cannot re-arm autosaving");
+    saver = std::make_shared<snapshot::AutoSaver>(checkpoint_dir, spec);
+    run.engine->set_checkpoint_sink(
+        [saver](const sim::Engine& e) { (*saver)(e); });
+  }
+
+  std::cerr << "resumed " << spec.protocol << " n=" << spec.n
+            << " from " << path << " at t=" << to_units(run.engine->now())
+            << " units\n";
+  try {
+    run.engine->run(sim::until(spec.horizon_units * U));
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli resume: autosave failed: " << e.what() << "\n";
+    return 1;
+  }
+  telemetry::emit(
+      "run.done",
+      {{"protocol", spec.protocol},
+       {"injected", run.engine->stats().injected_packets},
+       {"delivered", run.engine->stats().delivered_packets}});
+  const double rho =
+      spec.has_injector ? spec.injector.rho.to_double() : 0.0;
+  report_run(spec, rho, *run.engine, json, trace_units);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +766,9 @@ int main(int argc, char** argv) {
     return run_fuzz(argc - 2, argv + 2);
   if (argc > 1 && std::string(argv[1]) == "stats")
     return run_stats(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "resume")
+    return run_resume(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "help") print_help();
   const Options opt = parse_args(argc, argv);
   if (!opt.telemetry_path.empty())
     enable_telemetry_or_die(opt.telemetry_path);
@@ -530,40 +776,34 @@ int main(int argc, char** argv) {
   if (opt.msr) return run_msr(opt);
 
   const auto rho = util::Ratio::from_double(opt.rho);
-  auto engine = build_engine(opt, rho, opt.seed);
-  engine->run(sim::until(opt.horizon_units * U));
+  const snapshot::RunSpec spec = make_run_spec(opt, rho);
+  std::unique_ptr<sim::Engine> engine;
+  try {
+    engine = snapshot::build_engine(spec);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  std::shared_ptr<snapshot::AutoSaver> saver;
+  if (opt.checkpoint_every > 0) {
+    saver = std::make_shared<snapshot::AutoSaver>(opt.checkpoint_dir, spec);
+    engine->set_checkpoint_sink(
+        [saver](const sim::Engine& e) { (*saver)(e); });
+  }
+  try {
+    engine->run(sim::until(opt.horizon_units * U));
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli: autosave failed: " << e.what() << "\n";
+    return 1;
+  }
   telemetry::emit(
       "run.done",
       {{"protocol", opt.protocol},
        {"injected", engine->stats().injected_packets},
        {"delivered", engine->stats().delivered_packets}});
-
-  const auto& s = engine->stats();
-  const auto& ch = engine->channel_stats();
-  if (opt.json) {
-    std::cout << metrics::to_json(s, &ch);
-  } else {
-    std::cout << "protocol=" << opt.protocol << " n=" << opt.n
-              << " R=" << opt.r << " rho=" << opt.rho
-              << " policy=" << opt.policy << " horizon="
-              << opt.horizon_units << "\n"
-              << "  injected   " << s.injected_packets << " packets ("
-              << to_units(s.injected_cost) << " cost units)\n"
-              << "  delivered  " << s.delivered_packets << "\n"
-              << "  queued     " << s.queued_packets << " (max cost "
-              << to_units(s.max_queued_cost) << " units)\n"
-              << "  channel    " << ch.transmissions << " transmissions, "
-              << ch.successful << " successful, " << ch.collided
-              << " collided, " << ch.control_transmissions << " control\n";
-    if (!s.latency.empty())
-      std::cout << "  latency    p50 " << to_units(s.latency.quantile(0.5))
-                << "  p99 " << to_units(s.latency.quantile(0.99))
-                << "  max " << to_units(s.latency.max()) << " (units)\n";
-  }
-  if (opt.trace_units > 0) {
-    trace::RenderOptions r;
-    r.to = opt.trace_units * U;
-    std::cout << "\n" << trace::render_schedule(engine->trace().slots(), r);
-  }
+  report_run(spec, opt.rho, *engine, opt.json, opt.trace_units);
+  if (saver && !saver->latest().empty())
+    std::cerr << "checkpoint: " << saver->latest()
+              << " (continue: asyncmac_cli resume " << saver->latest()
+              << ")\n";
   return 0;
 }
