@@ -31,6 +31,7 @@
 
 #include "core/ca_arrow.h"
 #include "harness.h"
+#include "sim/cohort_engine.h"
 #include "snapshot/checkpoint.h"
 #include "telemetry/registry.h"
 
@@ -177,6 +178,91 @@ CkptPoint checkpoint_point(const EngineBenchConfig& c,
   return {rates[rates.size() / 2], overheads[overheads.size() / 2]};
 }
 
+// ---------------------------------------------------------------- cohort
+
+/// One lane's materials for the cohort bench: the exact engine the scalar
+/// suite above builds (build_engine without prune/checkpoint overrides),
+/// parameterized by seed so lanes differ the way grid seed replicas do.
+sim::LaneMaterials cohort_materials(const EngineBenchConfig& c,
+                                    std::uint64_t seed) {
+  sim::LaneMaterials m;
+  m.cfg.n = c.n;
+  m.cfg.bound_r = c.bound_r;
+  m.cfg.seed = seed;
+  m.protocols = protocols<core::CaArrowProtocol>(c.n);
+  m.slot_policy =
+      c.bound_r == 1 ? sync_policy() : per_station_policy(c.n, c.bound_r);
+  if (c.injections) m.injection = saturating(util::Ratio(1, 2), 8 * U, seed);
+  return m;
+}
+
+struct CohortPoint {
+  double cohort_slots_per_sec = 0;
+  double scalar_slots_per_sec = 0;
+  bool lockstep = false;
+};
+
+/// Aggregate slots/sec of K lockstep lanes vs the same K replicas run as
+/// sequential scalar engines. The slot budget is split evenly across the
+/// lanes so every K processes the same total number of slots; both sides
+/// exclude construction (one warmup rep, then the median of three).
+CohortPoint cohort_point(const EngineBenchConfig& c, std::size_t k_lanes,
+                         std::uint64_t slot_budget) {
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(false);
+  const auto lane_seed = [](std::size_t k) { return 1 + k * 1000003ULL; };
+  CohortPoint out;
+  std::vector<double> cohort_rates, scalar_rates;
+  for (int rep = -1; rep < 3; ++rep) {
+    const std::uint64_t per_lane =
+        (rep < 0 ? slot_budget / 8 : slot_budget) / k_lanes;
+    sim::StopCondition stop;
+    stop.max_total_slots = per_lane;
+
+    std::vector<sim::LaneBuilder> builders;
+    builders.reserve(k_lanes);
+    for (std::size_t k = 0; k < k_lanes; ++k)
+      builders.push_back(
+          [c, seed = lane_seed(k)] { return cohort_materials(c, seed); });
+    sim::CohortEngine cohort(std::move(builders));
+    out.lockstep = cohort.lockstep();
+    const auto c0 = std::chrono::steady_clock::now();
+    cohort.run(stop);
+    const auto c1 = std::chrono::steady_clock::now();
+    std::uint64_t cohort_slots = 0;
+    for (std::size_t k = 0; k < k_lanes; ++k)
+      cohort_slots += cohort.stats(k).total_slots;
+
+    std::vector<std::unique_ptr<sim::Engine>> engines;
+    engines.reserve(k_lanes);
+    for (std::size_t k = 0; k < k_lanes; ++k) {
+      sim::LaneMaterials m = cohort_materials(c, lane_seed(k));
+      engines.push_back(std::make_unique<sim::Engine>(
+          std::move(m.cfg), std::move(m.protocols), std::move(m.slot_policy),
+          std::move(m.injection)));
+    }
+    const auto s0 = std::chrono::steady_clock::now();
+    for (auto& e : engines) e->run(stop);
+    const auto s1 = std::chrono::steady_clock::now();
+    std::uint64_t scalar_slots = 0;
+    for (const auto& e : engines) scalar_slots += e->stats().total_slots;
+
+    if (rep < 0) continue;  // warmup
+    const auto secs = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+          .count();
+    };
+    cohort_rates.push_back(static_cast<double>(cohort_slots) / secs(c0, c1));
+    scalar_rates.push_back(static_cast<double>(scalar_slots) / secs(s0, s1));
+  }
+  telemetry::set_enabled(was_enabled);
+  std::sort(cohort_rates.begin(), cohort_rates.end());
+  std::sort(scalar_rates.begin(), scalar_rates.end());
+  out.cohort_slots_per_sec = cohort_rates[cohort_rates.size() / 2];
+  out.scalar_slots_per_sec = scalar_rates[scalar_rates.size() / 2];
+  return out;
+}
+
 // ------------------------------------------------------------ trajectory
 
 void write_trajectory(bool quick) {
@@ -215,6 +301,45 @@ void write_trajectory(bool quick) {
     }
     out << "}" << (i + 1 < cfgs.size() ? "," : "") << "\n";
     std::cout << "\n";
+  }
+  out << "  ],\n  \"cohort\": [\n";
+  // The batched cohort engine (sim/cohort_engine.h): K seed replicas of
+  // the acceptance-size config (n=64) advanced in lockstep vs the same K
+  // run as sequential scalar engines. K=1 prices the lane indirection
+  // alone; K in {4, 8, 16} is the Monte-Carlo regime run_grid batches at.
+  // Acceptance: >= 3x aggregate slots/sec at K=8 on the noinj configs.
+  {
+    const std::size_t lane_counts[] = {1, 4, 8, 16};
+    std::vector<std::string> lines;
+    for (std::uint32_t r : {1u, 4u}) {
+      for (bool inj : {false, true}) {
+        EngineBenchConfig c{config_name(64, r, inj, false), 64, r, inj,
+                            false};
+        for (std::size_t k : lane_counts) {
+          const CohortPoint p = cohort_point(c, k, budget);
+          std::ostringstream line;
+          line << "    {\"name\": \"" << c.name << "_k" << k
+               << "\", \"lanes\": " << k << ", \"n\": " << c.n
+               << ", \"r\": " << c.bound_r
+               << ", \"injections\": " << (c.injections ? "true" : "false")
+               << ",\n     \"lockstep\": " << (p.lockstep ? "true" : "false")
+               << ", \"cohort_slots_per_sec\": " << p.cohort_slots_per_sec
+               << ",\n     \"scalar_slots_per_sec\": "
+               << p.scalar_slots_per_sec << ", \"speedup\": "
+               << p.cohort_slots_per_sec / p.scalar_slots_per_sec << "}";
+          lines.push_back(line.str());
+          std::cout << "  cohort " << c.name << " k=" << k << ": "
+                    << static_cast<std::uint64_t>(p.cohort_slots_per_sec)
+                    << " slots/sec aggregate (scalar "
+                    << static_cast<std::uint64_t>(p.scalar_slots_per_sec)
+                    << ", speedup "
+                    << p.cohort_slots_per_sec / p.scalar_slots_per_sec
+                    << "x)\n";
+        }
+      }
+    }
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"prune_interval_sweep\": [\n";
   // Justify EngineConfig::prune_interval's default: sweep the cadence on

@@ -74,11 +74,45 @@ inline std::map<std::string, double> load_baseline(const std::string& path,
   return out;
 }
 
+/// Result of reconciling a loaded baseline against the config names the
+/// current suite is about to run (see reconcile_baseline).
+struct BaselineReconciliation {
+  /// Baseline entries whose names the current suite also runs — the only
+  /// ones a speedup column may use.
+  std::map<std::string, double> usable;
+  /// Expected configs the baseline lacks (suite gained configs since the
+  /// baseline was written); they get no speedup, in expected order.
+  std::vector<std::string> missing;
+  /// Baseline names the suite no longer runs (suite dropped or renamed
+  /// configs); their values are discarded, in baseline (sorted) order.
+  std::vector<std::string> stray;
+};
+
+/// Pure per-config reconciliation of a baseline against the expected
+/// config set: keep exactly the overlapping names, report adds/removes.
+/// Config-set mismatches (a baseline from an older or newer suite) must
+/// never fail the whole bench — callers warn about missing/stray and run
+/// with the usable overlap. Unit-tested in tests/test_bench_harness.cpp.
+inline BaselineReconciliation reconcile_baseline(
+    std::map<std::string, double> raw,
+    const std::vector<std::string>& expected) {
+  BaselineReconciliation out;
+  for (const auto& name : expected) {
+    if (const auto it = raw.find(name); it != raw.end()) {
+      out.usable.emplace(name, it->second);
+      raw.erase(it);
+    } else {
+      out.missing.push_back(name);
+    }
+  }
+  for (const auto& stray : raw) out.stray.push_back(stray.first);
+  return out;
+}
+
 /// Load a baseline trajectory and reconcile it against the configs the
-/// current suite is about to run. Config-set mismatches (a baseline from
-/// an older or newer suite) warn and skip the stray entries instead of
-/// failing the whole bench: stale names are dropped, missing names simply
-/// get no speedup column. Returns only the usable entries.
+/// current suite is about to run, warning per config on mismatches:
+/// stale names are dropped, missing names simply get no speedup column.
+/// Returns only the usable entries.
 inline std::map<std::string, double> merge_baseline(
     const std::string& path, const std::string& unit_key,
     const std::vector<std::string>& expected) {
@@ -88,20 +122,14 @@ inline std::map<std::string, double> merge_baseline(
               << " entries; continuing without speedups\n";
     return raw;
   }
-  std::map<std::string, double> out;
-  for (const auto& name : expected) {
-    if (const auto it = raw.find(name); it != raw.end()) {
-      out.emplace(name, it->second);
-      raw.erase(it);
-    } else {
-      std::cerr << "warning: baseline " << path << " lacks config \"" << name
-                << "\" (older suite?); skipping its speedup\n";
-    }
-  }
-  for (const auto& stray : raw)
+  BaselineReconciliation rec = reconcile_baseline(std::move(raw), expected);
+  for (const auto& name : rec.missing)
+    std::cerr << "warning: baseline " << path << " lacks config \"" << name
+              << "\" (older suite?); skipping its speedup\n";
+  for (const auto& name : rec.stray)
     std::cerr << "warning: baseline " << path << " names unknown config \""
-              << stray.first << "\"; skipping it\n";
-  return out;
+              << name << "\"; skipping it\n";
+  return std::move(rec.usable);
 }
 
 /// One protocol instance per station, all of type T.

@@ -7,6 +7,7 @@
 #include "adversary/injectors.h"
 #include "adversary/slot_policies.h"
 #include "analysis/registry.h"
+#include "sim/cohort_engine.h"
 #include "sim/engine.h"
 #include "snapshot/format.h"
 #include "snapshot/io.h"
@@ -21,37 +22,65 @@ namespace asyncmac::analysis {
 
 namespace {
 
-ExperimentRecord run_cell(const std::string& protocol, std::uint32_t n,
-                          std::uint32_t bound_r, int rho_pct,
-                          const std::string& policy, Tick burst_units,
-                          Tick horizon_units, std::uint64_t seed) {
-  sim::EngineConfig cfg;
-  cfg.n = n;
-  cfg.bound_r = bound_r;
-  cfg.seed = seed;
-  sim::Engine engine(
-      cfg, make_protocols(protocol, n),
-      adversary::make_slot_policy(policy, n, bound_r, seed),
-      std::make_unique<adversary::SaturatingInjector>(
-          util::Ratio(rho_pct, 100), burst_units * kTicksPerUnit,
-          adversary::TargetPattern::kRoundRobin, 1, seed + 1));
-  engine.run(sim::until(horizon_units * kTicksPerUnit));
+/// The per-seed-invariant parameters of one grid cell, with the registry
+/// lookup and rho reduction hoisted: one seed-replicated cell resolves
+/// its protocol maker and Ratio once and reuses them for every lane.
+struct CellSetup {
+  ProtocolMaker maker;
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t bound_r;
+  int rho_pct;
+  util::Ratio rho;
+  std::string policy;
+  Tick burst_units;
 
+  CellSetup(const std::string& protocol_name, std::uint32_t n_,
+            std::uint32_t r_, int rho_pct_, const std::string& policy_,
+            Tick burst)
+      : maker(protocol_maker(protocol_name)),
+        protocol(protocol_name),
+        n(n_),
+        bound_r(r_),
+        rho_pct(rho_pct_),
+        rho(rho_pct_, 100),
+        policy(policy_),
+        burst_units(burst) {}
+
+  /// Engine materials for one seed of this cell — exactly the
+  /// construction the pre-cohort run_cell performed inline.
+  sim::LaneMaterials materials(std::uint64_t seed) const {
+    sim::LaneMaterials m;
+    m.cfg.n = n;
+    m.cfg.bound_r = bound_r;
+    m.cfg.seed = seed;
+    m.protocols.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.protocols.push_back(maker());
+    m.slot_policy = adversary::make_slot_policy(policy, n, bound_r, seed);
+    m.injection = std::make_unique<adversary::SaturatingInjector>(
+        rho, burst_units * kTicksPerUnit,
+        adversary::TargetPattern::kRoundRobin, 1, seed + 1);
+    return m;
+  }
+};
+
+ExperimentRecord extract_record(const CellSetup& setup, std::uint64_t seed,
+                                const metrics::RunStats& s,
+                                const channel::LedgerStats& ch) {
   ExperimentRecord rec;
-  rec.protocol = protocol;
-  rec.n = n;
-  rec.bound_r = bound_r;
-  rec.rho_pct = rho_pct;
-  rec.slot_policy = policy;
+  rec.protocol = setup.protocol;
+  rec.n = setup.n;
+  rec.bound_r = setup.bound_r;
+  rec.rho_pct = setup.rho_pct;
+  rec.slot_policy = setup.policy;
   rec.seed = seed;
-  const auto& s = engine.stats();
   rec.injected = s.injected_packets;
   rec.delivered = s.delivered_packets;
   rec.queued = s.queued_packets;
   rec.max_queue_cost_units = to_units(s.max_queued_cost);
   rec.final_queue_cost_units = to_units(s.queued_cost);
-  rec.collisions = engine.channel_stats().collided;
-  rec.control_msgs = engine.channel_stats().control_transmissions;
+  rec.collisions = ch.collided;
+  rec.control_msgs = ch.control_transmissions;
   rec.delivered_fraction =
       s.injected_packets ? static_cast<double>(s.delivered_packets) /
                                static_cast<double>(s.injected_packets)
@@ -59,6 +88,15 @@ ExperimentRecord run_cell(const std::string& protocol, std::uint32_t n,
   rec.p99_latency_units =
       s.latency.empty() ? 0.0 : to_units(s.latency.quantile(0.99));
   return rec;
+}
+
+ExperimentRecord run_cell(const CellSetup& setup, Tick horizon_units,
+                          std::uint64_t seed) {
+  sim::LaneMaterials m = setup.materials(seed);
+  sim::Engine engine(std::move(m.cfg), std::move(m.protocols),
+                     std::move(m.slot_policy), std::move(m.injection));
+  engine.run(sim::until(horizon_units * kTicksPerUnit));
+  return extract_record(setup, seed, engine.stats(), engine.channel_stats());
 }
 
 // ------------------------------------------------------- grid checkpoints
@@ -177,7 +215,7 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
 
   // Enumerate the cross product up front (in the documented record order),
   // then run the cells on a pool: each cell is an independent deterministic
-  // Engine writing into its own pre-sized slot, so the result is
+  // engine writing into its own pre-sized slot, so the result is
   // byte-identical to the serial sweep for every jobs value.
   struct Cell {
     const std::string* protocol;
@@ -200,6 +238,24 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
 
   std::vector<ExperimentRecord> records(cells.size());
 
+  // Work units: seed replicas of one base cell are contiguous (seed is
+  // the innermost dimension), so chunks of up to `cohort_width` of them
+  // form the cohorts. A unit is [first, first + count) in cell order.
+  const unsigned cohort_width =
+      spec.cohort != 0
+          ? spec.cohort
+          : std::min(8u, static_cast<unsigned>(spec.seeds));
+  struct Unit {
+    std::size_t first;
+    std::size_t count;
+  };
+  std::vector<Unit> units;
+  const std::size_t seeds = static_cast<std::size_t>(spec.seeds);
+  for (std::size_t base = 0; base < cells.size(); base += seeds)
+    for (std::size_t s = 0; s < seeds; s += cohort_width)
+      units.push_back(
+          {base + s, std::min<std::size_t>(cohort_width, seeds - s)});
+
   // Checkpointing: `skip` is an immutable pre-run snapshot of the
   // manifest (safe to read from every worker); `done` and the manifest
   // rewrite are guarded by one mutex, and a cell is marked done only
@@ -219,24 +275,53 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
   telemetry::emit("grid.start",
                   {{"cells", static_cast<std::uint64_t>(cells.size())},
                    {"jobs", static_cast<std::int64_t>(spec.jobs)},
+                   {"cohort", static_cast<std::int64_t>(cohort_width)},
                    {"horizon_units", static_cast<std::int64_t>(
                                          spec.horizon_units)}});
-  util::parallel_for(spec.jobs, cells.size(), [&](std::size_t i) {
-    if (skip[i]) return;
+  util::parallel_for(spec.jobs, units.size(), [&](std::size_t ui) {
+    // Cells already completed by a resumed manifest drop out of the unit;
+    // the rest form the cohort (each lane is independent, so a partial
+    // unit batches just as well).
+    std::vector<std::size_t> todo;
+    for (std::size_t i = units[ui].first;
+         i < units[ui].first + units[ui].count; ++i)
+      if (!skip[i]) todo.push_back(i);
+    if (todo.empty()) return;
+
     static auto& cell_count =
         telemetry::Registry::global().counter("analysis.grid_cells");
     static auto& cell_timer =
         telemetry::Registry::global().timer("analysis.grid_cell_ns");
     const telemetry::ScopeTimer scope(cell_timer);
-    const Cell& c = cells[i];
-    records[i] = run_cell(*c.protocol, c.n, c.r, c.rho, *c.policy,
-                          spec.burst_units, spec.horizon_units, c.seed);
+
+    const Cell& c0 = cells[todo.front()];
+    const auto setup = std::make_shared<const CellSetup>(
+        *c0.protocol, c0.n, c0.r, c0.rho, *c0.policy, spec.burst_units);
+
+    if (todo.size() == 1) {
+      records[todo.front()] =
+          run_cell(*setup, spec.horizon_units, cells[todo.front()].seed);
+    } else {
+      std::vector<sim::LaneBuilder> builders;
+      builders.reserve(todo.size());
+      for (std::size_t i : todo)
+        builders.push_back([setup, seed = cells[i].seed] {
+          return setup->materials(seed);
+        });
+      sim::CohortEngine cohort(std::move(builders));
+      cohort.run(sim::until(spec.horizon_units * kTicksPerUnit));
+      for (std::size_t k = 0; k < todo.size(); ++k)
+        records[todo[k]] = extract_record(*setup, cells[todo[k]].seed,
+                                          cohort.stats(k),
+                                          cohort.channel_stats(k));
+    }
+
     if (checkpointing) {
       const std::lock_guard<std::mutex> lock(manifest_mutex);
-      done[i] = 1;
+      for (std::size_t i : todo) done[i] = 1;
       write_manifest(spec.checkpoint_dir, fingerprint, done, records);
     }
-    cell_count.add();
+    cell_count.add(todo.size());
   });
   telemetry::emit("grid.done",
                   {{"cells", static_cast<std::uint64_t>(cells.size())}});

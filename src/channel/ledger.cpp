@@ -47,10 +47,19 @@ void Ledger::add(Transmission t) {
   t.successful = false;
   last_begin_ = t.begin;
   latest_end_ = std::max(latest_end_, t.end);
+  const Tick prev_max_duration = max_duration_;
   max_duration_ = std::max(max_duration_, t.duration());
   ++stats_.transmissions;
   if (t.is_control) ++stats_.control_transmissions;
   window_.push_back(t);
+  // The memo survives an add that provably cannot change a replay of its
+  // query: the feedback scan only reaches entries with begin < t (so an
+  // entry beginning at or after memo_t_ is never scanned — the common
+  // case, since stations at one boundary query [s, t) and then commit
+  // their next slot beginning at t), and the scan's seek point depends on
+  // max_duration_, so a new global maximum shifts the scanned count.
+  if (t.begin < memo_t_ || max_duration_ != prev_max_duration)
+    memo_valid_ = false;
   ++pending_adds_;
   if (window_.size() > window_peak_local_) window_peak_local_ = window_.size();
 }
@@ -104,23 +113,10 @@ void Ledger::finalize_until(Tick now) {
     ++finalized_;
 }
 
-Feedback Ledger::feedback(Tick s, Tick t) {
-  AM_CHECK(s < t);
-  ++pending_queries_;
-  // O(1) silence fast paths. An empty window trivially yields silence.
-  // When s >= latest_end_ every registered interval has end <= s, so none
-  // overlaps [s, t) or ends inside (s, t] — but undecided entries must
-  // still be finalized so LedgerStats stay current for adaptive
-  // adversaries reading channel_stats() mid-run.
-  if (window_.empty()) {
-    ++pending_fast_silence_;
-    return Feedback::kSilence;
-  }
-  if (s >= latest_end_) {
-    ++pending_fast_silence_;
-    if (finalized_ < window_.size()) finalize_until(t);
-    return Feedback::kSilence;
-  }
+Feedback Ledger::feedback_slow(Tick s, Tick t) {
+  // The O(1) silence fast paths (and the pending_queries_ accounting) ran
+  // inline in the header; from here on the slot provably neighbors at
+  // least one live interval.
   finalize_until(t);
   // Only a bounded neighborhood of the slot can matter: an entry with
   // begin <= s - max_duration_ has end <= s, so it neither overlaps [s, t)
@@ -136,6 +132,11 @@ Feedback Ledger::feedback(Tick s, Tick t) {
   std::uint64_t scanned = 0;
   auto record = [&](Feedback fb) {
     pending_scanned_ += scanned;
+    memo_valid_ = true;
+    memo_s_ = s;
+    memo_t_ = t;
+    memo_fb_ = fb;
+    memo_scanned_ = scanned;
     return fb;
   };
   // Scan the neighborhood: begins in (s - max_duration_, t).
@@ -154,6 +155,7 @@ Feedback Ledger::feedback(Tick s, Tick t) {
 
 void Ledger::prune_before(Tick horizon) {
   finalize_until(horizon);
+  memo_valid_ = false;
   std::uint64_t removed = 0;
   while (!window_.empty() && window_.front().decided &&
          window_.front().end <= horizon) {
@@ -242,6 +244,7 @@ void Ledger::save_state(snapshot::Writer& w) const {
 }
 
 void Ledger::load_state(snapshot::Reader& r) {
+  memo_valid_ = false;  // cold memo; replay is identical to re-scanning
   const bool keep_history = r.boolean();
   if (keep_history != keep_history_)
     throw snapshot::SnapshotError(

@@ -1,0 +1,807 @@
+#include "sim/cohort_engine.h"
+
+#include <algorithm>
+
+#include "snapshot/io.h"
+#include "snapshot/state.h"
+#include "telemetry/registry.h"
+#include "util/check.h"
+
+namespace asyncmac::sim {
+
+namespace {
+
+// Write-only telemetry instruments (docs/OBSERVABILITY.md), batched like
+// the scalar engine's: plain counters on the hot path, flushed at prune
+// cadence / run() exit / destruction. "engine.*" names are shared with
+// the scalar Engine (the registry resolves by name), so a lockstep lane
+// contributes to the same instruments its scalar twin would.
+struct CohortTelemetry {
+  telemetry::Counter& batches =
+      telemetry::Registry::global().counter("cohort.batches");
+  telemetry::Counter& detaches =
+      telemetry::Registry::global().counter("cohort.detaches");
+  telemetry::Counter& lanes_retired =
+      telemetry::Registry::global().counter("cohort.lanes_retired");
+  telemetry::Counter& engine_slots =
+      telemetry::Registry::global().counter("engine.slots");
+  telemetry::Counter& engine_injections =
+      telemetry::Registry::global().counter("engine.injections");
+  telemetry::Counter& engine_deliveries =
+      telemetry::Registry::global().counter("engine.deliveries");
+  telemetry::Counter& engine_prunes =
+      telemetry::Registry::global().counter("engine.prunes");
+  telemetry::Counter& engine_polls_skipped =
+      telemetry::Registry::global().counter("engine.injection_polls_skipped");
+  telemetry::Counter& ca_arrow_turns =
+      telemetry::Registry::global().counter("core.ca_arrow.turns");
+
+  static CohortTelemetry& get() {
+    static CohortTelemetry t;
+    return t;
+  }
+};
+
+// The lane-ized automaton. The cohort identifies it by Protocol::name()
+// (no link-time dependency on core), and the state bytes below are the
+// exact CaArrowProtocol::save_state layout — core/ca_arrow.cpp carries
+// the matching KEEP IN SYNC note.
+constexpr const char* kLaneizedProtocol = "CA-ARRoW";
+
+// core::CaArrowProtocol::State values, pinned by its save_state u8.
+constexpr std::uint8_t kCaInit = 0;
+constexpr std::uint8_t kCaCountdown = 1;
+constexpr std::uint8_t kCaDrain = 2;
+constexpr std::uint8_t kCaNoise = 3;
+constexpr std::uint8_t kCaAwaitSequenceEnd = 4;
+
+}  // namespace
+
+struct CohortEngine::Impl {
+  // ---- shared across the cohort (meaningful when lockstep) ----
+  bool lockstep = false;
+  EngineConfig cfg;  ///< shared configuration facets (lane 0's; seeds vary)
+  std::uint32_t K = 0;
+  Tick max_slot_ticks = 0;
+  std::vector<Tick> lengths;  ///< [station-1] fixed slot length, ticks
+
+  // The shared schedule: fixed action-independent lengths make the
+  // (end, station) event sequence identical across lanes, so one heap and
+  // one per-station slot record drive every lane.
+  SlotEventHeap events{1};
+  std::vector<SlotIndex> slot_index;
+  std::vector<Tick> slot_begin;
+  std::vector<Tick> slot_end;
+  Tick now = 0;
+  std::uint64_t steps_since_prune = 0;
+
+  /// All stations share one fixed slot length (the synchronous adversary).
+  /// The heap's (end, station) lexicographic order then degenerates to a
+  /// strict round-robin — every round all ends are equal, so ties resolve
+  /// in ascending station order — and the scheduler becomes a counter:
+  /// the heap (a measurable slice of the shared per-event cost at n=64)
+  /// is bypassed entirely, yielding the exact same event sequence.
+  bool uniform = false;
+  StationId next_station = 1;
+
+  // ---- per-(station, lane) protocol scalars, SoA ----
+  // Index (station-1) * K + lane: station-major so the inner per-event
+  // lane loop walks K contiguous entries.
+  std::vector<std::uint8_t> ca_state;
+  std::vector<std::uint32_t> ca_turn;
+  std::vector<std::uint64_t> ca_countdown;
+  std::vector<std::uint8_t> ca_heard;
+  std::vector<std::uint64_t> ca_turns_taken;
+  std::vector<SlotAction> action;
+  /// 1 iff the (station, lane) queue is empty — a SoA mirror of
+  /// StationContext::queue_empty(), maintained at the only two queue
+  /// mutation sites (injection push, delivery pop) so the per-event lane
+  /// loop never touches the scattered StationContext objects on the
+  /// listen path (512 deque headers at n=64 x K=8 overflow L1).
+  std::vector<std::uint8_t> q_empty;
+
+  /// Shared-schedule snapshot frozen when a lane retires mid-run (the
+  /// shared arrays keep advancing for the remaining lanes).
+  struct Frozen {
+    Tick now = 0;
+    std::uint64_t steps_since_prune = 0;
+    std::vector<SlotIndex> slot_index;
+    std::vector<Tick> slot_begin;
+    std::vector<Tick> slot_end;
+  };
+
+  struct Lane {
+    Lane(bool keep_history, std::uint32_t n)
+        : ledger(keep_history), metrics(n) {}
+
+    LaneBuilder builder;
+    // Live per-lane objects with the scalar engine's exact semantics.
+    std::vector<StationContext> stations;
+    std::unique_ptr<InjectionPolicy> injection;
+    channel::Ledger ledger;
+    metrics::Collector metrics;
+    trace::Recorder trace;
+    std::vector<DeliveryRecord> deliveries;
+    // Engine cursors (per lane — mirror Engine's members).
+    Tick next_injection_poll = 0;
+    Tick last_injection_time = 0;
+    PacketSeq next_seq = 1;
+    StationId last_successful = kInvalidStation;
+    // Batched telemetry deltas, flushed exactly when the scalar engine
+    // would flush its own (prune cadence, lane stop, destruction) so the
+    // serialized residue matches byte-for-byte.
+    std::uint64_t pending_slots = 0;
+    std::uint64_t pending_deliveries = 0;
+    std::uint64_t pending_injections = 0;
+    std::uint64_t pending_polls_skipped = 0;
+
+    bool retired = false;
+    std::unique_ptr<Frozen> frozen;  ///< set when retired
+    std::unique_ptr<Engine> engine;  ///< set when detached / fallback
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  /// Raw mirror of `lanes` for the per-event loops: one indirection
+  /// instead of two (the unique_ptrs are stable after construction).
+  std::vector<Lane*> lane_ptr;
+  std::vector<std::uint32_t> active;  ///< lockstep lanes still advancing
+
+  std::vector<Injection> injection_buffer;
+
+  // Cohort-level batched telemetry.
+  std::uint64_t pending_batches = 0;
+  std::uint64_t pending_detaches = 0;
+  std::uint64_t pending_lanes_retired = 0;
+  std::uint64_t pending_turns = 0;  ///< core.ca_arrow.turns deltas
+
+  /// Read-only window a lane exposes to its injection adversary —
+  /// the lane-local equivalent of the scalar Engine's EngineView.
+  struct LaneView final : EngineView {
+    const Impl* impl;
+    const Lane* lane;
+    LaneView(const Impl* i, const Lane* l) : impl(i), lane(l) {}
+    Tick now() const override { return impl->now; }
+    std::uint32_t n() const override { return impl->cfg.n; }
+    std::uint32_t bound_r() const override { return impl->cfg.bound_r; }
+    std::size_t queue_size(StationId station) const override {
+      return lane->stations[station - 1].queue_size();
+    }
+    Tick queue_cost(StationId station) const override {
+      return lane->stations[station - 1].queue_cost();
+    }
+    const channel::LedgerStats& channel_stats() const override {
+      return lane->ledger.stats();
+    }
+    StationId last_successful_station() const override {
+      return lane->last_successful;
+    }
+    Tick fixed_slot_length(StationId station) const override {
+      return impl->lengths[station - 1];
+    }
+  };
+
+  std::size_t idx(StationId station, std::uint32_t lane) const {
+    return static_cast<std::size_t>(station - 1) * K + lane;
+  }
+
+  // ---- the lane-ized CA-ARRoW automaton (port of core/ca_arrow.cpp) ----
+  // The automaton steps and the action commitment below are forced inline:
+  // they run K times per event inside process_event's lane loop, and at
+  // n=64/K=8 the plain call overhead alone is a measurable slice of the
+  // per-slot budget (the optimizer declines to inline them on its own).
+
+  [[gnu::always_inline]] inline void ca_advance_turn(std::size_t i) {
+    ca_turn[i] = (ca_turn[i] % cfg.n) + 1;
+  }
+
+  [[gnu::always_inline]] inline SlotAction ca_begin_phase(std::size_t i,
+                                                          StationId id) {
+    if (ca_turn[i] == id) {
+      ++ca_turns_taken[i];
+      ++pending_turns;
+      ca_countdown[i] = 2ULL * cfg.bound_r;
+      ca_state[i] = kCaCountdown;
+    } else {
+      ca_heard[i] = 0;
+      ca_state[i] = kCaAwaitSequenceEnd;
+    }
+    return SlotAction::kListen;
+  }
+
+  /// next_action(nullopt) — the pre-first-slot decision.
+  SlotAction ca_first_action(std::size_t i, StationId id) {
+    AM_CHECK(ca_state[i] == kCaInit);
+    ca_turn[i] = 1;
+    return ca_begin_phase(i, id);
+  }
+
+  /// next_action(prev) after a slot ended with feedback `fb`.
+  [[gnu::always_inline]] inline SlotAction ca_next_action(std::size_t i,
+                                                          StationId id,
+                                                          Feedback fb,
+                                                          bool queue_empty) {
+    switch (ca_state[i]) {
+      case kCaCountdown:
+        if (--ca_countdown[i] > 0) return SlotAction::kListen;
+        if (queue_empty) {
+          ca_state[i] = kCaNoise;
+          return SlotAction::kTransmitControl;
+        }
+        ca_state[i] = kCaDrain;
+        return SlotAction::kTransmitPacket;
+
+      case kCaNoise:
+        ca_advance_turn(i);
+        return ca_begin_phase(i, id);
+
+      case kCaDrain:
+        if (!queue_empty) return SlotAction::kTransmitPacket;
+        ca_advance_turn(i);
+        return ca_begin_phase(i, id);
+
+      case kCaAwaitSequenceEnd:
+        if (fb != Feedback::kSilence) {
+          ca_heard[i] = 1;
+          return SlotAction::kListen;
+        }
+        if (ca_heard[i]) {
+          ca_advance_turn(i);
+          return ca_begin_phase(i, id);
+        }
+        return SlotAction::kListen;
+
+      default:
+        AM_CHECK(false);  // kCaInit is unreachable after the first slot
+        return SlotAction::kListen;
+    }
+  }
+
+  // ---- per-lane ports of the scalar engine's step pieces ----
+
+  void poll_lane(std::uint32_t k, Tick t) {
+    Lane& L = *lane_ptr[k];
+    if (!L.injection) return;
+    injection_buffer.clear();
+    const LaneView view(this, &L);
+    L.injection->poll(t, view, injection_buffer);
+    for (const Injection& inj : injection_buffer) {
+      AM_CHECK_MSG(inj.time <= t, "injection in the future");
+      AM_CHECK_MSG(inj.time >= L.last_injection_time,
+                   "injection times must be non-decreasing");
+      AM_CHECK(inj.station >= 1 && inj.station <= cfg.n);
+      AM_CHECK_MSG(inj.cost >= kTicksPerUnit && inj.cost <= max_slot_ticks,
+                   "packet cost must lie in [1, R] time units");
+      L.last_injection_time = inj.time;
+      Packet p;
+      p.seq = L.next_seq++;
+      p.station = inj.station;
+      p.injected_at = inj.time;
+      p.cost = inj.cost;
+      L.stations[inj.station - 1].push(p);
+      q_empty[idx(inj.station, k)] = 0;
+      L.metrics.on_injection(inj.station, inj.cost, t);
+    }
+    L.pending_injections += injection_buffer.size();
+  }
+
+  /// The per-lane half of Engine::begin_slot: validity checks, the action
+  /// commitment and the ledger registration. The shared half (slot index/
+  /// bounds and the heap re-key) runs once per event for all lanes.
+  [[gnu::always_inline]] inline void lane_commit_action(Lane& L,
+                                                        std::size_t i,
+                                                        StationId id,
+                                                        SlotAction a,
+                                                        Tick begin, Tick end) {
+    if (a == SlotAction::kTransmitPacket)
+      AM_CHECK_MSG(!L.stations[id - 1].queue_empty(),
+                   "station " << id << " transmits with empty queue");
+    if (a == SlotAction::kTransmitControl)
+      AM_CHECK_MSG(cfg.allow_control,
+                   "control message in a no-control model (station " << id
+                                                                     << ")");
+    action[i] = a;
+    if (is_transmit(a)) {
+      channel::Transmission tx;
+      tx.station = id;
+      tx.begin = begin;
+      tx.end = end;
+      tx.is_control = (a == SlotAction::kTransmitControl);
+      tx.packet = tx.is_control ? 0 : L.stations[id - 1].front().seq;
+      L.ledger.add(tx);
+    }
+  }
+
+  /// Engine::flush_telemetry for one lane.
+  void flush_lane(Lane& L) {
+    if ((L.pending_slots | L.pending_deliveries | L.pending_injections |
+         L.pending_polls_skipped) == 0)
+      return;
+    CohortTelemetry& t = CohortTelemetry::get();
+    t.engine_slots.add(L.pending_slots);
+    t.engine_deliveries.add(L.pending_deliveries);
+    t.engine_injections.add(L.pending_injections);
+    t.engine_polls_skipped.add(L.pending_polls_skipped);
+    L.pending_slots = L.pending_deliveries = L.pending_injections =
+        L.pending_polls_skipped = 0;
+  }
+
+  void flush_cohort_telemetry() {
+    if ((pending_batches | pending_detaches | pending_lanes_retired |
+         pending_turns) == 0)
+      return;
+    CohortTelemetry& t = CohortTelemetry::get();
+    t.batches.add(pending_batches);
+    t.detaches.add(pending_detaches);
+    t.lanes_retired.add(pending_lanes_retired);
+    t.ca_arrow_turns.add(pending_turns);
+    pending_batches = pending_detaches = pending_lanes_retired =
+        pending_turns = 0;
+  }
+
+  /// A lane's stop triggered (mirrors the scalar run() loop exiting):
+  /// freeze its view of the shared schedule and flush its telemetry, just
+  /// as Engine::run flushes on exit.
+  void retire(std::uint32_t k) {
+    Lane& L = *lanes[k];
+    auto fz = std::make_unique<Frozen>();
+    fz->now = now;
+    fz->steps_since_prune = steps_since_prune;
+    fz->slot_index = slot_index;
+    fz->slot_begin = slot_begin;
+    fz->slot_end = slot_end;
+    L.frozen = std::move(fz);
+    L.retired = true;
+    flush_lane(L);
+    L.ledger.flush_telemetry();
+    ++pending_lanes_retired;
+    active.erase(std::find(active.begin(), active.end(), k));
+  }
+
+  /// One shared slot-end event, processed for every active lane — the
+  /// lockstep mirror of Engine::step (same operations, same order, per
+  /// lane; only the schedule bookkeeping is shared).
+  /// Time of the next slot-end event without popping it.
+  Tick peek_time() const {
+    return uniform ? slot_end[next_station - 1] : events.top_time();
+  }
+
+  void process_event() {
+    StationId id;
+    Tick t;
+    if (uniform) {
+      id = next_station;
+      t = slot_end[id - 1];
+      next_station = next_station == cfg.n ? 1 : next_station + 1;
+    } else {
+      t = events.top_time();
+      id = events.top_station();
+    }
+    now = t;
+    const std::size_t si = id - 1;
+    AM_CHECK(slot_end[si] == t);
+    const Tick s_begin = slot_begin[si];
+    const SlotIndex ended_index = slot_index[si];
+    const Tick len = lengths[si];
+    const Tick new_end = t + len;
+    const std::size_t base = si * K;
+
+    for (const std::uint32_t k : active) {
+      Lane& L = *lane_ptr[k];
+      // Injection skip-ahead, per lane (hints differ across seeds).
+      if (t >= L.next_injection_poll) {
+        poll_lane(k, t);
+        L.next_injection_poll = L.injection->next_arrival_hint(t);
+      } else if (L.injection) {
+        ++L.pending_polls_skipped;
+      }
+
+      const std::size_t i = base + k;
+      const Feedback fb = L.ledger.feedback(s_begin, t);
+      const SlotAction act = action[i];
+      if (act == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
+        StationContext& ctx = L.stations[si];
+        const Packet p = ctx.pop_front();
+        q_empty[i] = ctx.queue_empty() ? 1 : 0;
+        L.last_successful = id;
+        L.metrics.on_delivery(id, p.cost, p.injected_at, t - s_begin, t);
+        if (cfg.record_deliveries)
+          L.deliveries.push_back({p.seq, id, p.injected_at, p.cost,
+                                  t - s_begin, t});
+        ++L.pending_deliveries;
+      }
+      ++L.pending_slots;
+      L.metrics.on_slot_end(id, act);
+      if (cfg.record_trace)
+        L.trace.record({id, ended_index, s_begin, t, act, fb});
+
+      // (The lane-ized automaton ignores SlotResult::delivered.)
+      const SlotAction next = ca_next_action(i, id, fb, q_empty[i] != 0);
+      lane_commit_action(L, i, id, next, t, new_end);
+    }
+
+    // Shared schedule half of begin_slot, once for all lanes.
+    ++slot_index[si];
+    slot_begin[si] = t;
+    slot_end[si] = new_end;
+    if (!uniform) events.update(id, new_end);
+    ++pending_batches;
+
+    // Prune cadence — shared counter: every active lane has processed
+    // exactly the events the counter counts, so it equals each lane's
+    // scalar steps_since_prune_.
+    if (++steps_since_prune >= cfg.prune_interval) {
+      steps_since_prune = 0;
+      Tick horizon = kTickInfinity;
+      for (std::uint32_t s = 0; s < cfg.n; ++s)
+        horizon = std::min(horizon, slot_begin[s]);
+      CohortTelemetry::get().engine_prunes.add(active.size());
+      for (const std::uint32_t k : active) {
+        lane_ptr[k]->ledger.prune_before(horizon);
+        flush_lane(*lane_ptr[k]);
+      }
+      flush_cohort_telemetry();
+    }
+  }
+
+  // ---- snapshot / detachment ----
+
+  /// Engine::save_state's exact byte layout, written from lane state.
+  /// KEEP IN SYNC with sim/engine.cpp (the note there points back here).
+  void save_lane_state(std::size_t k, snapshot::Writer& w) const {
+    const Lane& L = *lanes[k];
+    if (L.engine) {
+      L.engine->save_state(w);
+      return;
+    }
+    const Frozen* fz = L.frozen.get();
+    const std::vector<SlotIndex>& sidx = fz ? fz->slot_index : slot_index;
+    const std::vector<Tick>& sbeg = fz ? fz->slot_begin : slot_begin;
+    const std::vector<Tick>& send = fz ? fz->slot_end : slot_end;
+    const Tick lane_now = fz ? fz->now : now;
+    const std::uint64_t lane_steps =
+        fz ? fz->steps_since_prune : steps_since_prune;
+
+    w.u32(cfg.n);
+    w.u32(cfg.bound_r);
+    w.boolean(cfg.keep_channel_history);
+    w.boolean(cfg.record_trace);
+    w.boolean(cfg.record_deliveries);
+    w.boolean(cfg.allow_control);
+
+    for (std::uint32_t s = 0; s < cfg.n; ++s) {
+      const StationContext& ctx = L.stations[s];
+      w.u64(ctx.queue_.size());
+      for (const Packet& p : ctx.queue_) {
+        w.u64(p.seq);
+        w.u32(p.station);
+        w.i64(p.injected_at);
+        w.i64(p.cost);
+      }
+      w.i64(ctx.queue_cost_);
+      snapshot::save_rng(w, ctx.rng_);
+      w.u64(sidx[s]);
+      w.i64(sbeg[s]);
+      w.i64(send[s]);
+      const std::size_t i = static_cast<std::size_t>(s) * K + k;
+      w.u8(static_cast<std::uint8_t>(action[i]));
+      // CaArrowProtocol::save_state's field order (core/ca_arrow.cpp).
+      w.u8(ca_state[i]);
+      w.u32(ca_turn[i]);
+      w.u64(ca_countdown[i]);
+      w.boolean(ca_heard[i] != 0);
+      w.u64(ca_turns_taken[i]);
+    }
+
+    // Slot policy: eligibility requires a policy whose save_state writes
+    // nothing (probed at construction), so this spot is exactly empty.
+    w.boolean(L.injection != nullptr);
+    if (L.injection) L.injection->save_state(w);
+
+    L.ledger.save_state(w);
+    L.metrics.save_state(w);
+
+    const auto& slots = L.trace.slots();
+    w.u64(slots.size());
+    for (const trace::SlotRecord& rec : slots) {
+      w.u32(rec.station);
+      w.u64(rec.index);
+      w.i64(rec.begin);
+      w.i64(rec.end);
+      w.u8(static_cast<std::uint8_t>(rec.action));
+      w.u8(static_cast<std::uint8_t>(rec.feedback));
+    }
+
+    w.u64(L.deliveries.size());
+    for (const DeliveryRecord& d : L.deliveries) {
+      w.u64(d.seq);
+      w.u32(d.station);
+      w.i64(d.injected_at);
+      w.i64(d.declared_cost);
+      w.i64(d.realized_cost);
+      w.i64(d.delivered_at);
+    }
+
+    w.i64(lane_now);
+    w.i64(L.next_injection_poll);
+    w.i64(L.last_injection_time);
+    w.u64(L.next_seq);
+    w.u32(L.last_successful);
+    w.u64(lane_steps);
+    w.u64(0);  // steps_since_checkpoint_ (checkpointing is ineligible)
+    w.u64(L.pending_slots);
+    w.u64(L.pending_deliveries);
+    w.u64(L.pending_injections);
+    w.u64(L.pending_polls_skipped);
+  }
+
+  /// Detach lane k: rebuild fresh materials via the lane's builder and
+  /// overwrite the fresh Engine with the lane snapshot — byte-identical
+  /// continuation by construction.
+  void materialize(std::size_t k) {
+    Lane& L = *lanes[k];
+    AM_CHECK(!L.engine);
+    snapshot::Writer w;
+    save_lane_state(k, w);
+    LaneMaterials m = L.builder();
+    auto e = std::make_unique<Engine>(std::move(m.cfg), std::move(m.protocols),
+                                      std::move(m.slot_policy),
+                                      std::move(m.injection));
+    snapshot::Reader r(w.buffer());
+    e->load_state(r);
+    L.engine = std::move(e);
+    L.frozen.reset();
+    L.retired = false;
+    const auto it =
+        std::find(active.begin(), active.end(), static_cast<std::uint32_t>(k));
+    if (it != active.end()) active.erase(it);
+    ++pending_detaches;
+  }
+
+  void run(const std::vector<StopCondition>& stops) {
+    // Lanes outside the lockstep loop first: detached/fallback engines
+    // advance directly; previously retired lanes must detach to advance
+    // (the shared schedule moved on without them).
+    for (std::uint32_t k = 0; k < K; ++k) {
+      Lane& L = *lanes[k];
+      const bool in_lockstep =
+          std::find(active.begin(), active.end(), k) != active.end();
+      if (in_lockstep && stops[k].predicate) materialize(k);
+      if (L.engine) {
+        L.engine->run(stops[k]);
+      } else if (L.frozen) {
+        materialize(k);
+        L.engine->run(stops[k]);
+      }
+    }
+
+    // The lockstep loop, with an O(1) stop gate. Every active lane
+    // processes every event, so each lane's total_slots advances by
+    // exactly one per event — a lane's slot-count stop therefore triggers
+    // at a fixed future event number, and its time stop at a fixed time.
+    // Folding those into two cohort-wide minima turns the per-event stop
+    // evaluation (the scalar run() loop's pre-step checks, per lane) into
+    // two comparisons; the per-lane scan runs only when a minimum fires,
+    // which always retires at least one lane, so the loop cannot spin.
+    std::vector<std::uint32_t> retiring;
+    std::uint64_t events_done = 0;
+    Tick min_max_time = kTickInfinity;
+    std::uint64_t min_slot_trigger = UINT64_MAX;
+    const auto recompute_gate = [&] {
+      min_max_time = kTickInfinity;
+      min_slot_trigger = UINT64_MAX;
+      for (const std::uint32_t k : active) {
+        min_max_time = std::min(min_max_time, stops[k].max_time);
+        const std::uint64_t total = lanes[k]->metrics.stats().total_slots;
+        const std::uint64_t max = stops[k].max_total_slots;
+        // Event number (counted from this run() call) at which lane k's
+        // slot condition total + e >= max first holds, saturating.
+        const std::uint64_t remaining = max <= total ? 0 : max - total;
+        const std::uint64_t trigger =
+            remaining >= UINT64_MAX - events_done ? UINT64_MAX
+                                                  : events_done + remaining;
+        min_slot_trigger = std::min(min_slot_trigger, trigger);
+      }
+    };
+    recompute_gate();
+    while (!active.empty()) {
+      const Tick t = peek_time();
+      if (t > min_max_time || events_done >= min_slot_trigger) {
+        retiring.clear();
+        for (const std::uint32_t k : active) {
+          if (t > stops[k].max_time ||
+              lanes[k]->metrics.stats().total_slots >=
+                  stops[k].max_total_slots)
+            retiring.push_back(k);
+        }
+        for (const std::uint32_t k : retiring) retire(k);
+        if (active.empty()) break;
+        recompute_gate();
+      }
+      process_event();
+      ++events_done;
+    }
+    flush_cohort_telemetry();
+  }
+};
+
+CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
+    : impl_(std::make_unique<Impl>()) {
+  AM_REQUIRE(!builders.empty(), "cohort needs at least one lane");
+  Impl& im = *impl_;
+  im.K = static_cast<std::uint32_t>(builders.size());
+
+  std::vector<LaneMaterials> mats;
+  mats.reserve(builders.size());
+  for (auto& b : builders) {
+    AM_REQUIRE(b != nullptr, "lane builder must be callable");
+    mats.push_back(b());
+  }
+
+  // ---- fast-path eligibility, decided for the whole cohort ----
+  // Shared facets must agree across lanes (seeds and injectors are free);
+  // the protocol must be the lane-ized automaton; every station's slot
+  // length must be fixed and identical across lanes (that is what makes
+  // the event schedule shareable); no checkpointing, and the slot policy
+  // must be snapshot-stateless (its save_state writes nothing) so lane
+  // snapshots can splice an empty policy section.
+  const EngineConfig& c0 = mats[0].cfg;
+  bool eligible = c0.n >= 1 && c0.bound_r >= 1 && c0.prune_interval >= 1;
+  const Tick max_ticks = static_cast<Tick>(c0.bound_r) * kTicksPerUnit;
+  std::vector<Tick> lengths;
+  for (const LaneMaterials& m : mats) {
+    const EngineConfig& c = m.cfg;
+    eligible = eligible && c.n == c0.n && c.bound_r == c0.bound_r &&
+               c.keep_channel_history == c0.keep_channel_history &&
+               c.record_trace == c0.record_trace &&
+               c.record_deliveries == c0.record_deliveries &&
+               c.allow_control == c0.allow_control &&
+               c.prune_interval == c0.prune_interval &&
+               c.checkpoint_interval == 0 && !c.checkpoint_sink &&
+               m.slot_policy != nullptr && m.protocols.size() == c.n;
+    if (!eligible) break;
+    for (const auto& p : m.protocols)
+      eligible = eligible && p != nullptr && p->name() == kLaneizedProtocol;
+    if (!eligible) break;
+    std::vector<Tick> lane_lengths(c.n);
+    for (std::uint32_t s = 1; s <= c.n; ++s) {
+      const Tick len = m.slot_policy->fixed_length(s);
+      eligible = eligible && len >= kTicksPerUnit && len <= max_ticks;
+      lane_lengths[s - 1] = len;
+    }
+    snapshot::Writer probe;
+    m.slot_policy->save_state(probe);
+    eligible = eligible && probe.buffer().empty();
+    if (lengths.empty())
+      lengths = std::move(lane_lengths);
+    else
+      eligible = eligible && lane_lengths == lengths;
+    if (!eligible) break;
+  }
+
+  if (!eligible) {
+    // Scalar fallback: one real Engine per lane from birth. Construction
+    // order inside each Engine is exactly the scalar order, so results
+    // are trivially identical to independent scalar runs.
+    for (std::uint32_t k = 0; k < im.K; ++k) {
+      auto lane = std::make_unique<Impl::Lane>(false, 1);
+      lane->builder = std::move(builders[k]);
+      lane->engine = std::make_unique<Engine>(
+          std::move(mats[k].cfg), std::move(mats[k].protocols),
+          std::move(mats[k].slot_policy), std::move(mats[k].injection));
+      im.lanes.push_back(std::move(lane));
+      im.lane_ptr.push_back(im.lanes.back().get());
+    }
+    return;
+  }
+
+  // ---- lockstep construction, mirroring the Engine constructor ----
+  im.lockstep = true;
+  im.cfg = c0;
+  im.cfg.checkpoint_sink = nullptr;
+  im.max_slot_ticks = max_ticks;
+  im.lengths = std::move(lengths);
+  const std::uint32_t n = im.cfg.n;
+  im.events = SlotEventHeap(n);
+  im.slot_index.assign(n, 0);
+  im.slot_begin.assign(n, 0);
+  im.slot_end.assign(n, 0);
+  const std::size_t cells = static_cast<std::size_t>(n) * im.K;
+  im.ca_state.assign(cells, kCaInit);
+  im.ca_turn.assign(cells, 1);
+  im.ca_countdown.assign(cells, 0);
+  im.ca_heard.assign(cells, 0);
+  im.ca_turns_taken.assign(cells, 0);
+  im.action.assign(cells, SlotAction::kListen);
+  im.q_empty.assign(cells, 1);  // queues start empty; poll_lane marks pushes
+  im.uniform = std::all_of(im.lengths.begin(), im.lengths.end(),
+                           [&](Tick l) { return l == im.lengths[0]; });
+
+  for (std::uint32_t k = 0; k < im.K; ++k) {
+    auto lane =
+        std::make_unique<Impl::Lane>(im.cfg.keep_channel_history, n);
+    lane->builder = std::move(builders[k]);
+    lane->injection = std::move(mats[k].injection);
+    if (im.cfg.record_deliveries)
+      lane->deliveries.reserve(mats[k].cfg.delivery_reserve_hint);
+    util::Rng seeder(mats[k].cfg.seed);
+    lane->stations.reserve(n);
+    for (std::uint32_t s = 0; s < n; ++s)
+      lane->stations.emplace_back(static_cast<StationId>(s + 1), n,
+                                  im.cfg.bound_r, seeder.next());
+    im.lanes.push_back(std::move(lane));
+    im.lane_ptr.push_back(im.lanes.back().get());
+    // Packets injected at time 0 are visible to the very first decision.
+    im.poll_lane(k, 0);
+    Impl::Lane& L = *im.lanes.back();
+    L.next_injection_poll =
+        L.injection ? L.injection->next_arrival_hint(0) : kTickInfinity;
+    im.active.push_back(k);
+  }
+
+  // All stations commit their first slot at time 0 (station order, lane
+  // inner — each lane sees exactly the scalar constructor's sequence).
+  for (std::uint32_t s = 1; s <= n; ++s) {
+    const Tick end = im.lengths[s - 1];
+    for (std::uint32_t k = 0; k < im.K; ++k) {
+      const std::size_t i = im.idx(s, k);
+      const SlotAction first = im.ca_first_action(i, s);
+      im.lane_commit_action(*im.lane_ptr[k], i, s, first, /*begin=*/0, end);
+    }
+    im.slot_index[s - 1] = 1;
+    im.slot_begin[s - 1] = 0;
+    im.slot_end[s - 1] = end;
+    im.events.update(s, end);
+  }
+}
+
+CohortEngine::~CohortEngine() {
+  if (!impl_) return;
+  for (auto& lane : impl_->lanes)
+    if (!lane->engine) impl_->flush_lane(*lane);
+  impl_->flush_cohort_telemetry();
+}
+
+std::size_t CohortEngine::lanes() const noexcept { return impl_->lanes.size(); }
+
+bool CohortEngine::lockstep() const noexcept { return impl_->lockstep; }
+
+bool CohortEngine::retired(std::size_t lane) const {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  return impl_->lanes[lane]->retired;
+}
+
+void CohortEngine::run(const StopCondition& stop) {
+  run(std::vector<StopCondition>(lanes(), stop));
+}
+
+void CohortEngine::run(const std::vector<StopCondition>& stops) {
+  AM_REQUIRE(stops.size() == lanes(), "one stop condition per lane");
+  impl_->run(stops);
+}
+
+const metrics::RunStats& CohortEngine::stats(std::size_t lane) const {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  const Impl::Lane& L = *impl_->lanes[lane];
+  return L.engine ? L.engine->stats() : L.metrics.stats();
+}
+
+const channel::LedgerStats& CohortEngine::channel_stats(
+    std::size_t lane) const {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  const Impl::Lane& L = *impl_->lanes[lane];
+  return L.engine ? L.engine->channel_stats() : L.ledger.stats();
+}
+
+void CohortEngine::save_lane_state(std::size_t lane,
+                                   snapshot::Writer& w) const {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  impl_->save_lane_state(lane, w);
+}
+
+Engine& CohortEngine::engine(std::size_t lane) {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  Impl::Lane& L = *impl_->lanes[lane];
+  if (!L.engine) impl_->materialize(lane);
+  return *L.engine;
+}
+
+}  // namespace asyncmac::sim

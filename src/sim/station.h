@@ -21,6 +21,7 @@ class MirrorRun;  // Theorem-2 lower-bound driver (virtual executions)
 namespace asyncmac::sim {
 
 class Engine;
+class CohortEngine;
 
 class StationContext {
  public:
@@ -41,7 +42,8 @@ class StationContext {
   util::Rng& rng() noexcept { return rng_; }
 
  private:
-  friend class Engine;  // queue is mutated only by the engine
+  friend class Engine;        // queue is mutated only by the engines
+  friend class CohortEngine;  // (lockstep lanes mirror Engine exactly)
   friend class asyncmac::adversary::MirrorRun;  // and by virtual runs
 
   void push(const Packet& p);

@@ -102,6 +102,49 @@ void clamp_to_stations(Scenario& s) {
 
 namespace {
 
+/// Differential oracle for the batched cohort engine: replay the scenario
+/// as a lane of a sim::CohortEngine (whatever path the cohort picks —
+/// lockstep for lane-ized protocol/policy combinations, scalar fallback
+/// otherwise) and demand the full state snapshot equal the scalar
+/// engine's, byte for byte. Lane 1 rides along with a different seed (the
+/// Monte Carlo shape cohorts exist for); lane 2 replays the scenario with
+/// a mid-horizon stop and resumes, covering retirement + materialization
+/// under every generated adversary.
+trace::CheckResult check_cohort_equivalence(const Scenario& s,
+                                            const sim::Engine& scalar) {
+  snapshot::Writer scalar_bytes;
+  scalar.save_state(scalar_bytes);
+
+  std::vector<sim::LaneBuilder> builders;
+  builders.push_back([s] { return scenario_materials(s); });
+  builders.push_back(
+      [s, seed = s.seed + 1] { return scenario_materials(s, seed); });
+  builders.push_back([s] { return scenario_materials(s); });
+  sim::CohortEngine cohort(std::move(builders));
+
+  const Tick horizon = s.horizon_units * kTicksPerUnit;
+  std::vector<sim::StopCondition> stops(3, sim::until(horizon));
+  stops[2] = sim::until(horizon / 2);
+  cohort.run(stops);
+  cohort.run(sim::until(horizon));  // resume lane 2 to the full horizon
+
+  for (const std::size_t lane : {std::size_t{0}, std::size_t{2}}) {
+    snapshot::Writer lane_bytes;
+    cohort.save_lane_state(lane, lane_bytes);
+    if (lane_bytes.buffer() != scalar_bytes.buffer()) {
+      std::ostringstream os;
+      os << "cohort lane " << lane << " ("
+         << (cohort.lockstep() ? "lockstep" : "scalar-fallback")
+         << (lane == 2 ? ", retired mid-run and resumed" : "")
+         << ") diverged from the scalar engine: state snapshots differ ("
+         << lane_bytes.buffer().size() << " vs "
+         << scalar_bytes.buffer().size() << " bytes)";
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
 trace::CheckResult run_case_impl(const Scenario& s, const CaseCheck& extra) {
   try {
     auto engine = run_scenario(s);
@@ -119,6 +162,8 @@ trace::CheckResult run_case_impl(const Scenario& s, const CaseCheck& extra) {
       if (auto r = trace::check_no_overlaps(txs); !r) return r;
       if (auto r = trace::check_cyclic_turn_order(txs, s.n); !r) return r;
     }
+
+    if (auto r = check_cohort_equivalence(s, *engine); !r) return r;
 
     if (extra) {
       if (auto r = extra(s, *engine); !r) return r;

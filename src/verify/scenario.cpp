@@ -51,23 +51,32 @@ std::string Scenario::describe() const {
   return os.str();
 }
 
-std::unique_ptr<sim::Engine> build_engine(const Scenario& s) {
+sim::LaneMaterials scenario_materials(const Scenario& s,
+                                      std::uint64_t seed_override) {
   AM_REQUIRE(s.n >= 1, "scenario needs at least one station");
   AM_REQUIRE(s.bound_r >= 1, "scenario needs R >= 1");
   AM_REQUIRE(s.horizon_units > 0, "scenario horizon must be positive");
-  sim::EngineConfig cfg;
-  cfg.n = s.n;
-  cfg.bound_r = s.bound_r;
-  cfg.seed = s.seed;
-  cfg.record_trace = true;
+  sim::LaneMaterials m;
+  m.cfg.n = s.n;
+  m.cfg.bound_r = s.bound_r;
+  m.cfg.seed = seed_override != 0 ? seed_override : s.seed;
+  m.cfg.record_trace = true;
   // Keep the full transmission history: the differential oracle
   // cross-checks the engine's own pruned-and-archived ledger against a
   // naive reference (this is what exercises prune-with-history).
-  cfg.keep_channel_history = true;
-  return std::make_unique<sim::Engine>(
-      cfg, analysis::make_protocols(s.protocol, s.n),
-      adversary::make_slot_policy(s.slot_policy, s.n, s.bound_r, s.seed),
-      adversary::make_injector(s.injector));
+  m.cfg.keep_channel_history = true;
+  m.protocols = analysis::make_protocols(s.protocol, s.n);
+  m.slot_policy =
+      adversary::make_slot_policy(s.slot_policy, s.n, s.bound_r, s.seed);
+  m.injection = adversary::make_injector(s.injector);
+  return m;
+}
+
+std::unique_ptr<sim::Engine> build_engine(const Scenario& s) {
+  sim::LaneMaterials m = scenario_materials(s);
+  return std::make_unique<sim::Engine>(std::move(m.cfg), std::move(m.protocols),
+                                       std::move(m.slot_policy),
+                                       std::move(m.injection));
 }
 
 std::unique_ptr<sim::Engine> run_scenario(const Scenario& s) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "adversary/injectors.h"
+#include "sim/cohort_engine.h"
 #include "sim/engine.h"
 #include "util/types.h"
 
@@ -42,9 +43,19 @@ struct Scenario {
   std::string describe() const;
 };
 
-/// Build the engine a scenario describes, with trace recording and full
-/// channel history enabled (verification needs both). Throws
-/// std::invalid_argument on unknown protocol/policy/injector names.
+/// The scenario's engine construction materials (configuration, protocol
+/// instances, slot policy, injector) with trace recording and full channel
+/// history enabled — verification needs both. The single source of truth
+/// for how a Scenario maps onto an engine: build_engine consumes one
+/// build, and the campaign's cohort-equivalence oracle uses it as a
+/// sim::LaneBuilder. Throws std::invalid_argument on unknown
+/// protocol/policy/injector names. `seed_override` (0 = none) replaces
+/// s.seed in the engine configuration only — the slot policy still draws
+/// from s.seed, keeping cohort lanes schedule-compatible.
+sim::LaneMaterials scenario_materials(const Scenario& s,
+                                      std::uint64_t seed_override = 0);
+
+/// Build the engine a scenario describes (see scenario_materials).
 std::unique_ptr<sim::Engine> build_engine(const Scenario& s);
 
 /// Run the scenario to its horizon and return the engine.

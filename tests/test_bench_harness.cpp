@@ -1,0 +1,76 @@
+// Unit tests for the pure pieces of bench/harness.h — baseline
+// reconciliation must keep exactly the name overlap and report
+// adds/removes deterministically, so speedup columns stay meaningful
+// when the bench suite gains or drops configs between trajectories.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace asyncmac::bench {
+namespace {
+
+TEST(ReconcileBaseline, ExactMatchKeepsEverything) {
+  std::map<std::string, double> raw = {{"a", 1.0}, {"b", 2.0}};
+  const BaselineReconciliation rec = reconcile_baseline(raw, {"a", "b"});
+  EXPECT_EQ(rec.usable, raw);
+  EXPECT_TRUE(rec.missing.empty());
+  EXPECT_TRUE(rec.stray.empty());
+}
+
+TEST(ReconcileBaseline, KeepsOverlapReportsAddedAndRemoved) {
+  const std::map<std::string, double> raw = {
+      {"kept1", 10.0}, {"dropped_old", 5.0}, {"kept2", 20.0}};
+  const BaselineReconciliation rec =
+      reconcile_baseline(raw, {"kept1", "new_config", "kept2", "newer"});
+  const std::map<std::string, double> want_usable = {{"kept1", 10.0},
+                                                     {"kept2", 20.0}};
+  EXPECT_EQ(rec.usable, want_usable);
+  // Missing configs in expected order; strays in baseline order.
+  EXPECT_EQ(rec.missing, (std::vector<std::string>{"new_config", "newer"}));
+  EXPECT_EQ(rec.stray, (std::vector<std::string>{"dropped_old"}));
+}
+
+TEST(ReconcileBaseline, DisjointSetsYieldNoUsableEntries) {
+  const BaselineReconciliation rec =
+      reconcile_baseline({{"old_a", 1.0}, {"old_b", 2.0}}, {"x", "y"});
+  EXPECT_TRUE(rec.usable.empty());
+  EXPECT_EQ(rec.missing, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(rec.stray, (std::vector<std::string>{"old_a", "old_b"}));
+}
+
+TEST(ReconcileBaseline, EmptyInputs) {
+  const BaselineReconciliation none = reconcile_baseline({}, {"a"});
+  EXPECT_TRUE(none.usable.empty());
+  EXPECT_EQ(none.missing, (std::vector<std::string>{"a"}));
+
+  const BaselineReconciliation no_expected =
+      reconcile_baseline({{"a", 1.0}}, {});
+  EXPECT_TRUE(no_expected.usable.empty());
+  EXPECT_EQ(no_expected.stray, (std::vector<std::string>{"a"}));
+}
+
+TEST(MergeBaseline, EndToEndOverTrajectoryFile) {
+  const std::string path =
+      ::testing::TempDir() + "/harness_baseline_test.json";
+  {
+    std::ofstream out(path);
+    out << "{\n  \"results\": [\n"
+        << "    {\"name\": \"cfg_a\", \"slots_per_sec\": 123.5},\n"
+        << "    {\"name\": \"cfg_gone\", \"slots_per_sec\": 9.0}\n"
+        << "  ]\n}\n";
+  }
+  const std::map<std::string, double> merged =
+      merge_baseline(path, "slots_per_sec", {"cfg_a", "cfg_new"});
+  const std::map<std::string, double> want = {{"cfg_a", 123.5}};
+  EXPECT_EQ(merged, want);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asyncmac::bench

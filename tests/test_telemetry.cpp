@@ -14,6 +14,7 @@
 #include "adversary/slot_policies.h"
 #include "analysis/registry.h"
 #include "metrics/json.h"
+#include "sim/cohort_engine.h"
 #include "sim/engine.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/registry.h"
@@ -348,6 +349,50 @@ TEST(TelemetryDeterminism, FuzzVerdictsAreByteIdentical) {
   }
   EXPECT_EQ(off, on_summary);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- cohort
+
+/// One lockstep-eligible lane (ca-arrow + fixed-length slots) for the
+/// cohort counter test.
+sim::LaneBuilder cohort_lane(std::uint64_t seed) {
+  return [seed] {
+    sim::LaneMaterials m;
+    m.cfg.n = 4;
+    m.cfg.bound_r = 1;
+    m.cfg.seed = seed;
+    m.protocols = analysis::make_protocols("ca-arrow", m.cfg.n);
+    m.slot_policy = adversary::make_slot_policy("sync", m.cfg.n, 1, 1);
+    return m;
+  };
+}
+
+TEST(TelemetryCohort, CountsBatchesRetirementsAndDetaches) {
+  ScopedTelemetry on;
+  const auto& batches = telemetry::Registry::global().counter("cohort.batches");
+  const auto& detaches =
+      telemetry::Registry::global().counter("cohort.detaches");
+  const auto& retired =
+      telemetry::Registry::global().counter("cohort.lanes_retired");
+
+  const std::size_t kLanes = 3;
+  {
+    std::vector<sim::LaneBuilder> builders;
+    for (std::size_t k = 0; k < kLanes; ++k)
+      builders.push_back(cohort_lane(11 + 37 * k));
+    sim::CohortEngine cohort(std::move(builders));
+    ASSERT_TRUE(cohort.lockstep());
+
+    // First run: all lanes advance in lockstep to the horizon and retire.
+    cohort.run(sim::until(500 * kTicksPerUnit));
+    // Second run with a later horizon: each retired lane must detach to a
+    // scalar engine to advance past the frozen shared schedule.
+    cohort.run(sim::until(1000 * kTicksPerUnit));
+  }  // destructor flushes the batched deltas
+
+  EXPECT_GT(batches.value(), 0u);           // shared events were processed
+  EXPECT_EQ(retired.value(), kLanes);       // every lane hit the first stop
+  EXPECT_EQ(detaches.value(), kLanes);      // every lane detached on rerun
 }
 
 }  // namespace

@@ -73,6 +73,7 @@ struct Options {
   bool grid = false;
   int seeds = 1;
   unsigned jobs = 0;
+  unsigned cohort = 0;
   std::string csv_path;
   // Raw comma-list forms of the sweepable dimensions (grid mode).
   std::string n_list = "4";
@@ -150,6 +151,10 @@ std::vector<std::string> split_list(const std::string& s) {
       "  --seeds=K      seed replications per cell (default 1)\n"
       "  --jobs=J       worker threads, 0 = all cores (default 0);\n"
       "                 records are byte-identical for every J\n"
+      "  --cohort=K     batch up to K seed replicas per cell through the\n"
+      "                 lockstep cohort engine; 0 = auto, 1 = scalar\n"
+      "                 (default 0); records are byte-identical for\n"
+      "                 every K\n"
       "  --csv=PATH     also write the records as CSV\n"
       "\n"
       "resume flags (after: asyncmac_cli resume path/to/ckpt.snap or the\n"
@@ -230,6 +235,8 @@ Options parse_args(int argc, char** argv) {
       opt.seeds = static_cast<int>(std::stol(value("--seeds=")));
     else if (arg.rfind("--jobs=", 0) == 0)
       opt.jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
+    else if (arg.rfind("--cohort=", 0) == 0)
+      opt.cohort = static_cast<unsigned>(std::stoul(value("--cohort=")));
     else if (arg.rfind("--csv=", 0) == 0)
       opt.csv_path = value("--csv=");
     else if (arg.rfind("--telemetry=", 0) == 0)
@@ -293,6 +300,7 @@ int run_experiment_grid(const Options& opt) {
   spec.seed = opt.seed;
   spec.seeds = opt.seeds;
   spec.jobs = opt.jobs;
+  spec.cohort = opt.cohort;
   spec.checkpoint_dir = opt.checkpoint_dir;
 
   std::vector<analysis::ExperimentRecord> records;
