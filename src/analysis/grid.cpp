@@ -1,0 +1,256 @@
+#include "analysis/grid.h"
+
+#include <filesystem>
+#include <memory>
+
+#include "adversary/injectors.h"
+#include "adversary/slot_policies.h"
+#include "analysis/registry.h"
+#include "sim/cohort_engine.h"
+#include "sim/engine.h"
+#include "snapshot/format.h"
+#include "util/check.h"
+
+namespace asyncmac::analysis {
+
+namespace {
+
+/// The per-seed-invariant parameters of one grid cell, with the registry
+/// lookup and rho reduction hoisted: one seed-replicated cell resolves
+/// its protocol maker and Ratio once and reuses them for every lane.
+struct CellSetup {
+  ProtocolMaker maker;
+  std::string protocol;
+  std::uint32_t n;
+  std::uint32_t bound_r;
+  int rho_pct;
+  util::Ratio rho;
+  std::string policy;
+  Tick burst_units;
+
+  CellSetup(const std::string& protocol_name, std::uint32_t n_,
+            std::uint32_t r_, int rho_pct_, const std::string& policy_,
+            Tick burst)
+      : maker(protocol_maker(protocol_name)),
+        protocol(protocol_name),
+        n(n_),
+        bound_r(r_),
+        rho_pct(rho_pct_),
+        rho(rho_pct_, 100),
+        policy(policy_),
+        burst_units(burst) {}
+
+  /// Engine materials for one seed of this cell.
+  sim::LaneMaterials materials(std::uint64_t seed) const {
+    sim::LaneMaterials m;
+    m.cfg.n = n;
+    m.cfg.bound_r = bound_r;
+    m.cfg.seed = seed;
+    m.protocols.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.protocols.push_back(maker());
+    m.slot_policy = adversary::make_slot_policy(policy, n, bound_r, seed);
+    m.injection = std::make_unique<adversary::SaturatingInjector>(
+        rho, burst_units * kTicksPerUnit,
+        adversary::TargetPattern::kRoundRobin, 1, seed + 1);
+    return m;
+  }
+};
+
+ExperimentRecord extract_record(const CellSetup& setup, std::uint64_t seed,
+                                const metrics::RunStats& s,
+                                const channel::LedgerStats& ch) {
+  ExperimentRecord rec;
+  rec.protocol = setup.protocol;
+  rec.n = setup.n;
+  rec.bound_r = setup.bound_r;
+  rec.rho_pct = setup.rho_pct;
+  rec.slot_policy = setup.policy;
+  rec.seed = seed;
+  rec.injected = s.injected_packets;
+  rec.delivered = s.delivered_packets;
+  rec.queued = s.queued_packets;
+  rec.max_queue_cost_units = to_units(s.max_queued_cost);
+  rec.final_queue_cost_units = to_units(s.queued_cost);
+  rec.collisions = ch.collided;
+  rec.control_msgs = ch.control_transmissions;
+  rec.delivered_fraction =
+      s.injected_packets ? static_cast<double>(s.delivered_packets) /
+                               static_cast<double>(s.injected_packets)
+                         : 1.0;
+  rec.p99_latency_units =
+      s.latency.empty() ? 0.0 : to_units(s.latency.quantile(0.99));
+  return rec;
+}
+
+}  // namespace
+
+GridPlan plan_grid(const ExperimentSpec& spec) {
+  AM_REQUIRE(!spec.protocols.empty() && !spec.station_counts.empty() &&
+                 !spec.bounds_r.empty() && !spec.rho_percents.empty() &&
+                 !spec.slot_policies.empty(),
+             "every sweep dimension needs at least one value");
+  AM_REQUIRE(spec.seeds >= 1, "need at least one seed");
+  AM_REQUIRE(spec.horizon_units > 0, "horizon must be positive");
+
+  GridPlan plan;
+  for (const auto& protocol : spec.protocols)
+    for (std::uint32_t n : spec.station_counts)
+      for (std::uint32_t r : spec.bounds_r)
+        for (int rho : spec.rho_percents)
+          for (const auto& policy : spec.slot_policies)
+            for (int s = 0; s < spec.seeds; ++s)
+              plan.cells.push_back(
+                  {protocol, n, r, rho, policy,
+                   spec.seed + static_cast<std::uint64_t>(s) * 1000003});
+
+  // Work units: seed replicas of one base cell are contiguous (seed is
+  // the innermost dimension), so chunks of up to `cohort_width` of them
+  // form the cohorts. A unit is [first, first + count) in cell order.
+  const unsigned cohort_width =
+      spec.cohort != 0
+          ? spec.cohort
+          : std::min(8u, static_cast<unsigned>(spec.seeds));
+  const std::size_t seeds = static_cast<std::size_t>(spec.seeds);
+  for (std::size_t base = 0; base < plan.cells.size(); base += seeds)
+    for (std::size_t s = 0; s < seeds; s += cohort_width)
+      plan.units.push_back(
+          {base + s, std::min<std::size_t>(cohort_width, seeds - s)});
+  return plan;
+}
+
+std::uint32_t grid_fingerprint(const ExperimentSpec& spec) {
+  snapshot::Writer w;
+  for (const auto& p : spec.protocols) w.str(p);
+  for (std::uint32_t n : spec.station_counts) w.u32(n);
+  for (std::uint32_t r : spec.bounds_r) w.u32(r);
+  for (int rho : spec.rho_percents) w.i64(rho);
+  for (const auto& p : spec.slot_policies) w.str(p);
+  w.i64(spec.burst_units);
+  w.i64(spec.horizon_units);
+  w.u64(spec.seed);
+  w.i64(spec.seeds);
+  return snapshot::crc32(w.buffer().data(), w.buffer().size());
+}
+
+void save_record(snapshot::Writer& w, const ExperimentRecord& rec) {
+  w.str(rec.protocol);
+  w.u32(rec.n);
+  w.u32(rec.bound_r);
+  w.i64(rec.rho_pct);
+  w.str(rec.slot_policy);
+  w.u64(rec.seed);
+  w.u64(rec.injected);
+  w.u64(rec.delivered);
+  w.u64(rec.queued);
+  w.f64(rec.max_queue_cost_units);
+  w.f64(rec.final_queue_cost_units);
+  w.u64(rec.collisions);
+  w.u64(rec.control_msgs);
+  w.f64(rec.delivered_fraction);
+  w.f64(rec.p99_latency_units);
+}
+
+ExperimentRecord load_record(snapshot::Reader& r) {
+  ExperimentRecord rec;
+  rec.protocol = r.str();
+  rec.n = r.u32();
+  rec.bound_r = r.u32();
+  rec.rho_pct = static_cast<int>(r.i64());
+  rec.slot_policy = r.str();
+  rec.seed = r.u64();
+  rec.injected = r.u64();
+  rec.delivered = r.u64();
+  rec.queued = r.u64();
+  rec.max_queue_cost_units = r.f64();
+  rec.final_queue_cost_units = r.f64();
+  rec.collisions = r.u64();
+  rec.control_msgs = r.u64();
+  rec.delivered_fraction = r.f64();
+  rec.p99_latency_units = r.f64();
+  return rec;
+}
+
+std::vector<ExperimentRecord> run_grid_cells(
+    const ExperimentSpec& spec, const GridPlan& plan,
+    const std::vector<std::size_t>& todo) {
+  AM_REQUIRE(!todo.empty(), "run_grid_cells needs at least one cell");
+  for (std::size_t i : todo)
+    AM_REQUIRE(i < plan.cells.size(), "cell index out of range");
+
+  const GridCell& c0 = plan.cells[todo.front()];
+  const auto setup = std::make_shared<const CellSetup>(
+      c0.protocol, c0.n, c0.bound_r, c0.rho_pct, c0.slot_policy,
+      spec.burst_units);
+
+  std::vector<ExperimentRecord> out;
+  out.reserve(todo.size());
+  if (todo.size() == 1) {
+    sim::LaneMaterials m = setup->materials(c0.seed);
+    sim::Engine engine(std::move(m.cfg), std::move(m.protocols),
+                       std::move(m.slot_policy), std::move(m.injection));
+    engine.run(sim::until(spec.horizon_units * kTicksPerUnit));
+    out.push_back(extract_record(*setup, c0.seed, engine.stats(),
+                                 engine.channel_stats()));
+  } else {
+    std::vector<sim::LaneBuilder> builders;
+    builders.reserve(todo.size());
+    for (std::size_t i : todo)
+      builders.push_back([setup, seed = plan.cells[i].seed] {
+        return setup->materials(seed);
+      });
+    sim::CohortEngine cohort(std::move(builders));
+    cohort.run(sim::until(spec.horizon_units * kTicksPerUnit));
+    for (std::size_t k = 0; k < todo.size(); ++k)
+      out.push_back(extract_record(*setup, plan.cells[todo[k]].seed,
+                                   cohort.stats(k), cohort.channel_stats(k)));
+  }
+  return out;
+}
+
+std::string grid_manifest_path(const std::string& dir) {
+  return dir + "/grid-manifest.snap";
+}
+
+void write_grid_manifest(const std::string& dir, std::uint32_t fingerprint,
+                         const std::vector<std::uint8_t>& done,
+                         const std::vector<ExperimentRecord>& records) {
+  snapshot::Writer w;
+  w.u32(fingerprint);
+  w.u64(done.size());
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    w.boolean(done[i] != 0);
+    if (done[i]) save_record(w, records[i]);
+  }
+  snapshot::write_file(grid_manifest_path(dir),
+                       snapshot::FileKind::kGridManifest, w.buffer());
+}
+
+std::size_t load_grid_manifest(const std::string& dir,
+                               std::uint32_t fingerprint,
+                               std::vector<std::uint8_t>& done,
+                               std::vector<ExperimentRecord>& records) {
+  if (!std::filesystem::exists(grid_manifest_path(dir))) return 0;
+  const auto payload = snapshot::read_file(
+      grid_manifest_path(dir), snapshot::FileKind::kGridManifest);
+  snapshot::Reader r(payload);
+  if (r.u32() != fingerprint)
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "grid manifest in " + dir + " was written for a different sweep");
+  if (r.u64() != done.size())
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "grid manifest in " + dir + " has a different cell count");
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    done[i] = r.boolean() ? 1 : 0;
+    if (done[i]) {
+      records[i] = load_record(r);
+      ++completed;
+    }
+  }
+  r.expect_end();
+  return completed;
+}
+
+}  // namespace asyncmac::analysis

@@ -65,6 +65,7 @@ void Writer::str(const std::string& s) {
 }
 
 void Writer::bytes(const void* p, std::size_t n) {
+  if (n == 0) return;  // p may be null for an empty span (vector::data())
   const auto* b = static_cast<const std::uint8_t*>(p);
   buf_.insert(buf_.end(), b, b + n);
 }
@@ -124,6 +125,7 @@ std::string Reader::str() {
 }
 
 void Reader::bytes(void* out, std::size_t n) {
+  if (n == 0) return;  // out may be null for an empty span (vector::data())
   need(n);
   std::memcpy(out, p_, n);
   p_ += n;

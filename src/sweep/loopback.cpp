@@ -1,0 +1,161 @@
+#include "sweep/loopback.h"
+
+#include <utility>
+
+namespace asyncmac::sweep {
+
+LoopbackNet::LoopbackNet(Coordinator& coord)
+    : LoopbackNet(coord, Options{}) {}
+
+LoopbackNet::LoopbackNet(Coordinator& coord, Options opt)
+    : coord_(coord), opt_(opt) {}
+
+std::uint64_t LoopbackNet::attach(WorkerSession& worker) {
+  const std::uint64_t conn = next_conn_++;
+  Link& link = links_[conn];
+  link.worker = &worker;
+  apply_actions(coord_.on_connect(conn, now_ms_));
+  apply_worker_frames(conn, worker.start(now_ms_));
+  return conn;
+}
+
+void LoopbackNet::add_fault(std::uint64_t conn, Dir dir,
+                            std::uint64_t msg_index, FaultKind kind,
+                            std::uint64_t arg) {
+  Link& link = links_.at(conn);
+  auto& table =
+      dir == Dir::kToCoordinator ? link.faults_to_coord : link.faults_to_worker;
+  table[msg_index] = Fault{kind, arg};
+}
+
+void LoopbackNet::kill_worker(std::uint64_t conn) { sever_link(conn); }
+
+bool LoopbackNet::worker_alive(std::uint64_t conn) const {
+  auto it = links_.find(conn);
+  return it != links_.end() && it->second.alive;
+}
+
+void LoopbackNet::send(std::uint64_t conn, Dir dir,
+                       std::vector<std::uint8_t> frame) {
+  auto it = links_.find(conn);
+  if (it == links_.end() || !it->second.alive) return;
+  Link& link = it->second;
+  // Frames are numbered at send time, faulted or not, so a script's
+  // indices match the logical message sequence of the conversation.
+  const std::uint64_t index = dir == Dir::kToCoordinator
+                                  ? link.sent_to_coord++
+                                  : link.sent_to_worker++;
+  auto& table =
+      dir == Dir::kToCoordinator ? link.faults_to_coord : link.faults_to_worker;
+  auto& queue = dir == Dir::kToCoordinator ? link.to_coord : link.to_worker;
+
+  std::uint64_t due = steps_;
+  auto fit = table.find(index);
+  if (fit != table.end()) {
+    const Fault f = fit->second;
+    switch (f.kind) {
+      case FaultKind::kDrop:
+        return;
+      case FaultKind::kSever:
+        sever_link(conn);
+        return;
+      case FaultKind::kDelay:
+        due = steps_ + f.arg;
+        break;
+      case FaultKind::kCorrupt:
+        frame[static_cast<std::size_t>(f.arg % frame.size())] ^= 0xFF;
+        break;
+      case FaultKind::kDuplicate: {
+        InFlight dup;
+        dup.bytes = frame;
+        dup.due_step = due;
+        queue.push_back(std::move(dup));
+        break;
+      }
+    }
+  }
+  InFlight msg;
+  msg.bytes = std::move(frame);
+  msg.due_step = due;
+  queue.push_back(std::move(msg));
+}
+
+void LoopbackNet::apply_actions(std::vector<Action> actions) {
+  for (auto& a : actions) {
+    if (a.kind == Action::Kind::kSend)
+      send(a.conn, Dir::kToWorker, std::move(a.frame));
+    else
+      sever_link(a.conn);
+  }
+}
+
+void LoopbackNet::apply_worker_frames(
+    std::uint64_t conn, std::vector<std::vector<std::uint8_t>> frames) {
+  for (auto& f : frames) send(conn, Dir::kToCoordinator, std::move(f));
+}
+
+void LoopbackNet::sever_link(std::uint64_t conn) {
+  auto it = links_.find(conn);
+  if (it == links_.end() || !it->second.alive) return;
+  Link& link = it->second;
+  link.alive = false;
+  link.to_coord.clear();
+  link.to_worker.clear();
+  // Both ends observe the death. The coordinator may return a Close for
+  // this very connection — harmless, the link is already down.
+  if (link.worker != nullptr && !link.worker->finished())
+    link.worker->on_eof();
+  apply_actions(coord_.on_eof(conn, now_ms_));
+}
+
+void LoopbackNet::step() {
+  // Phase 1: deliver due worker->coordinator frames, connection order.
+  for (auto& [conn, link] : links_) {
+    while (link.alive && !link.to_coord.empty() &&
+           link.to_coord.front().due_step <= steps_) {
+      InFlight msg = std::move(link.to_coord.front());
+      link.to_coord.pop_front();
+      apply_actions(
+          coord_.on_bytes(conn, msg.bytes.data(), msg.bytes.size(), now_ms_));
+    }
+  }
+  // Phase 2: deliver due coordinator->worker frames.
+  for (auto& [conn, link] : links_) {
+    while (link.alive && !link.to_worker.empty() &&
+           link.to_worker.front().due_step <= steps_) {
+      InFlight msg = std::move(link.to_worker.front());
+      link.to_worker.pop_front();
+      apply_worker_frames(conn, link.worker->on_bytes(
+                                    msg.bytes.data(), msg.bytes.size(), now_ms_));
+      if (link.alive && link.worker->failed()) sever_link(conn);
+    }
+  }
+  // Phase 3: advance virtual time, tick both sides.
+  ++steps_;
+  now_ms_ += opt_.tick_ms;
+  apply_actions(coord_.on_tick(now_ms_));
+  for (auto& [conn, link] : links_) {
+    if (!link.alive) continue;
+    apply_worker_frames(conn, link.worker->on_tick(now_ms_));
+    if (link.alive && link.worker->failed()) sever_link(conn);
+  }
+}
+
+bool LoopbackNet::run() {
+  while (steps_ < opt_.max_steps) {
+    bool queues_empty = true;
+    bool any_alive = false;
+    for (auto& [conn, link] : links_) {
+      if (link.alive) any_alive = true;
+      if (!link.to_coord.empty() || !link.to_worker.empty())
+        queues_empty = false;
+    }
+    if (coord_.done() && queues_empty) return true;
+    if (!coord_.done() && !any_alive && queues_empty)
+      return false;  // everyone is dead; no progress is possible
+    step();
+  }
+  return coord_.done();
+}
+
+}  // namespace asyncmac::sweep

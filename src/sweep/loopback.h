@@ -1,0 +1,106 @@
+// asyncmac/sweep/loopback.h
+//
+// Deterministic in-process transport for the sweep service: pumps frames
+// between one Coordinator and N WorkerSessions under a virtual clock,
+// with scriptable fault injection. No sockets, no threads, no wall
+// time — a run is a pure function of (job, worker set, fault script), so
+// failure-path tests (tests/test_sweep_service.cpp) replay exactly.
+//
+// Faults target the k-th frame sent on a (connection, direction) link,
+// counted from 0 at attach time:
+//   kDrop       the frame silently vanishes (lost datagram)
+//   kDuplicate  the frame is delivered twice (retransmit race)
+//   kDelay      delivery is postponed by `delay_steps` pump steps
+//   kCorrupt    one byte is flipped in flight (guarded by the frame CRC)
+//   kSever      the link dies: the frame is lost, both ends see the
+//               disconnect (this is how tests "SIGKILL" a worker
+//               mid-chunk — its computed Result never leaves the box)
+//
+// The pump is strictly ordered (connections in id order, FIFO per link,
+// fixed tick per step), which makes every interleaving reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sweep/coordinator.h"
+#include "sweep/worker.h"
+
+namespace asyncmac::sweep {
+
+class LoopbackNet {
+ public:
+  struct Options {
+    std::uint64_t tick_ms = 100;     ///< virtual time per pump step
+    std::uint64_t max_steps = 100000;  ///< run() safety budget
+  };
+
+  enum class Dir { kToCoordinator, kToWorker };
+  enum class FaultKind { kDrop, kDuplicate, kDelay, kCorrupt, kSever };
+
+  explicit LoopbackNet(Coordinator& coord);
+  LoopbackNet(Coordinator& coord, Options opt);
+
+  /// Attach a worker (connect + Hello); returns its connection id, the
+  /// handle fault scripts use.
+  std::uint64_t attach(WorkerSession& worker);
+
+  /// Script a fault against the `msg_index`-th frame (0-based, counted
+  /// per link since attach) sent on (conn, dir). Faults apply at send
+  /// time. `arg` is delay_steps for kDelay and the flipped byte offset
+  /// (modulo frame size) for kCorrupt.
+  void add_fault(std::uint64_t conn, Dir dir, std::uint64_t msg_index,
+                 FaultKind kind, std::uint64_t arg = 0);
+
+  /// Sever a link right now (between steps) — kill a worker outside any
+  /// frame send, e.g. while it idles between heartbeats.
+  void kill_worker(std::uint64_t conn);
+
+  /// Pump until the coordinator is done and all queues drained (true) or
+  /// the step budget runs out (false).
+  bool run();
+  /// One pump step: deliver due frames both ways, then advance the clock
+  /// and tick both sides.
+  void step();
+
+  std::uint64_t now_ms() const noexcept { return now_ms_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+  bool worker_alive(std::uint64_t conn) const;
+
+ private:
+  struct Fault {
+    FaultKind kind = FaultKind::kDrop;
+    std::uint64_t arg = 0;
+  };
+  struct InFlight {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t due_step = 0;
+  };
+  struct Link {
+    WorkerSession* worker = nullptr;
+    bool alive = true;
+    std::deque<InFlight> to_coord;
+    std::deque<InFlight> to_worker;
+    std::uint64_t sent_to_coord = 0;   ///< frames ever sent on the link
+    std::uint64_t sent_to_worker = 0;
+    std::map<std::uint64_t, Fault> faults_to_coord;  ///< by msg index
+    std::map<std::uint64_t, Fault> faults_to_worker;
+  };
+
+  void send(std::uint64_t conn, Dir dir, std::vector<std::uint8_t> frame);
+  void apply_actions(std::vector<Action> actions);
+  void apply_worker_frames(std::uint64_t conn,
+                           std::vector<std::vector<std::uint8_t>> frames);
+  void sever_link(std::uint64_t conn);
+
+  Coordinator& coord_;
+  Options opt_;
+  std::map<std::uint64_t, Link> links_;
+  std::uint64_t next_conn_ = 1;
+  std::uint64_t now_ms_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace asyncmac::sweep

@@ -1,0 +1,346 @@
+#include "sweep/protocol.h"
+
+#include "analysis/grid.h"
+#include "util/check.h"
+
+namespace asyncmac::sweep {
+
+namespace {
+
+using snapshot::ErrorKind;
+using snapshot::Reader;
+using snapshot::SnapshotError;
+using snapshot::Writer;
+
+/// SplitMix64 finalizer — the verify::ScenarioGen idiom, reproduced here
+/// so a unit id is a documented, stable function of (fingerprint, index).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Guard for list lengths inside payloads: a frame already caps the
+/// total payload at kMaxFramePayload, so any declared element count that
+/// could not possibly fit is corruption, not a big message.
+void check_count(std::uint64_t count, std::uint64_t min_element_bytes) {
+  if (min_element_bytes != 0 &&
+      count > kMaxFramePayload / min_element_bytes)
+    throw SnapshotError(ErrorKind::kCorrupt,
+                        "declared element count cannot fit in a frame");
+}
+
+void save_string_list(Writer& w, const std::vector<std::string>& v) {
+  w.u64(v.size());
+  for (const auto& s : v) w.str(s);
+}
+
+std::vector<std::string> load_string_list(Reader& r) {
+  const std::uint64_t count = r.u64();
+  check_count(count, 8);  // each string carries at least its u64 length
+  std::vector<std::string> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(r.str());
+  return v;
+}
+
+/// The sweep-defining dimensions of an ExperimentSpec — exactly the
+/// fields grid_fingerprint covers. Execution knobs (jobs, cohort,
+/// checkpoint_dir) never cross the wire: they are per-process choices.
+void save_grid_spec(Writer& w, const analysis::ExperimentSpec& spec) {
+  save_string_list(w, spec.protocols);
+  w.u64(spec.station_counts.size());
+  for (std::uint32_t n : spec.station_counts) w.u32(n);
+  w.u64(spec.bounds_r.size());
+  for (std::uint32_t r : spec.bounds_r) w.u32(r);
+  w.u64(spec.rho_percents.size());
+  for (int rho : spec.rho_percents) w.i64(rho);
+  save_string_list(w, spec.slot_policies);
+  w.i64(spec.burst_units);
+  w.i64(spec.horizon_units);
+  w.u64(spec.seed);
+  w.i64(spec.seeds);
+}
+
+analysis::ExperimentSpec load_grid_spec(Reader& r) {
+  analysis::ExperimentSpec spec;
+  spec.protocols = load_string_list(r);
+  std::uint64_t count = r.u64();
+  check_count(count, 4);
+  spec.station_counts.clear();
+  for (std::uint64_t i = 0; i < count; ++i)
+    spec.station_counts.push_back(r.u32());
+  count = r.u64();
+  check_count(count, 4);
+  spec.bounds_r.clear();
+  for (std::uint64_t i = 0; i < count; ++i) spec.bounds_r.push_back(r.u32());
+  count = r.u64();
+  check_count(count, 8);
+  spec.rho_percents.clear();
+  for (std::uint64_t i = 0; i < count; ++i)
+    spec.rho_percents.push_back(static_cast<int>(r.i64()));
+  spec.slot_policies = load_string_list(r);
+  spec.burst_units = r.i64();
+  spec.horizon_units = r.i64();
+  spec.seed = r.u64();
+  spec.seeds = static_cast<int>(r.i64());
+  return spec;
+}
+
+void save_job(Writer& w, const SweepJob& job) {
+  w.u8(static_cast<std::uint8_t>(job.kind));
+  if (job.kind == JobKind::kGrid) {
+    save_grid_spec(w, job.grid);
+  } else {
+    w.u64(job.fuzz.seed);
+    w.u64(job.fuzz.cases);
+    w.u64(job.fuzz.chunk);
+    save_string_list(w, job.fuzz.protocols);
+  }
+}
+
+SweepJob load_job(Reader& r) {
+  SweepJob job;
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(JobKind::kGrid) &&
+      kind != static_cast<std::uint8_t>(JobKind::kFuzz))
+    throw SnapshotError(ErrorKind::kCorrupt, "unknown sweep job kind");
+  job.kind = static_cast<JobKind>(kind);
+  if (job.kind == JobKind::kGrid) {
+    job.grid = load_grid_spec(r);
+  } else {
+    job.fuzz.seed = r.u64();
+    job.fuzz.cases = r.u64();
+    job.fuzz.chunk = r.u64();
+    if (job.fuzz.chunk == 0)
+      throw SnapshotError(ErrorKind::kCorrupt, "fuzz chunk must be nonzero");
+    job.fuzz.protocols = load_string_list(r);
+  }
+  return job;
+}
+
+std::vector<std::uint8_t> frame(MsgType type, Writer&& w) {
+  return encode_frame(type, w.buffer());
+}
+
+}  // namespace
+
+std::uint32_t job_fingerprint(const SweepJob& job) {
+  if (job.kind == JobKind::kGrid) return analysis::grid_fingerprint(job.grid);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(job.kind));
+  w.u64(job.fuzz.seed);
+  w.u64(job.fuzz.cases);
+  w.u64(job.fuzz.chunk);
+  for (const auto& p : job.fuzz.protocols) w.str(p);
+  return snapshot::crc32(w.buffer().data(), w.buffer().size());
+}
+
+std::uint64_t work_unit_id(std::uint32_t fingerprint, std::uint64_t index) {
+  std::uint64_t id = mix64(mix64(fingerprint) ^ index);
+  if (id == 0) id = 1;  // reserve 0 as "no unit"
+  return id;
+}
+
+std::vector<std::uint8_t> to_frame(const HelloMsg& m) {
+  Writer w;
+  w.str(m.worker_name);
+  return frame(MsgType::kHello, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const WelcomeMsg& m) {
+  Writer w;
+  w.u32(m.worker_id);
+  w.u64(m.heartbeat_ms);
+  w.u64(m.lease_timeout_ms);
+  save_job(w, m.job);
+  return frame(MsgType::kWelcome, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const RequestWorkMsg& m) {
+  Writer w;
+  w.u32(m.worker_id);
+  return frame(MsgType::kRequestWork, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const AssignMsg& m) {
+  Writer w;
+  w.u64(m.lease_id);
+  w.u64(m.unit_index);
+  w.u64(m.unit_id);
+  w.u64(m.first);
+  w.u64(m.count);
+  return frame(MsgType::kAssign, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const ResultMsg& m) {
+  Writer w;
+  w.u32(m.worker_id);
+  w.u64(m.lease_id);
+  w.u64(m.unit_index);
+  w.u64(m.unit_id);
+  w.u64(m.payload.size());
+  w.bytes(m.payload.data(), m.payload.size());
+  return frame(MsgType::kResult, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const ResultAckMsg& m) {
+  Writer w;
+  w.u64(m.unit_index);
+  w.boolean(m.duplicate);
+  return frame(MsgType::kResultAck, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const HeartbeatMsg& m) {
+  Writer w;
+  w.u32(m.worker_id);
+  return frame(MsgType::kHeartbeat, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const NoWorkMsg& m) {
+  Writer w;
+  w.u64(m.retry_ms);
+  return frame(MsgType::kNoWork, std::move(w));
+}
+
+std::vector<std::uint8_t> to_frame(const ShutdownMsg& m) {
+  Writer w;
+  w.str(m.reason);
+  return frame(MsgType::kShutdown, std::move(w));
+}
+
+Message decode_message(const Frame& f) {
+  Reader r(f.payload);
+  Message out;
+  switch (f.type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      m.worker_name = r.str();
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kWelcome: {
+      WelcomeMsg m;
+      m.worker_id = r.u32();
+      m.heartbeat_ms = r.u64();
+      m.lease_timeout_ms = r.u64();
+      m.job = load_job(r);
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kRequestWork: {
+      RequestWorkMsg m;
+      m.worker_id = r.u32();
+      out = m;
+      break;
+    }
+    case MsgType::kAssign: {
+      AssignMsg m;
+      m.lease_id = r.u64();
+      m.unit_index = r.u64();
+      m.unit_id = r.u64();
+      m.first = r.u64();
+      m.count = r.u64();
+      out = m;
+      break;
+    }
+    case MsgType::kResult: {
+      ResultMsg m;
+      m.worker_id = r.u32();
+      m.lease_id = r.u64();
+      m.unit_index = r.u64();
+      m.unit_id = r.u64();
+      const std::uint64_t len = r.u64();
+      if (len > kMaxFramePayload)
+        throw SnapshotError(ErrorKind::kCorrupt,
+                            "result payload length is oversized");
+      m.payload.resize(static_cast<std::size_t>(len));
+      r.bytes(m.payload.data(), m.payload.size());
+      out = std::move(m);
+      break;
+    }
+    case MsgType::kResultAck: {
+      ResultAckMsg m;
+      m.unit_index = r.u64();
+      m.duplicate = r.boolean();
+      out = m;
+      break;
+    }
+    case MsgType::kHeartbeat: {
+      HeartbeatMsg m;
+      m.worker_id = r.u32();
+      out = m;
+      break;
+    }
+    case MsgType::kNoWork: {
+      NoWorkMsg m;
+      m.retry_ms = r.u64();
+      out = m;
+      break;
+    }
+    case MsgType::kShutdown: {
+      ShutdownMsg m;
+      m.reason = r.str();
+      out = std::move(m);
+      break;
+    }
+  }
+  r.expect_end();
+  return out;
+}
+
+std::vector<std::uint8_t> encode_grid_result(
+    const std::vector<analysis::ExperimentRecord>& records) {
+  Writer w;
+  w.u64(records.size());
+  for (const auto& rec : records) analysis::save_record(w, rec);
+  return w.take();
+}
+
+std::vector<analysis::ExperimentRecord> decode_grid_result(
+    const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  const std::uint64_t count = r.u64();
+  check_count(count, 32);  // a record is far larger than 32 bytes
+  std::vector<analysis::ExperimentRecord> records;
+  records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i)
+    records.push_back(analysis::load_record(r));
+  r.expect_end();
+  return records;
+}
+
+std::vector<std::uint8_t> encode_fuzz_result(
+    const std::vector<verify::CaseVerdict>& verdicts) {
+  Writer w;
+  w.u64(verdicts.size());
+  for (const auto& v : verdicts) {
+    w.u64(v.index);
+    w.u64(v.case_seed);
+    w.boolean(v.ok);
+    w.str(v.violation);
+  }
+  return w.take();
+}
+
+std::vector<verify::CaseVerdict> decode_fuzz_result(
+    const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  const std::uint64_t count = r.u64();
+  check_count(count, 18);
+  std::vector<verify::CaseVerdict> verdicts;
+  verdicts.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    verify::CaseVerdict v;
+    v.index = r.u64();
+    v.case_seed = r.u64();
+    v.ok = r.boolean();
+    v.violation = r.str();
+    verdicts.push_back(std::move(v));
+  }
+  r.expect_end();
+  return verdicts;
+}
+
+}  // namespace asyncmac::sweep

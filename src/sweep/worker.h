@@ -1,0 +1,105 @@
+// asyncmac/sweep/worker.h
+//
+// The worker side of the distributed sweep: a sans-IO session that joins
+// a coordinator (Hello/Welcome), pulls leased work units, computes them
+// with the same deterministic engines a single-process run uses, and
+// streams results back. Like sweep/coordinator.h it owns no sockets or
+// clocks — a transport feeds bytes and now_ms in and sends the returned
+// frames out, so the full worker protocol (including heartbeat pacing
+// and NoWork backoff) is unit-testable on the loopback harness.
+//
+// Workers are stateless beyond the session: the Welcome message carries
+// the whole job description, so `asyncmac_cli worker` needs only a
+// host:port to participate. Unit payloads are computed by an Executor —
+// the default one runs analysis::run_grid_cells / verify::run_case; tests
+// substitute executors that stall, lie, or die to exercise the
+// coordinator's failure paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/grid.h"
+#include "sweep/protocol.h"
+
+namespace asyncmac::sweep {
+
+class WorkerSession {
+ public:
+  struct Config {
+    std::string name = "worker";
+  };
+
+  /// Everything an executor may need: the job (from Welcome) and, for
+  /// grid jobs, the locally reconstructed plan (identical on every
+  /// worker — plan_grid is a pure function of the spec).
+  struct Context {
+    const SweepJob* job = nullptr;
+    const analysis::GridPlan* plan = nullptr;  ///< null for fuzz jobs
+  };
+
+  /// Computes the Result payload for an assignment. Throwing marks the
+  /// session failed(); the transport should then drop the connection
+  /// (the coordinator reassigns the lease).
+  using Executor =
+      std::function<std::vector<std::uint8_t>(const Context&, const AssignMsg&)>;
+
+  /// Default-executor construction: real engine runs.
+  WorkerSession();
+  explicit WorkerSession(Config cfg);
+  WorkerSession(Config cfg, Executor exec);
+
+  /// The executor a production worker runs: grid units via
+  /// analysis::run_grid_cells, fuzz units via verify::run_case.
+  static Executor default_executor();
+
+  // -- transport events ---------------------------------------------------
+  /// Begin the session: returns the Hello frame to send.
+  std::vector<std::vector<std::uint8_t>> start(std::uint64_t now_ms);
+  /// Bytes arrived from the coordinator; returns frames to send back.
+  std::vector<std::vector<std::uint8_t>> on_bytes(const std::uint8_t* data,
+                                                  std::size_t n,
+                                                  std::uint64_t now_ms);
+  /// Periodic: emits heartbeats and retries after NoWork backoff.
+  std::vector<std::vector<std::uint8_t>> on_tick(std::uint64_t now_ms);
+  /// Coordinator closed the stream.
+  void on_eof();
+
+  // -- state --------------------------------------------------------------
+  bool welcomed() const noexcept { return worker_id_ != 0; }
+  /// Clean exit: the coordinator sent Shutdown.
+  bool finished() const noexcept { return finished_; }
+  /// Protocol violation, malformed bytes, or executor failure.
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+  std::uint32_t worker_id() const noexcept { return worker_id_; }
+  /// Units acked by the coordinator (duplicates included).
+  std::uint64_t units_completed() const noexcept { return units_completed_; }
+  const SweepJob& job() const noexcept { return job_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> handle(const Message& msg,
+                                                std::uint64_t now_ms);
+  void fail(const std::string& what);
+
+  Config cfg_;
+  Executor exec_;
+  FrameDecoder decoder_;
+
+  SweepJob job_;
+  analysis::GridPlan plan_;  ///< built on Welcome for grid jobs
+  std::uint32_t fingerprint_ = 0;
+
+  std::uint32_t worker_id_ = 0;
+  std::uint64_t heartbeat_ms_ = 1000;
+  std::uint64_t next_heartbeat_ms_ = 0;
+  std::uint64_t retry_at_ms_ = 0;  ///< 0 = no NoWork backoff pending
+  std::uint64_t units_completed_ = 0;
+  bool finished_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace asyncmac::sweep

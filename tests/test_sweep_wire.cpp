@@ -1,0 +1,362 @@
+// The distributed-sweep wire layer (sweep/wire.h, sweep/protocol.h):
+// frame round-trips under arbitrary chunking, message payload codecs,
+// splittable unit identity, and the corruption matrix — truncated
+// frames, flipped payload/CRC bytes, future versions, bad magic, unknown
+// types, oversized lengths and mid-handshake severs must each raise the
+// documented typed SnapshotError, never undefined behaviour (this suite
+// mirrors test_snapshot_io.cpp and runs under ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sweep/protocol.h"
+#include "sweep/wire.h"
+
+namespace asyncmac {
+namespace {
+
+using snapshot::ErrorKind;
+using snapshot::SnapshotError;
+using namespace asyncmac::sweep;
+
+/// EXPECT that `fn` throws SnapshotError with `kind`.
+template <typename Fn>
+void expect_kind(ErrorKind kind, Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected SnapshotError(" << snapshot::to_string(kind) << ")";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+  }
+}
+
+std::vector<std::uint8_t> hello_frame(const std::string& name = "w") {
+  HelloMsg m;
+  m.worker_name = name;
+  return to_frame(m);
+}
+
+SweepJob small_grid_job() {
+  SweepJob job;
+  job.kind = JobKind::kGrid;
+  job.grid.protocols = {"ca-arrow", "rrw"};
+  job.grid.station_counts = {2, 3};
+  job.grid.bounds_r = {2};
+  job.grid.rho_percents = {40, 60};
+  job.grid.slot_policies = {"perstation"};
+  job.grid.horizon_units = 500;
+  job.grid.seeds = 2;
+  return job;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(SweepWire, FrameRoundTripAllTypes) {
+  WelcomeMsg welcome;
+  welcome.worker_id = 7;
+  welcome.heartbeat_ms = 250;
+  welcome.lease_timeout_ms = 4000;
+  welcome.job = small_grid_job();
+  AssignMsg assign;
+  assign.lease_id = 3;
+  assign.unit_index = 5;
+  assign.unit_id = work_unit_id(1234, 5);
+  assign.first = 40;
+  assign.count = 8;
+  ResultMsg result;
+  result.worker_id = 7;
+  result.lease_id = 3;
+  result.unit_index = 5;
+  result.unit_id = assign.unit_id;
+  result.payload = {1, 2, 3, 4};
+  ShutdownMsg bye;
+  bye.reason = "complete";
+
+  FrameDecoder dec;
+  dec.feed(hello_frame("alpha"));
+  dec.feed(to_frame(welcome));
+  dec.feed(to_frame(assign));
+  dec.feed(to_frame(result));
+  dec.feed(to_frame(bye));
+
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  ASSERT_EQ(f->type, MsgType::kHello);
+  EXPECT_EQ(std::get<HelloMsg>(decode_message(*f)).worker_name, "alpha");
+
+  f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const auto w = std::get<WelcomeMsg>(decode_message(*f));
+  EXPECT_EQ(w.worker_id, 7u);
+  EXPECT_EQ(w.heartbeat_ms, 250u);
+  EXPECT_EQ(w.lease_timeout_ms, 4000u);
+  EXPECT_EQ(w.job.kind, JobKind::kGrid);
+  EXPECT_EQ(w.job.grid.protocols, small_grid_job().grid.protocols);
+  EXPECT_EQ(w.job.grid.station_counts, small_grid_job().grid.station_counts);
+  EXPECT_EQ(w.job.grid.seeds, 2);
+
+  f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const auto a = std::get<AssignMsg>(decode_message(*f));
+  EXPECT_EQ(a.lease_id, 3u);
+  EXPECT_EQ(a.unit_index, 5u);
+  EXPECT_EQ(a.unit_id, assign.unit_id);
+  EXPECT_EQ(a.first, 40u);
+  EXPECT_EQ(a.count, 8u);
+
+  f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const auto r = std::get<ResultMsg>(decode_message(*f));
+  EXPECT_EQ(r.payload, result.payload);
+
+  f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(std::get<ShutdownMsg>(decode_message(*f)).reason, "complete");
+
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_NO_THROW(dec.at_eof());
+}
+
+TEST(SweepWire, ByteAtATimeChunkingYieldsSameFrames) {
+  const auto bytes = to_frame(HeartbeatMsg{42});
+  FrameDecoder dec;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // No frame may surface before the last byte arrives.
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(dec.next().has_value());
+    }
+    dec.feed(&bytes[i], 1);
+  }
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(std::get<HeartbeatMsg>(decode_message(*f)).worker_id, 42u);
+}
+
+TEST(SweepWire, FuzzJobRoundTrip) {
+  WelcomeMsg welcome;
+  welcome.worker_id = 1;
+  welcome.job.kind = JobKind::kFuzz;
+  welcome.job.fuzz.seed = 99;
+  welcome.job.fuzz.cases = 1000;
+  welcome.job.fuzz.chunk = 64;
+  welcome.job.fuzz.protocols = {"ca-arrow"};
+  FrameDecoder dec;
+  dec.feed(to_frame(welcome));
+  const auto w = std::get<WelcomeMsg>(decode_message(*dec.next()));
+  EXPECT_EQ(w.job.kind, JobKind::kFuzz);
+  EXPECT_EQ(w.job.fuzz.seed, 99u);
+  EXPECT_EQ(w.job.fuzz.cases, 1000u);
+  EXPECT_EQ(w.job.fuzz.chunk, 64u);
+  EXPECT_EQ(w.job.fuzz.protocols, std::vector<std::string>{"ca-arrow"});
+}
+
+// --------------------------------------------------------- unit identity
+
+TEST(SweepWire, WorkUnitIdIsStableSplittableAndNeverZero) {
+  const std::uint32_t fp = job_fingerprint(small_grid_job());
+  // Pure function: same inputs, same id — and ids never collide with the
+  // "no unit" sentinel 0.
+  EXPECT_EQ(work_unit_id(fp, 0), work_unit_id(fp, 0));
+  EXPECT_NE(work_unit_id(fp, 0), 0u);
+  EXPECT_NE(work_unit_id(fp, 0), work_unit_id(fp, 1));
+  EXPECT_NE(work_unit_id(fp, 0), work_unit_id(fp + 1, 0));
+}
+
+TEST(SweepWire, JobFingerprintSeparatesJobs) {
+  SweepJob grid = small_grid_job();
+  SweepJob fuzz;
+  fuzz.kind = JobKind::kFuzz;
+  fuzz.fuzz.cases = 128;
+  EXPECT_NE(job_fingerprint(grid), job_fingerprint(fuzz));
+  SweepJob fuzz2 = fuzz;
+  fuzz2.fuzz.seed = 2;
+  EXPECT_NE(job_fingerprint(fuzz), job_fingerprint(fuzz2));
+}
+
+// ------------------------------------------------------ corruption matrix
+
+TEST(SweepWire, TruncatedFrameSurfacesOnEof) {
+  auto bytes = hello_frame();
+  bytes.resize(bytes.size() - 1);  // sever one byte short
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());  // still waiting, not an error...
+  expect_kind(ErrorKind::kTruncated, [&] { dec.at_eof(); });  // ...until EOF
+}
+
+TEST(SweepWire, MidHandshakeSeverTruncatesHeader) {
+  auto bytes = hello_frame();
+  bytes.resize(kFrameHeaderBytes / 2);  // not even a full header
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  expect_kind(ErrorKind::kTruncated, [&] { dec.at_eof(); });
+}
+
+TEST(SweepWire, FlippedCrcByte) {
+  auto bytes = hello_frame();
+  bytes[17] ^= 0xFF;  // CRC field
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kBadCrc, [&] { dec.next(); });
+}
+
+TEST(SweepWire, FlippedPayloadByte) {
+  auto bytes = hello_frame("worker-name");
+  bytes[kFrameHeaderBytes + 3] ^= 0x01;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kBadCrc, [&] { dec.next(); });
+}
+
+TEST(SweepWire, BadMagic) {
+  auto bytes = hello_frame();
+  bytes[0] = 'X';
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kBadMagic, [&] { dec.next(); });
+}
+
+TEST(SweepWire, FutureVersionRefused) {
+  auto bytes = hello_frame();
+  bytes[4] = static_cast<std::uint8_t>(kWireVersion + 1);  // version LSB
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kBadVersion, [&] { dec.next(); });
+}
+
+TEST(SweepWire, UnknownMessageType) {
+  auto bytes = hello_frame();
+  bytes[8] = 0xEE;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kCorrupt, [&] { dec.next(); });
+}
+
+TEST(SweepWire, OversizedDeclaredLength) {
+  auto bytes = hello_frame();
+  for (int i = 9; i < 17; ++i) bytes[static_cast<std::size_t>(i)] = 0xFF;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  // Fails the moment the header is complete — it never waits for 2^64
+  // phantom payload bytes.
+  expect_kind(ErrorKind::kCorrupt, [&] { dec.next(); });
+}
+
+TEST(SweepWire, PoisonedDecoderKeepsThrowingSameKind) {
+  auto bytes = hello_frame();
+  bytes[0] = 'X';
+  FrameDecoder dec;
+  dec.feed(bytes);
+  expect_kind(ErrorKind::kBadMagic, [&] { dec.next(); });
+  expect_kind(ErrorKind::kBadMagic, [&] { dec.next(); });
+  expect_kind(ErrorKind::kBadMagic, [&] { dec.feed(bytes); });
+  expect_kind(ErrorKind::kBadMagic, [&] { dec.at_eof(); });
+}
+
+TEST(SweepWire, EncodeRefusesOversizedPayload) {
+  expect_kind(ErrorKind::kCorrupt, [&] {
+    std::vector<std::uint8_t> huge(kMaxFramePayload + 1, 0);
+    encode_frame(MsgType::kResult, huge);
+  });
+}
+
+// Payload-level corruption: the frame checks out (CRC is recomputed) but
+// the message inside is malformed — decode_message must throw typed.
+TEST(SweepWire, TruncatedMessagePayload) {
+  Frame f;
+  f.type = MsgType::kWelcome;
+  f.payload = {1, 2};  // far too short for a Welcome
+  expect_kind(ErrorKind::kTruncated, [&] { decode_message(f); });
+}
+
+TEST(SweepWire, TrailingGarbageInMessagePayload) {
+  auto bytes = to_frame(HeartbeatMsg{1});
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame f = *dec.next();
+  f.payload.push_back(0);  // one byte too many
+  expect_kind(ErrorKind::kCorrupt, [&] { decode_message(f); });
+}
+
+TEST(SweepWire, AbsurdElementCountIsCorruptionNotAllocation) {
+  // A Welcome whose grid spec declares 2^61 protocols must be rejected
+  // by the count guard before any reserve() happens.
+  snapshot::Writer w;
+  w.u32(1);            // worker id
+  w.u64(1000);         // heartbeat
+  w.u64(10000);        // lease timeout
+  w.u8(1);             // JobKind::kGrid
+  w.u64(1ull << 61);   // declared protocol count
+  Frame f;
+  f.type = MsgType::kWelcome;
+  f.payload = w.take();
+  expect_kind(ErrorKind::kCorrupt, [&] { decode_message(f); });
+}
+
+TEST(SweepWire, UnknownJobKindIsCorrupt) {
+  snapshot::Writer w;
+  w.u32(1);
+  w.u64(1000);
+  w.u64(10000);
+  w.u8(9);  // no such JobKind
+  Frame f;
+  f.type = MsgType::kWelcome;
+  f.payload = w.take();
+  expect_kind(ErrorKind::kCorrupt, [&] { decode_message(f); });
+}
+
+// --------------------------------------------------------- result codecs
+
+TEST(SweepWire, GridResultRoundTrip) {
+  analysis::ExperimentRecord rec;
+  rec.protocol = "ca-arrow";
+  rec.n = 2;
+  rec.bound_r = 2;
+  rec.rho_pct = 40;
+  rec.slot_policy = "perstation";
+  rec.seed = 17;
+  rec.injected = 100;
+  rec.delivered = 90;
+  rec.delivered_fraction = 0.9;
+  const auto payload = encode_grid_result({rec});
+  const auto back = decode_grid_result(payload);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].protocol, "ca-arrow");
+  EXPECT_EQ(back[0].seed, 17u);
+  EXPECT_EQ(back[0].delivered, 90u);
+  EXPECT_DOUBLE_EQ(back[0].delivered_fraction, 0.9);
+}
+
+TEST(SweepWire, GridResultRejectsTrailingBytes) {
+  auto payload = encode_grid_result({});
+  payload.push_back(7);
+  expect_kind(ErrorKind::kCorrupt, [&] { decode_grid_result(payload); });
+}
+
+TEST(SweepWire, FuzzResultRoundTripAndGuards) {
+  verify::CaseVerdict v;
+  v.index = 3;
+  v.case_seed = 123456789;
+  v.ok = false;
+  v.violation = "synthetic";
+  const auto payload = encode_fuzz_result({v});
+  const auto back = decode_fuzz_result(payload);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].index, 3u);
+  EXPECT_EQ(back[0].case_seed, 123456789u);
+  EXPECT_FALSE(back[0].ok);
+  EXPECT_EQ(back[0].violation, "synthetic");
+
+  snapshot::Writer w;
+  w.u64(1ull << 60);  // absurd verdict count
+  const auto bad = w.take();
+  expect_kind(ErrorKind::kCorrupt, [&] { decode_fuzz_result(bad); });
+}
+
+}  // namespace
+}  // namespace asyncmac

@@ -17,6 +17,8 @@
 //   resume <ckpt>       continue a run from a checkpoint file
 //   fuzz [...]          property-fuzzing campaign (src/verify/)
 //   stats <jsonl>       summarize a telemetry JSONL stream
+//   serve [...]         distributed-sweep coordinator (src/sweep/)
+//   worker --port=P     distributed-sweep worker
 //
 // Checkpointing (docs/CHECKPOINT.md): a single run with
 // --checkpoint-every=K --checkpoint-dir=D autosaves rotating snapshots
@@ -46,7 +48,9 @@
 #include "metrics/json.h"
 #include "sim/engine.h"
 #include "snapshot/checkpoint.h"
+#include "sweep/tcp.h"
 #include "telemetry/jsonl.h"
+#include "telemetry/registry.h"
 #include "telemetry/summary.h"
 #include "trace/renderer.h"
 #include "verify/campaign.h"
@@ -119,6 +123,8 @@ std::vector<std::string> split_list(const std::string& s) {
       "                 (a directory resumes its newest ckpt-*.snap)\n"
       "  asyncmac_cli fuzz [fuzz flags]        property-fuzzing campaign\n"
       "  asyncmac_cli stats <file> [--top=N]   summarize telemetry JSONL\n"
+      "  asyncmac_cli serve [serve flags]      distributed-sweep coordinator\n"
+      "  asyncmac_cli worker --port=P          distributed-sweep worker\n"
       "  asyncmac_cli --help                   this reference\n"
       "\n"
       "run flags (single run, --msr, and --grid):\n"
@@ -186,6 +192,26 @@ std::vector<std::string> split_list(const std::string& s) {
       "\n"
       "stats flags:\n"
       "  --top=N        show the top N counters (default 20)\n"
+      "\n"
+      "serve flags (coordinator; sweep dimensions as in --grid, see\n"
+      "docs/DISTRIBUTED.md — stdout and --csv are byte-identical to the\n"
+      "same sweep run locally with --grid):\n"
+      "  --port=P             listen port; 0 = ephemeral (default 0)\n"
+      "  --port-file=PATH     write the bound port to PATH (scripts/CI)\n"
+      "  --lease-timeout-ms=T reassign a leased unit after T ms without\n"
+      "                       worker liveness (default 10000)\n"
+      "  --heartbeat-ms=T     heartbeat cadence asked of workers\n"
+      "                       (default 1000)\n"
+      "  --seeds=K / --csv=PATH / --checkpoint-dir=D / --telemetry=P\n"
+      "                       as in --grid mode\n"
+      "  --fuzz --cases=K     distribute a fuzz campaign (chunked cases)\n"
+      "                       instead of a grid; --seed seeds it\n"
+      "\n"
+      "worker flags (joins a coordinator, computes leased units until the\n"
+      "sweep completes; safe to kill — its leases are reassigned):\n"
+      "  --host=H       coordinator host (default 127.0.0.1)\n"
+      "  --port=P       coordinator port (required)\n"
+      "  --name=S       worker name for coordinator-side logs\n"
       "\n"
       "exit codes: 0 success; 1 fuzz violations, failed replay or bad\n"
       "checkpoint; 2 bad usage\n";
@@ -278,7 +304,10 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-int run_experiment_grid(const Options& opt) {
+/// Grid dimensions from the parsed comma-lists — shared by --grid and
+/// `serve` so a distributed sweep runs exactly the spec a local one
+/// would (stdout parity depends on it).
+analysis::ExperimentSpec make_grid_spec(const Options& opt) {
   analysis::ExperimentSpec spec;
   spec.protocols = split_list(opt.protocol);
   spec.slot_policies = split_list(opt.policy);
@@ -302,7 +331,25 @@ int run_experiment_grid(const Options& opt) {
   spec.jobs = opt.jobs;
   spec.cohort = opt.cohort;
   spec.checkpoint_dir = opt.checkpoint_dir;
+  return spec;
+}
 
+/// Table + optional CSV, shared by --grid and `serve`: the distributed
+/// path must produce byte-identical stdout and CSV (the sweep-smoke CI
+/// job diffs both against a single-process control).
+int print_grid_results(const std::vector<analysis::ExperimentRecord>& records,
+                       const std::string& csv_path) {
+  std::cout << analysis::to_table(records);
+  if (!csv_path.empty()) {
+    analysis::write_csv(records, csv_path);
+    std::cout << "(" << records.size() << " records written to "
+              << csv_path << ")\n";
+  }
+  return 0;
+}
+
+int run_experiment_grid(const Options& opt) {
+  const analysis::ExperimentSpec spec = make_grid_spec(opt);
   std::vector<analysis::ExperimentRecord> records;
   try {
     records = analysis::run_grid(spec);
@@ -313,13 +360,7 @@ int run_experiment_grid(const Options& opt) {
               << ": " << e.what() << "\n";
     return 1;
   }
-  std::cout << analysis::to_table(records);
-  if (!opt.csv_path.empty()) {
-    analysis::write_csv(records, opt.csv_path);
-    std::cout << "(" << records.size() << " records written to "
-              << opt.csv_path << ")\n";
-  }
-  return 0;
+  return print_grid_results(records, opt.csv_path);
 }
 
 std::unique_ptr<sim::SlotPolicy> make_policy(const Options& opt) {
@@ -767,9 +808,181 @@ int run_resume(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------- serve / worker
+
+struct ServeOptions {
+  Options grid;  ///< sweep dimensions (comma lists) + --csv/--checkpoint-dir
+  bool fuzz = false;
+  std::uint64_t cases = 1000;
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  std::string port_file;
+  std::uint64_t lease_timeout_ms = 10000;
+  std::uint64_t heartbeat_ms = 1000;
+};
+
+ServeOptions parse_serve_args(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    try {
+      if (arg.rfind("--protocol=", 0) == 0)
+        opt.grid.protocol = value("--protocol=");
+      else if (arg.rfind("--n=", 0) == 0)
+        opt.grid.n_list = value("--n=");
+      else if (arg.rfind("--r=", 0) == 0)
+        opt.grid.r_list = value("--r=");
+      else if (arg.rfind("--rho=", 0) == 0)
+        opt.grid.rho_list = value("--rho=");
+      else if (arg.rfind("--burst=", 0) == 0)
+        opt.grid.burst_units = std::stol(value("--burst="));
+      else if (arg.rfind("--policy=", 0) == 0)
+        opt.grid.policy = value("--policy=");
+      else if (arg.rfind("--horizon=", 0) == 0)
+        opt.grid.horizon_units = std::stol(value("--horizon="));
+      else if (arg.rfind("--seed=", 0) == 0)
+        opt.grid.seed = std::stoull(value("--seed="));
+      else if (arg.rfind("--seeds=", 0) == 0)
+        opt.grid.seeds = static_cast<int>(std::stol(value("--seeds=")));
+      else if (arg.rfind("--csv=", 0) == 0)
+        opt.grid.csv_path = value("--csv=");
+      else if (arg.rfind("--checkpoint-dir=", 0) == 0)
+        opt.grid.checkpoint_dir = value("--checkpoint-dir=");
+      else if (arg.rfind("--telemetry=", 0) == 0)
+        opt.grid.telemetry_path = value("--telemetry=");
+      else if (arg == "--fuzz")
+        opt.fuzz = true;
+      else if (arg.rfind("--cases=", 0) == 0)
+        opt.cases = std::stoull(value("--cases="));
+      else if (arg.rfind("--port=", 0) == 0)
+        opt.port = static_cast<std::uint16_t>(std::stoul(value("--port=")));
+      else if (arg.rfind("--port-file=", 0) == 0)
+        opt.port_file = value("--port-file=");
+      else if (arg.rfind("--lease-timeout-ms=", 0) == 0)
+        opt.lease_timeout_ms = std::stoull(value("--lease-timeout-ms="));
+      else if (arg.rfind("--heartbeat-ms=", 0) == 0)
+        opt.heartbeat_ms = std::stoull(value("--heartbeat-ms="));
+      else if (arg == "--help" || arg == "-h")
+        print_help();
+      else
+        usage("unknown serve argument: " + arg);
+    } catch (const std::invalid_argument&) {
+      usage("bad value for " + arg);
+    } catch (const std::out_of_range&) {
+      usage("bad value for " + arg);
+    }
+  }
+  if (opt.grid.seeds < 1) usage("--seeds must be >= 1");
+  if (opt.lease_timeout_ms == 0) usage("--lease-timeout-ms must be > 0");
+  if (opt.cases < 1) usage("--cases must be >= 1");
+  return opt;
+}
+
+int run_serve(int argc, char** argv) {
+  const ServeOptions opt = parse_serve_args(argc, argv);
+  if (!opt.grid.telemetry_path.empty())
+    enable_telemetry_or_die(opt.grid.telemetry_path);
+
+  sweep::ServeOptions srv;
+  srv.port = opt.port;
+  srv.coord.lease_timeout_ms = opt.lease_timeout_ms;
+  srv.coord.heartbeat_ms = opt.heartbeat_ms;
+  if (opt.fuzz) {
+    srv.coord.job.kind = sweep::JobKind::kFuzz;
+    srv.coord.job.fuzz.seed = opt.grid.seed;
+    srv.coord.job.fuzz.cases = opt.cases;
+  } else {
+    srv.coord.job.kind = sweep::JobKind::kGrid;
+    srv.coord.job.grid = make_grid_spec(opt.grid);
+    srv.coord.checkpoint_dir = opt.grid.checkpoint_dir;
+  }
+  // Progress and the bound port go to stderr: stdout stays byte-identical
+  // to the same sweep run locally with --grid.
+  srv.on_listening = [&](std::uint16_t port) {
+    std::cerr << "serve: listening on port " << port << "\n";
+    if (!opt.port_file.empty()) {
+      std::ofstream out(opt.port_file);
+      out << port << "\n";
+    }
+  };
+
+  sweep::ServeOutcome outcome;
+  try {
+    outcome = sweep::serve(srv);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  } catch (const snapshot::SnapshotError& e) {
+    std::cerr << "asyncmac_cli serve: " << e.what() << "\n";
+    return 1;
+  } catch (const std::runtime_error& e) {
+    std::cerr << "asyncmac_cli serve: " << e.what() << "\n";
+    return 1;
+  }
+
+  auto& reg = telemetry::Registry::global();
+  telemetry::emit(
+      "sweep.done",
+      {{"leases", reg.counter("sweep.leases").value()},
+       {"reassigns", reg.counter("sweep.reassigns").value()},
+       {"dup_results", reg.counter("sweep.dup_results").value()},
+       {"worker_deaths", reg.counter("sweep.worker_deaths").value()}});
+
+  if (opt.fuzz) {
+    // Same summary run_campaign prints for these verdicts (shrinking is
+    // coordinator-local work a distributed run does not repeat).
+    verify::CampaignResult result;
+    result.cases_requested = opt.cases;
+    result.cases_run = outcome.verdicts.size();
+    result.verdicts = outcome.verdicts;
+    for (const auto& v : result.verdicts)
+      if (!v.ok)
+        result.failures.push_back(
+            {v, verify::scenario_from_seed(v.case_seed)});
+    std::cout << verify::summarize(result);
+    return result.failures.empty() ? 0 : 1;
+  }
+  return print_grid_results(outcome.records, opt.grid.csv_path);
+}
+
+int run_worker(int argc, char** argv) {
+  sweep::WorkerOptions opt;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--host=", 0) == 0)
+        opt.host = arg.substr(7);
+      else if (arg.rfind("--port=", 0) == 0)
+        opt.port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
+      else if (arg.rfind("--name=", 0) == 0)
+        opt.name = arg.substr(7);
+      else if (arg == "--help" || arg == "-h")
+        print_help();
+      else
+        usage("unknown worker argument: " + arg);
+    } catch (const std::invalid_argument&) {
+      usage("bad value for " + arg);
+    } catch (const std::out_of_range&) {
+      usage("bad value for " + arg);
+    }
+  }
+  if (opt.port == 0) usage("worker needs --port");
+  try {
+    return sweep::run_worker(opt);
+  } catch (const std::runtime_error& e) {
+    std::cerr << "asyncmac_cli worker: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve")
+    return run_serve(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "worker")
+    return run_worker(argc - 2, argv + 2);
   if (argc > 1 && std::string(argv[1]) == "fuzz")
     return run_fuzz(argc - 2, argv + 2);
   if (argc > 1 && std::string(argv[1]) == "stats")
