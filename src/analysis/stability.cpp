@@ -15,6 +15,34 @@ const char* to_string(Verdict v) noexcept {
   return "?";
 }
 
+Verdict classify_backlog_samples(const std::vector<Tick>& samples,
+                                 const StabilityConfig& config) {
+  AM_REQUIRE(!samples.empty(), "need at least one backlog sample");
+  for (Tick s : samples)
+    if (s > config.ceiling) return Verdict::kSaturated;
+
+  // Tail-growth test: compare the mean backlog of the last quarter of
+  // samples against the mean of the quarter around the middle. A stable
+  // system's backlog plateaus; an overloaded one keeps climbing.
+  const auto n = samples.size();
+  const std::size_t q = std::max<std::size_t>(1, n / 4);
+  auto mean = [&](std::size_t from, std::size_t count) {
+    double total = 0;
+    for (std::size_t i = from; i < from + count; ++i)
+      total += static_cast<double>(samples[i]);
+    return total / static_cast<double>(count);
+  };
+  const double early = mean(0, q);
+  const double mid = mean(n / 2 - q / 2 > 0 ? n / 2 - q / 2 : 0, q);
+  const double tail = mean(n - q, q);
+  if (tail > static_cast<double>(config.noise_floor) &&
+      (tail > mid * config.growth_tolerance ||
+       tail > early * config.early_tolerance)) {
+    return Verdict::kGrowing;
+  }
+  return Verdict::kStable;
+}
+
 StabilityReport probe_stability(const EngineFactory& factory,
                                 const StabilityConfig& config) {
   AM_REQUIRE(config.chunks >= 4, "need at least 4 sampling chunks");
@@ -28,36 +56,13 @@ StabilityReport probe_stability(const EngineFactory& factory,
   for (int c = 1; c <= config.chunks; ++c) {
     engine->run(sim::until(step * c));
     report.samples.push_back(engine->stats().queued_cost);
-    if (engine->stats().queued_cost > config.ceiling) {
-      report.verdict = Verdict::kSaturated;
-      break;
-    }
+    if (engine->stats().queued_cost > config.ceiling) break;
   }
   report.max_queued = engine->stats().max_queued_cost;
   report.delivered = engine->stats().delivered_packets;
   report.injected = engine->stats().injected_packets;
   report.collisions = engine->channel_stats().collided;
-  if (report.verdict == Verdict::kSaturated) return report;
-
-  // Tail-growth test: compare the mean backlog of the last quarter of
-  // samples against the mean of the quarter around the middle. A stable
-  // system's backlog plateaus; an overloaded one keeps climbing.
-  const auto n = report.samples.size();
-  const std::size_t q = std::max<std::size_t>(1, n / 4);
-  auto mean = [&](std::size_t from, std::size_t count) {
-    double total = 0;
-    for (std::size_t i = from; i < from + count; ++i)
-      total += static_cast<double>(report.samples[i]);
-    return total / static_cast<double>(count);
-  };
-  const double early = mean(0, q);
-  const double mid = mean(n / 2 - q / 2 > 0 ? n / 2 - q / 2 : 0, q);
-  const double tail = mean(n - q, q);
-  if (tail > static_cast<double>(config.noise_floor) &&
-      (tail > mid * config.growth_tolerance ||
-       tail > early * config.early_tolerance)) {
-    report.verdict = Verdict::kGrowing;
-  }
+  report.verdict = classify_backlog_samples(report.samples, config);
   return report;
 }
 

@@ -63,4 +63,13 @@ using EngineFactory = std::function<std::unique_ptr<sim::Engine>()>;
 StabilityReport probe_stability(const EngineFactory& factory,
                                 const StabilityConfig& config = {});
 
+/// Classify an already-collected series of queued-cost samples (one per
+/// chunk boundary). Shared by probe_stability and the live daemon, which
+/// samples its mirror backlog at the same boundaries — the sim-vs-live
+/// differential compares verdicts, so both sides must run the exact same
+/// decision procedure. A sample above the ceiling is kSaturated (samples
+/// past it are ignored, matching probe_stability's early break).
+Verdict classify_backlog_samples(const std::vector<Tick>& samples,
+                                 const StabilityConfig& config = {});
+
 }  // namespace asyncmac::analysis

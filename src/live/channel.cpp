@@ -1,0 +1,100 @@
+#include "live/channel.h"
+
+#include "util/check.h"
+
+namespace asyncmac::live {
+
+using channel::intervals_overlap;
+using channel::Transmission;
+
+void LiveChannel::begin_tx(StationId station, Tick begin, bool is_control,
+                           PacketSeq packet) {
+  AM_CHECK_MSG(begin >= last_begin_, "transmission begins must not decrease");
+  AM_CHECK_MSG(!has_open(station),
+               "station " << station << " already has an open transmission");
+  last_begin_ = begin;
+  Transmission tx;
+  tx.station = station;
+  tx.begin = begin;
+  tx.end = kTickInfinity;  // open: end fixed by the SlotEnd arrival
+  tx.is_control = is_control;
+  tx.packet = packet;
+  window_.push_back(tx);
+  ++open_count_;
+  ++stats_.transmissions;
+  if (is_control) ++stats_.control_transmissions;
+}
+
+bool LiveChannel::close_tx(StationId station, Tick end) {
+  // The open entry is near the back (it was registered at the station's
+  // current slot begin); scan backwards.
+  std::size_t self = window_.size();
+  for (std::size_t i = window_.size(); i-- > 0;) {
+    if (window_[i].station == station && !window_[i].decided) {
+      self = i;
+      break;
+    }
+  }
+  AM_CHECK_MSG(self < window_.size(),
+               "station " << station << " has no open transmission");
+  Transmission& tx = window_[self];
+  AM_CHECK_MSG(end > tx.begin, "transmission must have positive duration");
+  tx.end = end;
+  tx.decided = true;
+  --open_count_;
+
+  // Success iff no other interval overlaps [begin, end). Open entries
+  // count with end = +inf; closed-and-pruned entries cannot overlap
+  // (prune_before's horizon argument is below every live begin).
+  bool successful = true;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (i == self) continue;
+    const Transmission& o = window_[i];
+    if (intervals_overlap(tx.begin, tx.end, o.begin, o.end)) {
+      successful = false;
+      break;
+    }
+  }
+  tx.successful = successful;
+
+  if (successful) {
+    ++stats_.successful;
+    if (tx.is_control) {
+      stats_.successful_control_time += tx.duration();
+    } else {
+      ++stats_.successful_packets;
+      stats_.successful_packet_time += tx.duration();
+    }
+  } else {
+    ++stats_.collided;
+  }
+  return successful;
+}
+
+Feedback LiveChannel::feedback(Tick s, Tick t) const {
+  AM_CHECK(s < t);
+  bool busy = false;
+  for (const Transmission& tx : window_) {
+    if (tx.decided && tx.successful && tx.end > s && tx.end <= t)
+      return Feedback::kAck;
+    if (!busy && intervals_overlap(tx.begin, tx.end, s, t)) busy = true;
+  }
+  return busy ? Feedback::kBusy : Feedback::kSilence;
+}
+
+void LiveChannel::prune_before(Tick horizon) {
+  while (!window_.empty() && window_.front().decided &&
+         window_.front().end <= horizon) {
+    window_.pop_front();
+  }
+}
+
+bool LiveChannel::has_open(StationId station) const {
+  if (open_count_ == 0) return false;
+  for (std::size_t i = window_.size(); i-- > 0;) {
+    if (window_[i].station == station && !window_[i].decided) return true;
+  }
+  return false;
+}
+
+}  // namespace asyncmac::live

@@ -1,0 +1,78 @@
+// asyncmac/live/channel.h
+//
+// Arrival-driven channel model for the live daemon. The simulation
+// ledger (channel/ledger.h) requires every transmission's end time at
+// add() time — the engine knows it, because the slot policy fixes the
+// slot length at the slot's begin event. A live daemon does not: a
+// station's transmission ends when its SlotEnd datagram *arrives*, so
+// intervals must stay open until then.
+//
+// LiveChannel therefore keeps two kinds of entries in its begin-sorted
+// window:
+//   * open     — begin known, end unknown (stored as kTickInfinity);
+//   * closed   — end fixed by the SlotEnd arrival, success decided.
+//
+// It answers the exact same questions as the ledger, with the same
+// half-open interval rules (channel/transmission.h):
+//   ack     — a successful transmission ended at e in (s, t];
+//   busy    — otherwise, some transmission overlaps [s, t);
+//   silence — otherwise.
+// An open transmission can never ack (its end lies in the future) but
+// does make overlapping slots busy: treating its unknown end as +inf is
+// exact, because the daemon closes every transmission whose end is <= t
+// before answering a feedback query at t (wave phase A, live/daemon.h).
+//
+// Stats parity: LedgerStats fields are bumped at the same logical points
+// as the ledger — transmissions/control_transmissions at registration,
+// success/collision tallies when the interval's end passes — so a
+// virtual-clock live run reports byte-identical channel stats to
+// sim::Engine (pinned by tests/test_live_channel and the differential).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "channel/ledger.h"
+#include "channel/transmission.h"
+#include "util/types.h"
+
+namespace asyncmac::live {
+
+class LiveChannel {
+ public:
+  /// Register an open transmission starting at `begin`. Begins must be
+  /// non-decreasing across calls (the daemon processes waves in arrival
+  /// order); a station may have at most one open transmission.
+  void begin_tx(StationId station, Tick begin, bool is_control,
+                PacketSeq packet);
+
+  /// Close `station`'s open transmission at `end` (its SlotEnd arrival),
+  /// decide success against every other known interval and update stats.
+  /// Returns whether the transmission was successful. Requires end >
+  /// begin and that every transmission with begin < end has already been
+  /// registered (the daemon's wave ordering guarantees this).
+  bool close_tx(StationId station, Tick end);
+
+  /// Exact feedback for slot [s, t). Requires every transmission ending
+  /// at or before t to be closed already (phase A before phase B).
+  Feedback feedback(Tick s, Tick t) const;
+
+  /// Drop closed transmissions with end <= horizon; the daemon passes the
+  /// minimum current-slot begin over all stations, so no future feedback
+  /// query or success decision can reference a dropped interval (the same
+  /// argument as Ledger::prune_before). Open entries are never dropped.
+  void prune_before(Tick horizon);
+
+  bool has_open(StationId station) const;
+
+  const channel::LedgerStats& stats() const noexcept { return stats_; }
+  std::size_t window_size() const noexcept { return window_.size(); }
+
+ private:
+  std::deque<channel::Transmission> window_;  ///< begin-sorted; open: end=inf
+  channel::LedgerStats stats_;
+  Tick last_begin_ = 0;
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace asyncmac::live

@@ -1,0 +1,185 @@
+#include "live/virtual_net.h"
+
+#include <algorithm>
+
+#include "telemetry/registry.h"
+#include "util/check.h"
+
+namespace asyncmac::live {
+
+VirtualNet::VirtualNet(Daemon& daemon, std::vector<StationMachine*> stations,
+                       EmulationKnobs knobs)
+    : daemon_(daemon),
+      stations_(std::move(stations)),
+      knobs_(knobs),
+      rng_(knobs.seed) {
+  AM_REQUIRE(stations_.size() == daemon_.station_count(),
+             "one station machine per station");
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    AM_REQUIRE(stations_[i] != nullptr, "station machine must not be null");
+    AM_REQUIRE(stations_[i]->id() == static_cast<StationId>(i + 1),
+               "station machines must be ordered by id");
+  }
+  timers_.resize(stations_.size());
+}
+
+void VirtualNet::add_drop(bool to_station, StationId station,
+                          std::uint64_t nth) {
+  drops_[{to_station, station}].push_back(nth);
+}
+
+Tick VirtualNet::latency() {
+  Tick lat = knobs_.delay;
+  if (knobs_.jitter > 0)
+    lat += static_cast<Tick>(
+        rng_.below(static_cast<std::uint64_t>(knobs_.jitter) + 1));
+  return lat;
+}
+
+void VirtualNet::dispatch(StationId station, bool to_station,
+                          std::vector<std::uint8_t> bytes) {
+  if (knobs_.loss > 0 && rng_.chance(knobs_.loss)) {
+    telemetry::count("live.emu_dropped");
+    return;
+  }
+  const std::uint64_t index = sent_counts_[{to_station, station}]++;
+  auto it = drops_.find({to_station, station});
+  if (it != drops_.end()) {
+    auto& list = it->second;
+    auto pos = std::find(list.begin(), list.end(), index);
+    if (pos != list.end()) {
+      list.erase(pos);
+      telemetry::count("live.emu_dropped");
+      return;
+    }
+  }
+  Event ev;
+  ev.time = now_ + latency();
+  ev.seq = next_event_seq_++;
+  ev.station = station;
+  ev.to_station = to_station;
+  ev.bytes = std::move(bytes);
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+}
+
+void VirtualNet::apply_station_actions(StationId id,
+                                       StationMachine::Actions actions) {
+  for (auto& bytes : actions.sends)
+    dispatch(id, /*to_station=*/false, std::move(bytes));
+  timers_[id - 1] = actions.finished ? std::nullopt : actions.timer;
+}
+
+bool VirtualNet::run(std::uint64_t max_events) {
+  // Kick every station off at tick 0 (all Joins land in one wave).
+  for (StationId id = 1; id <= stations_.size(); ++id)
+    apply_station_actions(id, stations_[id - 1]->on_start(0));
+
+  std::uint64_t processed = 0;
+  while (processed < max_events) {
+    const bool all_finished = [&] {
+      if (!daemon_done_) return false;
+      for (const StationMachine* s : stations_)
+        if (!s->finished()) return false;
+      return true;
+    }();
+    if (all_finished) return true;
+
+    // Next tick: earliest pending datagram or due timer.
+    Tick next = kTickInfinity;
+    if (!queue_.empty()) next = queue_.front().time;
+    for (const auto& t : timers_)
+      if (t && *t < next) next = *t;
+    if (next == kTickInfinity) return false;  // deadlock
+    AM_CHECK(next >= now_);
+    now_ = next;
+
+    // Drain the tick: station deliveries, then due station timers, then
+    // the daemon's wave — repeating, because zero-latency replies land
+    // back in the same tick.
+    bool progressed = true;
+    while (progressed && processed < max_events) {
+      progressed = false;
+
+      // Station-bound datagrams at now_, in (time, seq) arrival order.
+      while (!queue_.empty() && queue_.front().time <= now_ &&
+             queue_.front().to_station) {
+        std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+        Event ev = std::move(queue_.back());
+        queue_.pop_back();
+        ++processed;
+        progressed = true;
+        apply_station_actions(
+            ev.station, stations_[ev.station - 1]->on_datagram(now_, ev.bytes));
+      }
+
+      // Due station timers (deliveries above may have re-armed them).
+      for (StationId id = 1; id <= stations_.size(); ++id) {
+        auto& t = timers_[id - 1];
+        if (t && *t <= now_) {
+          t.reset();
+          ++processed;
+          progressed = true;
+          apply_station_actions(id, stations_[id - 1]->on_timer(now_));
+        }
+      }
+
+      // All daemon-bound datagrams of this tick form one wave.
+      if (!queue_.empty() && queue_.front().time <= now_ &&
+          !queue_.front().to_station) {
+        std::vector<std::vector<std::uint8_t>> batch;
+        while (!queue_.empty() && queue_.front().time <= now_ &&
+               !queue_.front().to_station) {
+          std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+          batch.push_back(std::move(queue_.back().bytes));
+          queue_.pop_back();
+        }
+        ++processed;
+        progressed = true;
+        DaemonActions acts = daemon_.on_batch(now_, batch);
+        if (acts.done) daemon_done_ = true;
+        for (auto& s : acts.sends)
+          dispatch(s.to, /*to_station=*/true, std::move(s.datagram));
+      }
+    }
+  }
+  return false;
+}
+
+VirtualRunReport run_virtual(const snapshot::RunSpec& spec,
+                             const VirtualRunOptions& opt) {
+  DaemonConfig dc;
+  dc.spec = spec;
+  dc.chunks = opt.chunks;
+  dc.stability = opt.stability;
+  Daemon daemon(dc);
+
+  std::vector<std::unique_ptr<StationMachine>> machines;
+  machines.reserve(spec.n);
+  for (StationId id = 1; id <= spec.n; ++id) {
+    StationConfig sc;
+    sc.id = id;
+    sc.name = "station-" + std::to_string(id);
+    sc.retry_ticks = opt.retry_ticks;
+    sc.max_retries = opt.max_retries;
+    machines.push_back(std::make_unique<StationMachine>(sc));
+  }
+  std::vector<StationMachine*> ptrs;
+  for (auto& m : machines) ptrs.push_back(m.get());
+
+  VirtualNet net(daemon, ptrs, opt.knobs);
+  VirtualRunReport report;
+  report.completed = net.run(opt.max_events);
+  for (const auto& m : machines)
+    report.station_exit_max = std::max(report.station_exit_max, m->exit_code());
+  report.daemon_failed = daemon.failed();
+  report.reason = daemon.reason();
+  report.stats = daemon.stats();
+  report.channel = daemon.live_channel_stats();
+  report.trace = daemon.trace().slots();
+  report.samples = daemon.backlog_samples();
+  if (!report.samples.empty()) report.verdict = daemon.verdict();
+  return report;
+}
+
+}  // namespace asyncmac::live

@@ -1,0 +1,246 @@
+#include "live/wire.h"
+
+#include <cstring>
+
+#include "snapshot/io.h"
+#include "util/check.h"
+
+namespace asyncmac::live {
+
+namespace {
+
+using snapshot::ErrorKind;
+using snapshot::SnapshotError;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_injections(snapshot::Writer& w,
+                       const std::vector<InjectionDelta>& v) {
+  w.u64(v.size());
+  for (const auto& d : v) {
+    w.i64(d.injected_at);
+    w.i64(d.cost);
+  }
+}
+
+std::vector<InjectionDelta> decode_injections(snapshot::Reader& r) {
+  const std::uint64_t count = r.u64();
+  // A feedback datagram never carries more injections than fit in the
+  // payload cap; reject absurd counts before allocating.
+  if (count > kMaxDatagramPayload / 16)
+    throw SnapshotError(ErrorKind::kCorrupt, "injection count out of range");
+  std::vector<InjectionDelta> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    InjectionDelta d;
+    d.injected_at = r.i64();
+    d.cost = r.i64();
+    v.push_back(d);
+  }
+  return v;
+}
+
+SlotAction decode_action(std::uint8_t v) {
+  switch (v) {
+    case 0: return SlotAction::kListen;
+    case 1: return SlotAction::kTransmitPacket;
+    case 2: return SlotAction::kTransmitControl;
+  }
+  throw SnapshotError(ErrorKind::kCorrupt, "unknown slot action");
+}
+
+std::uint8_t encode_action(SlotAction a) {
+  switch (a) {
+    case SlotAction::kListen: return 0;
+    case SlotAction::kTransmitPacket: return 1;
+    case SlotAction::kTransmitControl: return 2;
+  }
+  AM_CHECK_MSG(false, "unreachable slot action");
+  return 0;
+}
+
+Feedback decode_feedback(std::uint8_t v) {
+  switch (v) {
+    case 0: return Feedback::kSilence;
+    case 1: return Feedback::kBusy;
+    case 2: return Feedback::kAck;
+  }
+  throw SnapshotError(ErrorKind::kCorrupt, "unknown feedback");
+}
+
+std::uint8_t encode_feedback(Feedback f) {
+  switch (f) {
+    case Feedback::kSilence: return 0;
+    case Feedback::kBusy: return 1;
+    case Feedback::kAck: return 2;
+  }
+  AM_CHECK_MSG(false, "unreachable feedback");
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kJoin: return "join";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kBoundary: return "boundary";
+    case MsgType::kGrant: return "grant";
+    case MsgType::kSlotEnd: return "slot-end";
+    case MsgType::kFeedback: return "feedback";
+    case MsgType::kFin: return "fin";
+  }
+  return "?";
+}
+
+bool known_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(MsgType::kJoin) &&
+         t <= static_cast<std::uint8_t>(MsgType::kFin);
+}
+
+std::vector<std::uint8_t> encode(const Msg& m) {
+  snapshot::Writer w;
+  switch (m.type) {
+    case MsgType::kJoin:
+      w.u32(m.station);
+      w.str(m.name);
+      break;
+    case MsgType::kWelcome:
+      w.u32(m.station);
+      w.str(m.name);
+      w.u32(m.n);
+      w.u32(m.bound_r);
+      w.u64(m.rng_seed);
+      w.i64(m.horizon_ticks);
+      encode_injections(w, m.injections);
+      break;
+    case MsgType::kBoundary:
+      w.u32(m.station);
+      w.u64(m.slot_index);
+      w.u8(encode_action(m.action));
+      break;
+    case MsgType::kGrant:
+      w.u64(m.slot_index);
+      w.i64(m.length);
+      break;
+    case MsgType::kSlotEnd:
+      w.u32(m.station);
+      w.u64(m.slot_index);
+      break;
+    case MsgType::kFeedback:
+      w.u64(m.slot_index);
+      w.u8(encode_feedback(m.feedback));
+      w.boolean(m.delivered);
+      encode_injections(w, m.injections);
+      break;
+    case MsgType::kFin:
+      w.boolean(m.ok);
+      w.str(m.name);
+      break;
+  }
+  const std::vector<std::uint8_t>& payload = w.buffer();
+  AM_CHECK_MSG(payload.size() <= kMaxDatagramPayload, "live datagram too large");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kDatagramHeaderBytes + payload.size());
+  out.insert(out.end(), kDatagramMagic, kDatagramMagic + 4);
+  put_u32(out, kLiveWireVersion);
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  put_u64(out, payload.size());
+  put_u32(out, snapshot::crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Msg decode(const std::uint8_t* data, std::size_t size) {
+  if (size < kDatagramHeaderBytes)
+    throw SnapshotError(ErrorKind::kTruncated, "datagram shorter than header");
+  if (std::memcmp(data, kDatagramMagic, 4) != 0)
+    throw SnapshotError(ErrorKind::kBadMagic, "not a live-channel datagram");
+  const std::uint32_t version = get_u32(data + 4);
+  if (version != kLiveWireVersion)
+    throw SnapshotError(ErrorKind::kBadVersion,
+                        "live wire version " + std::to_string(version));
+  const std::uint8_t raw_type = data[8];
+  if (!known_type(raw_type))
+    throw SnapshotError(ErrorKind::kCorrupt,
+                        "unknown message type " + std::to_string(raw_type));
+  const std::uint64_t len = get_u64(data + 9);
+  if (len > kMaxDatagramPayload)
+    throw SnapshotError(ErrorKind::kCorrupt, "payload length out of range");
+  if (size != kDatagramHeaderBytes + len)
+    throw SnapshotError(ErrorKind::kTruncated,
+                        "datagram size does not match payload length");
+  const std::uint8_t* payload = data + kDatagramHeaderBytes;
+  const std::uint32_t crc = get_u32(data + 17);
+  if (snapshot::crc32(payload, static_cast<std::size_t>(len)) != crc)
+    throw SnapshotError(ErrorKind::kBadCrc, "payload checksum mismatch");
+
+  snapshot::Reader r(payload, static_cast<std::size_t>(len));
+  Msg m;
+  m.type = static_cast<MsgType>(raw_type);
+  switch (m.type) {
+    case MsgType::kJoin:
+      m.station = r.u32();
+      m.name = r.str();
+      break;
+    case MsgType::kWelcome:
+      m.station = r.u32();
+      m.name = r.str();
+      m.n = r.u32();
+      m.bound_r = r.u32();
+      m.rng_seed = r.u64();
+      m.horizon_ticks = r.i64();
+      m.injections = decode_injections(r);
+      break;
+    case MsgType::kBoundary:
+      m.station = r.u32();
+      m.slot_index = r.u64();
+      m.action = decode_action(r.u8());
+      break;
+    case MsgType::kGrant:
+      m.slot_index = r.u64();
+      m.length = r.i64();
+      break;
+    case MsgType::kSlotEnd:
+      m.station = r.u32();
+      m.slot_index = r.u64();
+      break;
+    case MsgType::kFeedback:
+      m.slot_index = r.u64();
+      m.feedback = decode_feedback(r.u8());
+      m.delivered = r.boolean();
+      m.injections = decode_injections(r);
+      break;
+    case MsgType::kFin:
+      m.ok = r.boolean();
+      m.name = r.str();
+      break;
+  }
+  r.expect_end();
+  return m;
+}
+
+Msg decode(const std::vector<std::uint8_t>& datagram) {
+  return decode(datagram.data(), datagram.size());
+}
+
+}  // namespace asyncmac::live

@@ -18,6 +18,10 @@ namespace asyncmac::adversary {
 class MirrorRun;  // Theorem-2 lower-bound driver (virtual executions)
 }
 
+namespace asyncmac::live {
+class StationMachine;  // live-channel client driving a Protocol remotely
+}
+
 namespace asyncmac::sim {
 
 class Engine;
@@ -45,6 +49,10 @@ class StationContext {
   friend class Engine;        // queue is mutated only by the engines
   friend class CohortEngine;  // (lockstep lanes mirror Engine exactly)
   friend class asyncmac::adversary::MirrorRun;  // and by virtual runs
+  // The live-channel station client replays the engine's queue operations
+  // from daemon feedback (push on injection, pop on delivery), keeping the
+  // protocol's observable world identical to a simulated run.
+  friend class asyncmac::live::StationMachine;
 
   void push(const Packet& p);
   Packet pop_front();

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/parse.h"
 
 namespace asyncmac::trace {
 
@@ -40,20 +41,11 @@ Feedback parse_feedback(const std::string& s) {
   throw std::invalid_argument("unknown feedback: " + s);
 }
 
-// Strict all-digits u32 parse: std::stoul would accept "12x", a leading
-// '-' (via wraparound at the stream layer) and silently widen, and throws
-// std::out_of_range instead of invalid_argument on huge inputs — fuzzed
-// trace files must fail cleanly with invalid_argument on every one of
-// those.
+// Strict all-digits u32 parse (shared with argv parsing): rejects trailing
+// garbage, signs, and overflow with std::invalid_argument — fuzzed trace
+// files must fail cleanly on every one of those.
 std::uint32_t parse_u32(const std::string& s, const char* what) {
-  AM_REQUIRE(!s.empty() && s.size() <= 10, std::string("bad ") + what);
-  std::uint64_t v = 0;
-  for (char c : s) {
-    AM_REQUIRE(c >= '0' && c <= '9', std::string("bad ") + what);
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  AM_REQUIRE(v <= UINT32_MAX, std::string(what) + " out of range");
-  return static_cast<std::uint32_t>(v);
+  return util::parse_u32(s, what);
 }
 
 }  // namespace

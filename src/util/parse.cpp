@@ -1,0 +1,69 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace asyncmac::util {
+
+namespace {
+
+std::uint64_t digits_u64(const std::string& s, const char* what,
+                         std::uint64_t max) {
+  AM_REQUIRE(!s.empty(), std::string("bad ") + what + ": empty value");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    AM_REQUIRE(c >= '0' && c <= '9',
+               std::string("bad ") + what + ": '" + s + "' is not a number");
+    std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    AM_REQUIRE(v <= (max - d) / 10,
+               std::string(what) + " out of range: '" + s + "'");
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(const std::string& s, const char* what,
+                        std::uint64_t max) {
+  return digits_u64(s, what, max);
+}
+
+std::uint32_t parse_u32(const std::string& s, const char* what,
+                        std::uint32_t max) {
+  return static_cast<std::uint32_t>(digits_u64(s, what, max));
+}
+
+std::int64_t parse_i64(const std::string& s, const char* what) {
+  if (!s.empty() && s[0] == '-') {
+    // |INT64_MIN| = INT64_MAX + 1; parse the magnitude against that cap.
+    std::uint64_t mag =
+        digits_u64(s.substr(1), what,
+                   static_cast<std::uint64_t>(INT64_MAX) + 1);
+    return static_cast<std::int64_t>(~mag + 1);
+  }
+  return static_cast<std::int64_t>(
+      digits_u64(s, what, static_cast<std::uint64_t>(INT64_MAX)));
+}
+
+double parse_double(const std::string& s, const char* what) {
+  AM_REQUIRE(!s.empty(), std::string("bad ") + what + ": empty value");
+  // strtod skips leading whitespace, which the full-consumption check
+  // below cannot see; reject it up front.
+  AM_REQUIRE(
+      s[0] != ' ' && s[0] != '\t' && s[0] != '\n' && s[0] != '\r',
+      std::string("bad ") + what + ": '" + s + "' is not a number");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  AM_REQUIRE(end == s.c_str() + s.size() && errno != ERANGE,
+             std::string("bad ") + what + ": '" + s + "' is not a number");
+  AM_REQUIRE(std::isfinite(v),
+             std::string("bad ") + what + ": '" + s + "' is not finite");
+  return v;
+}
+
+}  // namespace asyncmac::util

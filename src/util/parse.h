@@ -1,0 +1,36 @@
+// asyncmac/util/parse.h
+//
+// Strict numeric parsing for untrusted text: argv values, trace files,
+// manifest fields. The std::sto* family is unsuitable for all of these —
+// it throws std::out_of_range (not invalid_argument) on huge inputs,
+// accepts trailing garbage ("8x" → 8), accepts leading whitespace and
+// '+', and silently wraps when the result is narrowed to a smaller
+// unsigned type. Every parser here consumes the whole string or throws
+// std::invalid_argument mentioning `what`, so call sites can surface a
+// usage message instead of std::terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asyncmac::util {
+
+/// All-digits unsigned parse, result <= max. Rejects empty strings,
+/// signs, whitespace, trailing garbage, and overflow.
+std::uint64_t parse_u64(const std::string& s, const char* what,
+                        std::uint64_t max = UINT64_MAX);
+
+/// parse_u64 capped at UINT32_MAX (or a tighter `max`, e.g. 65535 for
+/// ports).
+std::uint32_t parse_u32(const std::string& s, const char* what,
+                        std::uint32_t max = UINT32_MAX);
+
+/// Optional leading '-', then all digits; range [INT64_MIN, INT64_MAX].
+std::int64_t parse_i64(const std::string& s, const char* what);
+
+/// Finite double: full-string strtod parse, then rejects nan/inf (an
+/// adversarial rho of NaN defeats range checks like `v < 0 || v > 1`,
+/// which are false for NaN).
+double parse_double(const std::string& s, const char* what);
+
+}  // namespace asyncmac::util

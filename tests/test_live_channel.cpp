@@ -1,0 +1,209 @@
+// Tests for the arrival-driven live channel (live/channel.h): open
+// transmissions make overlapping slots busy but never ack, and once all
+// intervals are closed the answers and cumulative stats are identical to
+// the simulation ledger fed the same schedule — the stats-parity half of
+// the sim-vs-live differential.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/ledger.h"
+#include "channel/transmission.h"
+#include "live/channel.h"
+#include "util/rng.h"
+
+namespace asyncmac::live {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(LiveChannel, OpenTransmissionIsBusyNeverAck) {
+  LiveChannel ch;
+  ch.begin_tx(1, 10, /*is_control=*/false, /*packet=*/1);
+  EXPECT_TRUE(ch.has_open(1));
+  // Any slot overlapping [10, inf) is busy; nothing has ended, so no ack.
+  EXPECT_EQ(ch.feedback(0, 10), Feedback::kSilence);  // touching, no overlap
+  EXPECT_EQ(ch.feedback(5, 15), Feedback::kBusy);
+  EXPECT_EQ(ch.feedback(100, 200), Feedback::kBusy);
+  EXPECT_EQ(ch.stats().transmissions, 1u);
+  EXPECT_EQ(ch.stats().successful, 0u);
+  EXPECT_EQ(ch.stats().collided, 0u);
+}
+
+TEST(LiveChannel, LoneClosedTransmissionAcks) {
+  LiveChannel ch;
+  ch.begin_tx(1, 10, false, 1);
+  EXPECT_TRUE(ch.close_tx(1, 20));
+  EXPECT_FALSE(ch.has_open(1));
+  // Ack iff the successful end lands in (s, t].
+  EXPECT_EQ(ch.feedback(10, 20), Feedback::kAck);
+  EXPECT_EQ(ch.feedback(15, 25), Feedback::kAck);
+  EXPECT_EQ(ch.feedback(20, 30), Feedback::kSilence);  // end not in (20, 30]
+  EXPECT_EQ(ch.feedback(0, 10), Feedback::kSilence);
+  EXPECT_EQ(ch.stats().successful, 1u);
+  EXPECT_EQ(ch.stats().successful_packets, 1u);
+  EXPECT_EQ(ch.stats().successful_packet_time, 10);
+}
+
+TEST(LiveChannel, OverlapCollidesBothWays) {
+  LiveChannel ch;
+  ch.begin_tx(1, 0, false, 1);
+  ch.begin_tx(2, 5, false, 2);
+  // Station 1 closes first at 10: overlaps [5, open) -> collided.
+  EXPECT_FALSE(ch.close_tx(1, 10));
+  // Station 2 closes at 12: overlaps the closed [0, 10) -> collided.
+  EXPECT_FALSE(ch.close_tx(2, 12));
+  EXPECT_EQ(ch.stats().collided, 2u);
+  EXPECT_EQ(ch.stats().successful, 0u);
+  EXPECT_EQ(ch.feedback(0, 12), Feedback::kBusy);
+}
+
+TEST(LiveChannel, TouchingEndpointsDoNotCollide) {
+  LiveChannel ch;
+  ch.begin_tx(1, 0, false, 1);
+  EXPECT_TRUE(ch.close_tx(1, 10));
+  ch.begin_tx(2, 10, false, 2);  // back-to-back, no overlap
+  EXPECT_TRUE(ch.close_tx(2, 20));
+  EXPECT_EQ(ch.stats().successful, 2u);
+  EXPECT_EQ(ch.stats().collided, 0u);
+}
+
+TEST(LiveChannel, ControlTransmissionsCountSeparately) {
+  LiveChannel ch;
+  ch.begin_tx(1, 0, /*is_control=*/true, 0);
+  EXPECT_TRUE(ch.close_tx(1, 5));
+  EXPECT_EQ(ch.stats().transmissions, 1u);
+  EXPECT_EQ(ch.stats().control_transmissions, 1u);
+  EXPECT_EQ(ch.stats().successful, 1u);
+  EXPECT_EQ(ch.stats().successful_packets, 0u);
+  EXPECT_EQ(ch.stats().successful_control_time, 5);
+  EXPECT_EQ(ch.stats().successful_packet_time, 0);
+  // A successful control transmission still acks its slot.
+  EXPECT_EQ(ch.feedback(0, 5), Feedback::kAck);
+}
+
+TEST(LiveChannel, PrunePreservesStatsAndKeepsOpenEntries) {
+  LiveChannel ch;
+  ch.begin_tx(1, 0, false, 1);
+  EXPECT_TRUE(ch.close_tx(1, 10));
+  ch.begin_tx(2, 20, false, 2);  // stays open across the prune
+  ch.prune_before(15);
+  EXPECT_EQ(ch.window_size(), 1u);  // closed [0,10) dropped, open kept
+  EXPECT_TRUE(ch.has_open(2));
+  EXPECT_EQ(ch.stats().successful, 1u);
+  EXPECT_EQ(ch.stats().transmissions, 2u);
+  // Later slots still see the open transmission.
+  EXPECT_EQ(ch.feedback(25, 30), Feedback::kBusy);
+}
+
+// ----------------------------------------------------- ledger differential
+
+struct ScheduledTx {
+  StationId station;
+  Tick begin;
+  Tick end;
+  bool is_control;
+};
+
+/// Seeded random schedule: per station a chain of non-overlapping slots
+/// with random lengths and idle gaps, transmitting with probability 1/2.
+/// Cross-station overlap is unconstrained — exactly the regime where
+/// success/collision decisions are interesting.
+std::vector<ScheduledTx> random_schedule(std::uint64_t seed, int stations,
+                                         int slots_per_station) {
+  util::Rng rng(seed);
+  std::vector<ScheduledTx> txs;
+  for (StationId s = 1; s <= static_cast<StationId>(stations); ++s) {
+    Tick t = static_cast<Tick>(rng.below(5)) * U;
+    for (int k = 0; k < slots_per_station; ++k) {
+      const Tick len = (1 + static_cast<Tick>(rng.below(4))) * U;
+      if (rng.below(2) == 0)
+        txs.push_back({s, t, t + len, rng.below(8) == 0});
+      t += len + static_cast<Tick>(rng.below(3)) * U;
+    }
+  }
+  std::sort(txs.begin(), txs.end(),
+            [](const ScheduledTx& a, const ScheduledTx& b) {
+              return a.begin < b.begin ||
+                     (a.begin == b.begin && a.station < b.station);
+            });
+  return txs;
+}
+
+TEST(LiveChannelDifferential, MatchesLedgerOnRandomSchedules) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    const auto txs = random_schedule(seed, 5, 40);
+    ASSERT_FALSE(txs.empty());
+
+    // Ledger: full intervals in begin order (the engine's add pattern).
+    channel::Ledger ledger;
+    Tick latest_end = 0;
+    for (const auto& tx : txs) {
+      channel::Transmission t;
+      t.station = tx.station;
+      t.begin = tx.begin;
+      t.end = tx.end;
+      t.is_control = tx.is_control;
+      t.packet = tx.is_control ? 0 : 1;
+      ledger.add(t);
+      latest_end = std::max(latest_end, tx.end);
+    }
+
+    // LiveChannel: begins in begin order, each closed once every earlier
+    // begin is registered (the daemon's wave ordering). Interleave by
+    // merging: before registering a begin at time b, close everything
+    // ending at or before b; drain the rest at the end.
+    LiveChannel live;
+    std::vector<ScheduledTx> open;
+    auto close_until = [&](Tick t) {
+      std::sort(open.begin(), open.end(),
+                [](const ScheduledTx& a, const ScheduledTx& b) {
+                  return a.end < b.end;
+                });
+      while (!open.empty() && open.front().end <= t) {
+        live.close_tx(open.front().station, open.front().end);
+        open.erase(open.begin());
+      }
+    };
+    for (const auto& tx : txs) {
+      close_until(tx.begin);
+      live.begin_tx(tx.station, tx.begin, tx.is_control,
+                    tx.is_control ? 0 : 1);
+      open.push_back(tx);
+    }
+    close_until(latest_end);
+    ASSERT_TRUE(open.empty());
+
+    // Force the ledger to finalize everything so stats are comparable.
+    ledger.finalize_until(latest_end);
+    EXPECT_EQ(live.stats().transmissions, ledger.stats().transmissions);
+    EXPECT_EQ(live.stats().successful, ledger.stats().successful);
+    EXPECT_EQ(live.stats().collided, ledger.stats().collided);
+    EXPECT_EQ(live.stats().control_transmissions,
+              ledger.stats().control_transmissions);
+    EXPECT_EQ(live.stats().successful_packets,
+              ledger.stats().successful_packets);
+    EXPECT_EQ(live.stats().successful_packet_time,
+              ledger.stats().successful_packet_time);
+    EXPECT_EQ(live.stats().successful_control_time,
+              ledger.stats().successful_control_time);
+
+    // Feedback parity over a dense sweep of query windows, including
+    // ones straddling interval boundaries.
+    util::Rng qrng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int q = 0; q < 500; ++q) {
+      const Tick s = static_cast<Tick>(
+          qrng.below(static_cast<std::uint64_t>(latest_end)));
+      const Tick t =
+          s + 1 +
+          static_cast<Tick>(qrng.below(static_cast<std::uint64_t>(4 * U)));
+      EXPECT_EQ(live.feedback(s, t), ledger.feedback(s, t))
+          << "seed=" << seed << " window=[" << s << "," << t << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncmac::live

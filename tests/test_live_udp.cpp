@@ -1,0 +1,111 @@
+// End-to-end smoke test of the real poll()-based UDP transport
+// (live/udp.h): a daemon and its station clients on loopback sockets in
+// one process, short horizon, real wall-clock timers. Asserts liveness
+// and clean completion — byte-level identity is the virtual clock's job
+// (test_live_differential.cpp); wall time legitimately stretches slots.
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "live/daemon.h"
+#include "live/udp.h"
+#include "snapshot/checkpoint.h"
+
+namespace asyncmac::live {
+namespace {
+
+snapshot::RunSpec udp_spec(std::uint32_t n) {
+  snapshot::RunSpec spec;
+  spec.protocol = "ca-arrow";
+  spec.n = n;
+  spec.bound_r = 2;
+  spec.slot_policy = "perstation";
+  spec.has_injector = true;
+  spec.injector.kind = "saturating";
+  spec.injector.rho = util::Ratio(1, 2);
+  spec.injector.burst_ticks = 8 * kTicksPerUnit;
+  spec.injector.pattern = "roundrobin";
+  spec.seed = 6;
+  spec.horizon_units = 40;  // ~80ms of wall time at 2ms/unit
+  return spec;
+}
+
+TEST(LiveUdp, DaemonAndThreeStationsCompleteOverLoopback) {
+  constexpr std::uint32_t kStations = 3;
+  constexpr std::uint64_t kUnitUs = 2000;
+
+  DaemonConfig dc;
+  dc.spec = udp_spec(kStations);
+  Daemon daemon(dc);
+
+  std::promise<std::uint16_t> port_promise;
+  auto port_future = port_promise.get_future();
+  UdpServeOptions sopt;
+  sopt.unit_us = kUnitUs;
+  sopt.idle_timeout_ms = 10000;
+  sopt.on_listening = [&](std::uint16_t port) {
+    port_promise.set_value(port);
+  };
+  std::string serve_err;
+  int serve_rc = -1;
+  std::thread server([&] { serve_rc = serve_udp(daemon, sopt, &serve_err); });
+
+  const std::uint16_t port = port_future.get();
+  ASSERT_GT(port, 0);
+
+  std::vector<int> station_rc(kStations, -1);
+  std::vector<std::string> station_err(kStations);
+  std::vector<std::thread> stations;
+  for (std::uint32_t i = 0; i < kStations; ++i) {
+    stations.emplace_back([&, i] {
+      UdpStationOptions o;
+      o.port = port;
+      o.unit_us = kUnitUs;
+      o.station.id = i + 1;
+      o.station.retry_ticks = units(200);  // a few hundred ms
+      station_rc[i] = run_station_udp(o, &station_err[i]);
+    });
+  }
+  for (auto& t : stations) t.join();
+  server.join();
+
+  EXPECT_EQ(serve_rc, 0) << serve_err;
+  EXPECT_TRUE(daemon.done());
+  EXPECT_FALSE(daemon.failed()) << daemon.reason();
+  for (std::uint32_t i = 0; i < kStations; ++i)
+    EXPECT_EQ(station_rc[i], 0) << "station " << i + 1 << ": "
+                                << station_err[i];
+  EXPECT_GT(daemon.stats().injected_packets, 0u);
+  EXPECT_GT(daemon.stats().delivered_packets, 0u);
+  EXPECT_GT(daemon.live_channel_stats().successful, 0u);
+  EXPECT_EQ(daemon.backlog_samples().size(), 8u);
+}
+
+TEST(LiveUdp, IdleDaemonTimesOutWithError) {
+  DaemonConfig dc;
+  dc.spec = udp_spec(2);
+  Daemon daemon(dc);
+  UdpServeOptions sopt;
+  sopt.idle_timeout_ms = 100;  // nobody will ever join
+  std::string err;
+  EXPECT_EQ(serve_udp(daemon, sopt, &err), 1);
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(daemon.done());
+}
+
+TEST(LiveUdp, BadBindAddressFailsCleanly) {
+  DaemonConfig dc;
+  dc.spec = udp_spec(2);
+  Daemon daemon(dc);
+  UdpServeOptions sopt;
+  sopt.bind_host = "not-an-address";
+  std::string err;
+  EXPECT_EQ(serve_udp(daemon, sopt, &err), 1);
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace asyncmac::live

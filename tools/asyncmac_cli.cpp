@@ -30,6 +30,7 @@
 // Exit code 0 on success; 1 on fuzz violations / failed replay / bad
 // checkpoint; 2 on bad usage.
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -45,6 +46,10 @@
 #include "analysis/experiment.h"
 #include "analysis/msr.h"
 #include "analysis/registry.h"
+#include "live/daemon.h"
+#include "live/station.h"
+#include "live/udp.h"
+#include "live/virtual_net.h"
 #include "metrics/json.h"
 #include "sim/engine.h"
 #include "snapshot/checkpoint.h"
@@ -53,6 +58,7 @@
 #include "telemetry/registry.h"
 #include "telemetry/summary.h"
 #include "trace/renderer.h"
+#include "util/parse.h"
 #include "verify/campaign.h"
 #include "verify/repro.h"
 
@@ -125,6 +131,8 @@ std::vector<std::string> split_list(const std::string& s) {
       "  asyncmac_cli stats <file> [--top=N]   summarize telemetry JSONL\n"
       "  asyncmac_cli serve [serve flags]      distributed-sweep coordinator\n"
       "  asyncmac_cli worker --port=P          distributed-sweep worker\n"
+      "  asyncmac_cli live-serve [...]         live channel-emulator daemon\n"
+      "  asyncmac_cli live-station [...]       live station client\n"
       "  asyncmac_cli --help                   this reference\n"
       "\n"
       "run flags (single run, --msr, and --grid):\n"
@@ -213,6 +221,33 @@ std::vector<std::string> split_list(const std::string& s) {
       "  --port=P       coordinator port (required)\n"
       "  --name=S       worker name for coordinator-side logs\n"
       "\n"
+      "live-serve flags (run flags above select the scenario; docs/LIVE.md;\n"
+      "stations connect over loopback UDP unless --virtual; the stability\n"
+      "verdict goes to stderr, stdout matches run mode byte-for-byte):\n"
+      "  --virtual            daemon + stations in-process on a virtual\n"
+      "                       clock (deterministic differential mode)\n"
+      "  --port=P             UDP listen port; 0 = ephemeral (default 0)\n"
+      "  --port-file=PATH     write the bound port to PATH (scripts/CI)\n"
+      "  --unit-us=N          wall microseconds per time unit (default\n"
+      "                       1000); stations must use the same value\n"
+      "  --idle-timeout-ms=T  exit 1 after T ms without a datagram\n"
+      "                       (default 30000)\n"
+      "  --emu-loss=F         per-datagram drop probability in [0, 1)\n"
+      "  --emu-delay-us=N     fixed one-way latency (microseconds)\n"
+      "  --emu-jitter-us=N    extra uniform latency in [0, N] us\n"
+      "  --emu-seed=S         emulation rng seed (default 1)\n"
+      "\n"
+      "live-station flags (one protocol automaton joining a live-serve\n"
+      "daemon; exits 0 when the daemon fins the run cleanly):\n"
+      "  --host=H         daemon host (default 127.0.0.1)\n"
+      "  --port=P         daemon UDP port (required)\n"
+      "  --id=I           station id in 1..n (required)\n"
+      "  --name=S         station name (default station-I)\n"
+      "  --unit-us=N      must match the daemon's (default 1000)\n"
+      "  --retry-units=T  reply timeout before a retransmit (default 64)\n"
+      "  --max-retries=K  unanswered retransmits before giving up\n"
+      "                   (default 25)\n"
+      "\n"
       "exit codes: 0 success; 1 fuzz violations, failed replay or bad\n"
       "checkpoint; 2 bad usage\n";
   std::exit(0);
@@ -222,6 +257,47 @@ std::vector<std::string> split_list(const std::string& s) {
 // Exits with usage() if the file cannot be opened.
 void enable_telemetry_or_die(const std::string& path) {
   if (!telemetry::enable_to_file(path)) usage("cannot write " + path);
+}
+
+// ---- strict argv numeric parsing (util/parse.h) -----------------------
+// A malformed or overflowing value exits with a usage message instead of
+// an uncaught std::sto* exception (std::terminate); trailing garbage
+// ("--n=8x") and silently-wrapping u32 overflow ("--r=4294967297" → 1)
+// are rejected rather than truncated.
+
+// Largest time-unit count whose tick conversion (units * U) cannot
+// overflow a signed 64-bit Tick.
+constexpr std::uint64_t kMaxUnitsArg =
+    static_cast<std::uint64_t>(INT64_MAX / kTicksPerUnit);
+
+std::uint64_t arg_u64(const std::string& s, const char* what,
+                      std::uint64_t max = UINT64_MAX) {
+  try {
+    return util::parse_u64(s, what, max);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+}
+
+std::uint32_t arg_u32(const std::string& s, const char* what,
+                      std::uint32_t max = UINT32_MAX) {
+  try {
+    return util::parse_u32(s, what, max);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+}
+
+Tick arg_units(const std::string& s, const char* what) {
+  return static_cast<Tick>(arg_u64(s, what, kMaxUnitsArg));
+}
+
+double arg_finite(const std::string& s, const char* what) {
+  try {
+    return util::parse_double(s, what);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 Options parse_args(int argc, char** argv) {
@@ -240,35 +316,37 @@ Options parse_args(int argc, char** argv) {
     else if (arg.rfind("--rho=", 0) == 0)
       opt.rho_list = value("--rho=");
     else if (arg.rfind("--burst=", 0) == 0)
-      opt.burst_units = std::stol(value("--burst="));
+      opt.burst_units = arg_units(value("--burst="), "--burst");
     else if (arg.rfind("--policy=", 0) == 0)
       opt.policy = value("--policy=");
     else if (arg.rfind("--pattern=", 0) == 0)
       opt.pattern = value("--pattern=");
     else if (arg.rfind("--horizon=", 0) == 0)
-      opt.horizon_units = std::stol(value("--horizon="));
+      opt.horizon_units = arg_units(value("--horizon="), "--horizon");
     else if (arg.rfind("--seed=", 0) == 0)
-      opt.seed = std::stoull(value("--seed="));
+      opt.seed = arg_u64(value("--seed="), "--seed");
     else if (arg == "--json")
       opt.json = true;
     else if (arg.rfind("--trace=", 0) == 0)
-      opt.trace_units = std::stol(value("--trace="));
+      opt.trace_units = arg_units(value("--trace="), "--trace");
     else if (arg == "--msr")
       opt.msr = true;
     else if (arg == "--grid")
       opt.grid = true;
     else if (arg.rfind("--seeds=", 0) == 0)
-      opt.seeds = static_cast<int>(std::stol(value("--seeds=")));
+      opt.seeds = static_cast<int>(
+          arg_u32(value("--seeds="), "--seeds", INT32_MAX));
     else if (arg.rfind("--jobs=", 0) == 0)
-      opt.jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
+      opt.jobs = arg_u32(value("--jobs="), "--jobs");
     else if (arg.rfind("--cohort=", 0) == 0)
-      opt.cohort = static_cast<unsigned>(std::stoul(value("--cohort=")));
+      opt.cohort = arg_u32(value("--cohort="), "--cohort");
     else if (arg.rfind("--csv=", 0) == 0)
       opt.csv_path = value("--csv=");
     else if (arg.rfind("--telemetry=", 0) == 0)
       opt.telemetry_path = value("--telemetry=");
     else if (arg.rfind("--checkpoint-every=", 0) == 0)
-      opt.checkpoint_every = std::stoull(value("--checkpoint-every="));
+      opt.checkpoint_every =
+          arg_u64(value("--checkpoint-every="), "--checkpoint-every");
     else if (arg.rfind("--checkpoint-dir=", 0) == 0)
       opt.checkpoint_dir = value("--checkpoint-dir=");
     else if (arg == "--help" || arg == "-h")
@@ -294,9 +372,11 @@ Options parse_args(int argc, char** argv) {
         opt.protocol.find(',') != std::string::npos ||
         opt.policy.find(',') != std::string::npos)
       usage("comma lists need --grid");
-    opt.n = static_cast<std::uint32_t>(std::stoul(opt.n_list));
-    opt.r = static_cast<std::uint32_t>(std::stoul(opt.r_list));
-    opt.rho = std::stod(opt.rho_list);
+    opt.n = arg_u32(opt.n_list, "--n");
+    opt.r = arg_u32(opt.r_list, "--r");
+    // arg_finite already rejects nan/inf (which would pass the range
+    // check below: comparisons against NaN are all false).
+    opt.rho = arg_finite(opt.rho_list, "--rho");
     if (opt.n < 1) usage("--n must be >= 1");
     if (opt.r < 1) usage("--r must be >= 1");
     if (opt.rho < 0 || opt.rho > 1) usage("--rho must lie in [0, 1]");
@@ -313,14 +393,15 @@ analysis::ExperimentSpec make_grid_spec(const Options& opt) {
   spec.slot_policies = split_list(opt.policy);
   spec.station_counts.clear();
   for (const auto& v : split_list(opt.n_list))
-    spec.station_counts.push_back(
-        static_cast<std::uint32_t>(std::stoul(v)));
+    spec.station_counts.push_back(arg_u32(v, "--n"));
   spec.bounds_r.clear();
   for (const auto& v : split_list(opt.r_list))
-    spec.bounds_r.push_back(static_cast<std::uint32_t>(std::stoul(v)));
+    spec.bounds_r.push_back(arg_u32(v, "--r"));
   spec.rho_percents.clear();
   for (const auto& v : split_list(opt.rho_list)) {
-    const double rho = std::stod(v);
+    // arg_finite rejects nan/inf — a NaN in the list would sail through
+    // the range check below.
+    const double rho = arg_finite(v, "--rho");
     if (rho < 0 || rho > 1) usage("--rho values must lie in [0, 1]");
     spec.rho_percents.push_back(static_cast<int>(std::lround(rho * 100)));
   }
@@ -417,13 +498,16 @@ snapshot::RunSpec make_run_spec(const Options& opt, util::Ratio rho) {
   return spec;
 }
 
-/// Stats text/JSON + optional trace render, shared between run mode and
-/// `resume` (the determinism contract makes their output identical for
-/// the same effective run, which the resume smoke test diffs).
+/// Stats text/JSON + optional trace render, shared between run mode,
+/// `resume` and `live-serve` (the determinism contract makes their
+/// output identical for the same effective run — the resume smoke test
+/// and the live-smoke differential both diff it byte-for-byte, which is
+/// why this takes the result components rather than an engine: the live
+/// daemon produces the same stats/ledger/trace without one).
 void report_run(const snapshot::RunSpec& spec, double rho,
-                const sim::Engine& engine, bool json, Tick trace_units) {
-  const auto& s = engine.stats();
-  const auto& ch = engine.channel_stats();
+                const metrics::RunStats& s, const channel::LedgerStats& ch,
+                const std::vector<trace::SlotRecord>& slots, bool json,
+                Tick trace_units) {
   if (json) {
     std::cout << metrics::to_json(s, &ch);
   } else {
@@ -447,7 +531,7 @@ void report_run(const snapshot::RunSpec& spec, double rho,
   if (trace_units > 0) {
     trace::RenderOptions r;
     r.to = trace_units * U;
-    std::cout << "\n" << trace::render_schedule(engine.trace().slots(), r);
+    std::cout << "\n" << trace::render_schedule(slots, r);
   }
 }
 
@@ -527,41 +611,36 @@ FuzzOptions parse_fuzz_args(int argc, char** argv) {
       if (i + 1 >= args.size()) usage(flag + " needs a value");
       return args[++i];
     };
-    try {
-      if (flag == "--seed")
-        opt.seed = std::stoull(value());
-      else if (flag == "--cases")
-        opt.cases = std::stoull(value());
-      else if (flag == "--jobs")
-        opt.jobs = static_cast<unsigned>(std::stoul(value()));
-      else if (flag == "--time-budget")
-        opt.time_budget = static_cast<int>(std::stol(value()));
-      else if (flag == "--protocol")
-        opt.protocols = split_list(value());
-      else if (flag == "--no-shrink")
-        opt.shrink = false;
-      else if (flag == "--repro-out")
-        opt.repro_out = value();
-      else if (flag == "--repro")
-        opt.repro_in = value();
-      else if (flag == "--case-seed")
-        opt.case_seed = std::stoull(value());
-      else if (flag == "--telemetry")
-        opt.telemetry_path = value();
-      else if (flag == "--checkpoint")
-        opt.checkpoint_path = value();
-      else if (flag == "--help" || flag == "-h")
-        print_help();
-      else if (flag == "--emit-case") {
-        opt.has_emit_case = true;
-        opt.emit_case = std::stoull(value());
-      } else
-        usage("unknown fuzz argument: " + flag);
-    } catch (const std::invalid_argument&) {
-      usage("bad value for " + flag);
-    } catch (const std::out_of_range&) {
-      usage("bad value for " + flag);
-    }
+    if (flag == "--seed")
+      opt.seed = arg_u64(value(), "--seed");
+    else if (flag == "--cases")
+      opt.cases = arg_u64(value(), "--cases");
+    else if (flag == "--jobs")
+      opt.jobs = arg_u32(value(), "--jobs");
+    else if (flag == "--time-budget")
+      opt.time_budget = static_cast<int>(
+          arg_u32(value(), "--time-budget", INT32_MAX));
+    else if (flag == "--protocol")
+      opt.protocols = split_list(value());
+    else if (flag == "--no-shrink")
+      opt.shrink = false;
+    else if (flag == "--repro-out")
+      opt.repro_out = value();
+    else if (flag == "--repro")
+      opt.repro_in = value();
+    else if (flag == "--case-seed")
+      opt.case_seed = arg_u64(value(), "--case-seed");
+    else if (flag == "--telemetry")
+      opt.telemetry_path = value();
+    else if (flag == "--checkpoint")
+      opt.checkpoint_path = value();
+    else if (flag == "--help" || flag == "-h")
+      print_help();
+    else if (flag == "--emit-case") {
+      opt.has_emit_case = true;
+      opt.emit_case = arg_u64(value(), "--emit-case");
+    } else
+      usage("unknown fuzz argument: " + flag);
   }
   if (opt.cases < 1) usage("--cases must be >= 1");
   if (opt.time_budget < 0) usage("--time-budget must be >= 0");
@@ -691,7 +770,7 @@ int run_stats(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--top=", 0) == 0)
-      top = std::stoul(arg.substr(6));
+      top = arg_u64(arg.substr(6), "--top");
     else if (arg.rfind("--", 0) == 0)
       usage("unknown stats argument: " + arg);
     else if (path.empty())
@@ -724,11 +803,11 @@ int run_resume(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--horizon=", 0) == 0)
-      horizon_units = std::stol(arg.substr(10));
+      horizon_units = arg_units(arg.substr(10), "--horizon");
     else if (arg == "--json")
       json = true;
     else if (arg.rfind("--trace=", 0) == 0)
-      trace_units = std::stol(arg.substr(8));
+      trace_units = arg_units(arg.substr(8), "--trace");
     else if (arg.rfind("--telemetry=", 0) == 0)
       telemetry_path = arg.substr(12);
     else if (arg.rfind("--checkpoint-dir=", 0) == 0)
@@ -804,7 +883,8 @@ int run_resume(int argc, char** argv) {
        {"delivered", run.engine->stats().delivered_packets}});
   const double rho =
       spec.has_injector ? spec.injector.rho.to_double() : 0.0;
-  report_run(spec, rho, *run.engine, json, trace_units);
+  report_run(spec, rho, run.engine->stats(), run.engine->channel_stats(),
+             run.engine->trace().slots(), json, trace_units);
   return 0;
 }
 
@@ -827,52 +907,49 @@ ServeOptions parse_serve_args(int argc, char** argv) {
     auto value = [&](const std::string& prefix) {
       return arg.substr(prefix.size());
     };
-    try {
-      if (arg.rfind("--protocol=", 0) == 0)
-        opt.grid.protocol = value("--protocol=");
-      else if (arg.rfind("--n=", 0) == 0)
-        opt.grid.n_list = value("--n=");
-      else if (arg.rfind("--r=", 0) == 0)
-        opt.grid.r_list = value("--r=");
-      else if (arg.rfind("--rho=", 0) == 0)
-        opt.grid.rho_list = value("--rho=");
-      else if (arg.rfind("--burst=", 0) == 0)
-        opt.grid.burst_units = std::stol(value("--burst="));
-      else if (arg.rfind("--policy=", 0) == 0)
-        opt.grid.policy = value("--policy=");
-      else if (arg.rfind("--horizon=", 0) == 0)
-        opt.grid.horizon_units = std::stol(value("--horizon="));
-      else if (arg.rfind("--seed=", 0) == 0)
-        opt.grid.seed = std::stoull(value("--seed="));
-      else if (arg.rfind("--seeds=", 0) == 0)
-        opt.grid.seeds = static_cast<int>(std::stol(value("--seeds=")));
-      else if (arg.rfind("--csv=", 0) == 0)
-        opt.grid.csv_path = value("--csv=");
-      else if (arg.rfind("--checkpoint-dir=", 0) == 0)
-        opt.grid.checkpoint_dir = value("--checkpoint-dir=");
-      else if (arg.rfind("--telemetry=", 0) == 0)
-        opt.grid.telemetry_path = value("--telemetry=");
-      else if (arg == "--fuzz")
-        opt.fuzz = true;
-      else if (arg.rfind("--cases=", 0) == 0)
-        opt.cases = std::stoull(value("--cases="));
-      else if (arg.rfind("--port=", 0) == 0)
-        opt.port = static_cast<std::uint16_t>(std::stoul(value("--port=")));
-      else if (arg.rfind("--port-file=", 0) == 0)
-        opt.port_file = value("--port-file=");
-      else if (arg.rfind("--lease-timeout-ms=", 0) == 0)
-        opt.lease_timeout_ms = std::stoull(value("--lease-timeout-ms="));
-      else if (arg.rfind("--heartbeat-ms=", 0) == 0)
-        opt.heartbeat_ms = std::stoull(value("--heartbeat-ms="));
-      else if (arg == "--help" || arg == "-h")
-        print_help();
-      else
-        usage("unknown serve argument: " + arg);
-    } catch (const std::invalid_argument&) {
-      usage("bad value for " + arg);
-    } catch (const std::out_of_range&) {
-      usage("bad value for " + arg);
-    }
+    if (arg.rfind("--protocol=", 0) == 0)
+      opt.grid.protocol = value("--protocol=");
+    else if (arg.rfind("--n=", 0) == 0)
+      opt.grid.n_list = value("--n=");
+    else if (arg.rfind("--r=", 0) == 0)
+      opt.grid.r_list = value("--r=");
+    else if (arg.rfind("--rho=", 0) == 0)
+      opt.grid.rho_list = value("--rho=");
+    else if (arg.rfind("--burst=", 0) == 0)
+      opt.grid.burst_units = arg_units(value("--burst="), "--burst");
+    else if (arg.rfind("--policy=", 0) == 0)
+      opt.grid.policy = value("--policy=");
+    else if (arg.rfind("--horizon=", 0) == 0)
+      opt.grid.horizon_units = arg_units(value("--horizon="), "--horizon");
+    else if (arg.rfind("--seed=", 0) == 0)
+      opt.grid.seed = arg_u64(value("--seed="), "--seed");
+    else if (arg.rfind("--seeds=", 0) == 0)
+      opt.grid.seeds = static_cast<int>(
+          arg_u32(value("--seeds="), "--seeds", INT32_MAX));
+    else if (arg.rfind("--csv=", 0) == 0)
+      opt.grid.csv_path = value("--csv=");
+    else if (arg.rfind("--checkpoint-dir=", 0) == 0)
+      opt.grid.checkpoint_dir = value("--checkpoint-dir=");
+    else if (arg.rfind("--telemetry=", 0) == 0)
+      opt.grid.telemetry_path = value("--telemetry=");
+    else if (arg == "--fuzz")
+      opt.fuzz = true;
+    else if (arg.rfind("--cases=", 0) == 0)
+      opt.cases = arg_u64(value("--cases="), "--cases");
+    else if (arg.rfind("--port=", 0) == 0)
+      opt.port = static_cast<std::uint16_t>(
+          arg_u32(value("--port="), "--port", 65535));
+    else if (arg.rfind("--port-file=", 0) == 0)
+      opt.port_file = value("--port-file=");
+    else if (arg.rfind("--lease-timeout-ms=", 0) == 0)
+      opt.lease_timeout_ms =
+          arg_u64(value("--lease-timeout-ms="), "--lease-timeout-ms");
+    else if (arg.rfind("--heartbeat-ms=", 0) == 0)
+      opt.heartbeat_ms = arg_u64(value("--heartbeat-ms="), "--heartbeat-ms");
+    else if (arg == "--help" || arg == "-h")
+      print_help();
+    else
+      usage("unknown serve argument: " + arg);
   }
   if (opt.grid.seeds < 1) usage("--seeds must be >= 1");
   if (opt.lease_timeout_ms == 0) usage("--lease-timeout-ms must be > 0");
@@ -950,22 +1027,17 @@ int run_worker(int argc, char** argv) {
   sweep::WorkerOptions opt;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    try {
-      if (arg.rfind("--host=", 0) == 0)
-        opt.host = arg.substr(7);
-      else if (arg.rfind("--port=", 0) == 0)
-        opt.port = static_cast<std::uint16_t>(std::stoul(arg.substr(7)));
-      else if (arg.rfind("--name=", 0) == 0)
-        opt.name = arg.substr(7);
-      else if (arg == "--help" || arg == "-h")
-        print_help();
-      else
-        usage("unknown worker argument: " + arg);
-    } catch (const std::invalid_argument&) {
-      usage("bad value for " + arg);
-    } catch (const std::out_of_range&) {
-      usage("bad value for " + arg);
-    }
+    if (arg.rfind("--host=", 0) == 0)
+      opt.host = arg.substr(7);
+    else if (arg.rfind("--port=", 0) == 0)
+      opt.port = static_cast<std::uint16_t>(
+          arg_u32(arg.substr(7), "--port", 65535));
+    else if (arg.rfind("--name=", 0) == 0)
+      opt.name = arg.substr(7);
+    else if (arg == "--help" || arg == "-h")
+      print_help();
+    else
+      usage("unknown worker argument: " + arg);
   }
   if (opt.port == 0) usage("worker needs --port");
   try {
@@ -974,6 +1046,235 @@ int run_worker(int argc, char** argv) {
     std::cerr << "asyncmac_cli worker: " << e.what() << "\n";
     return 1;
   }
+}
+
+// ------------------------------------------------ live-serve / live-station
+
+struct LiveServeOptions {
+  Options run;  ///< scenario dimensions (scalar) + --json/--trace/--telemetry
+  bool virtual_mode = false;
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  std::string port_file;
+  std::uint64_t unit_us = 1000;
+  std::uint64_t idle_timeout_ms = 30000;
+  double emu_loss = 0.0;
+  std::uint64_t emu_delay_us = 0;
+  std::uint64_t emu_jitter_us = 0;
+  std::uint64_t emu_seed = 1;
+};
+
+LiveServeOptions parse_live_serve_args(int argc, char** argv) {
+  LiveServeOptions opt;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--protocol=", 0) == 0)
+      opt.run.protocol = value("--protocol=");
+    else if (arg.rfind("--n=", 0) == 0)
+      opt.run.n_list = value("--n=");
+    else if (arg.rfind("--r=", 0) == 0)
+      opt.run.r_list = value("--r=");
+    else if (arg.rfind("--rho=", 0) == 0)
+      opt.run.rho_list = value("--rho=");
+    else if (arg.rfind("--burst=", 0) == 0)
+      opt.run.burst_units = arg_units(value("--burst="), "--burst");
+    else if (arg.rfind("--policy=", 0) == 0)
+      opt.run.policy = value("--policy=");
+    else if (arg.rfind("--pattern=", 0) == 0)
+      opt.run.pattern = value("--pattern=");
+    else if (arg.rfind("--horizon=", 0) == 0)
+      opt.run.horizon_units = arg_units(value("--horizon="), "--horizon");
+    else if (arg.rfind("--seed=", 0) == 0)
+      opt.run.seed = arg_u64(value("--seed="), "--seed");
+    else if (arg == "--json")
+      opt.run.json = true;
+    else if (arg.rfind("--trace=", 0) == 0)
+      opt.run.trace_units = arg_units(value("--trace="), "--trace");
+    else if (arg.rfind("--telemetry=", 0) == 0)
+      opt.run.telemetry_path = value("--telemetry=");
+    else if (arg == "--virtual")
+      opt.virtual_mode = true;
+    else if (arg.rfind("--port=", 0) == 0)
+      opt.port = static_cast<std::uint16_t>(
+          arg_u32(value("--port="), "--port", 65535));
+    else if (arg.rfind("--port-file=", 0) == 0)
+      opt.port_file = value("--port-file=");
+    else if (arg.rfind("--unit-us=", 0) == 0)
+      opt.unit_us = arg_u64(value("--unit-us="), "--unit-us");
+    else if (arg.rfind("--idle-timeout-ms=", 0) == 0)
+      opt.idle_timeout_ms =
+          arg_u64(value("--idle-timeout-ms="), "--idle-timeout-ms");
+    else if (arg.rfind("--emu-loss=", 0) == 0)
+      opt.emu_loss = arg_finite(value("--emu-loss="), "--emu-loss");
+    else if (arg.rfind("--emu-delay-us=", 0) == 0)
+      opt.emu_delay_us = arg_u64(value("--emu-delay-us="), "--emu-delay-us");
+    else if (arg.rfind("--emu-jitter-us=", 0) == 0)
+      opt.emu_jitter_us = arg_u64(value("--emu-jitter-us="), "--emu-jitter-us");
+    else if (arg.rfind("--emu-seed=", 0) == 0)
+      opt.emu_seed = arg_u64(value("--emu-seed="), "--emu-seed");
+    else if (arg == "--help" || arg == "-h")
+      print_help();
+    else
+      usage("unknown live-serve argument: " + arg);
+  }
+  // Scalar scenario dimensions with the same validation as run mode (a
+  // live daemon emulates exactly one run).
+  if (opt.run.n_list.find(',') != std::string::npos ||
+      opt.run.r_list.find(',') != std::string::npos ||
+      opt.run.rho_list.find(',') != std::string::npos ||
+      opt.run.protocol.find(',') != std::string::npos ||
+      opt.run.policy.find(',') != std::string::npos)
+    usage("live-serve takes scalar dimensions, not comma lists");
+  opt.run.n = arg_u32(opt.run.n_list, "--n");
+  opt.run.r = arg_u32(opt.run.r_list, "--r");
+  // arg_finite already rejects nan/inf (comparisons against NaN are all
+  // false, so they would sail through the range check).
+  opt.run.rho = arg_finite(opt.run.rho_list, "--rho");
+  if (opt.run.n < 1) usage("--n must be >= 1");
+  if (opt.run.r < 1) usage("--r must be >= 1");
+  if (opt.run.rho < 0 || opt.run.rho > 1) usage("--rho must lie in [0, 1]");
+  if (opt.emu_loss < 0 || opt.emu_loss >= 1)
+    usage("--emu-loss must lie in [0, 1)");
+  if (opt.unit_us < 1) usage("--unit-us must be >= 1");
+  if (opt.idle_timeout_ms < 1) usage("--idle-timeout-ms must be > 0");
+  return opt;
+}
+
+/// Wall microseconds -> virtual-clock ticks under --unit-us.
+Tick emu_us_to_ticks(std::uint64_t us, std::uint64_t unit_us) {
+  return static_cast<Tick>(us) * U / static_cast<Tick>(unit_us);
+}
+
+int run_live_serve(int argc, char** argv) {
+  const LiveServeOptions opt = parse_live_serve_args(argc, argv);
+  if (!opt.run.telemetry_path.empty())
+    enable_telemetry_or_die(opt.run.telemetry_path);
+
+  const auto rho = util::Ratio::from_double(opt.run.rho);
+  live::DaemonConfig dc;
+  dc.spec = make_run_spec(opt.run, rho);
+  dc.spec.checkpoint_interval = 0;  // live runs do not autosave
+
+  if (opt.virtual_mode) {
+    // Whole stack in-process on the virtual clock: deterministic, and
+    // stdout is byte-identical to the same scenario in run mode (the
+    // live-smoke CI job diffs the two).
+    live::VirtualRunOptions vopt;
+    vopt.knobs.loss = opt.emu_loss;
+    vopt.knobs.delay = emu_us_to_ticks(opt.emu_delay_us, opt.unit_us);
+    vopt.knobs.jitter = emu_us_to_ticks(opt.emu_jitter_us, opt.unit_us);
+    vopt.knobs.seed = opt.emu_seed;
+    live::VirtualRunReport rep;
+    try {
+      rep = live::run_virtual(dc.spec, vopt);
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+    if (rep.daemon_failed) {
+      std::cerr << "asyncmac_cli live-serve: run poisoned: " << rep.reason
+                << "\n";
+      return 1;
+    }
+    if (!rep.completed || rep.station_exit_max != 0) {
+      std::cerr << "asyncmac_cli live-serve: virtual run did not complete\n";
+      return 1;
+    }
+    telemetry::emit("live.done",
+                    {{"protocol", dc.spec.protocol},
+                     {"injected", rep.stats.injected_packets},
+                     {"delivered", rep.stats.delivered_packets}});
+    report_run(dc.spec, opt.run.rho, rep.stats, rep.channel, rep.trace,
+               opt.run.json, opt.run.trace_units);
+    // Verdict on stderr: stdout must stay identical to run mode, which
+    // has no stability probe.
+    std::cerr << "live: verdict=" << analysis::to_string(rep.verdict) << " ("
+              << rep.samples.size() << " samples)\n";
+    return 0;
+  }
+
+  std::unique_ptr<live::Daemon> daemon;
+  try {
+    daemon = std::make_unique<live::Daemon>(dc);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  live::UdpServeOptions uopt;
+  uopt.port = opt.port;
+  uopt.port_file = opt.port_file;
+  uopt.unit_us = opt.unit_us;
+  uopt.idle_timeout_ms = opt.idle_timeout_ms;
+  uopt.emu_loss = opt.emu_loss;
+  uopt.emu_delay_us = opt.emu_delay_us;
+  uopt.emu_jitter_us = opt.emu_jitter_us;
+  uopt.emu_seed = opt.emu_seed;
+  uopt.on_listening = [](std::uint16_t port) {
+    std::cerr << "live-serve: listening on UDP port " << port << "\n";
+  };
+  std::string err;
+  const int rc = live::serve_udp(*daemon, uopt, &err);
+  if (rc != 0) {
+    std::cerr << "asyncmac_cli live-serve: " << err << "\n";
+    return rc;
+  }
+  telemetry::emit("live.done",
+                  {{"protocol", dc.spec.protocol},
+                   {"injected", daemon->stats().injected_packets},
+                   {"delivered", daemon->stats().delivered_packets}});
+  report_run(dc.spec, opt.run.rho, daemon->stats(),
+             daemon->live_channel_stats(), daemon->trace().slots(),
+             opt.run.json, opt.run.trace_units);
+  std::cerr << "live: verdict=" << analysis::to_string(daemon->verdict())
+            << " (" << daemon->backlog_samples().size() << " samples)\n";
+  return 0;
+}
+
+int run_live_station(int argc, char** argv) {
+  live::UdpStationOptions opt;
+  bool have_id = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--host=", 0) == 0)
+      opt.host = value("--host=");
+    else if (arg.rfind("--port=", 0) == 0)
+      opt.port = static_cast<std::uint16_t>(
+          arg_u32(value("--port="), "--port", 65535));
+    else if (arg.rfind("--id=", 0) == 0) {
+      opt.station.id = arg_u32(value("--id="), "--id");
+      have_id = true;
+    } else if (arg.rfind("--name=", 0) == 0)
+      opt.station.name = value("--name=");
+    else if (arg.rfind("--unit-us=", 0) == 0)
+      opt.unit_us = arg_u64(value("--unit-us="), "--unit-us");
+    else if (arg.rfind("--retry-units=", 0) == 0)
+      opt.station.retry_ticks =
+          arg_units(value("--retry-units="), "--retry-units") * U;
+    else if (arg.rfind("--max-retries=", 0) == 0)
+      opt.station.max_retries = static_cast<int>(
+          arg_u32(value("--max-retries="), "--max-retries", INT32_MAX));
+    else if (arg == "--help" || arg == "-h")
+      print_help();
+    else
+      usage("unknown live-station argument: " + arg);
+  }
+  if (opt.port == 0) usage("live-station needs --port");
+  if (!have_id || opt.station.id < 1) usage("live-station needs --id >= 1");
+  if (opt.station.retry_ticks < 1) usage("--retry-units must be >= 1");
+  if (opt.station.max_retries < 1) usage("--max-retries must be >= 1");
+  if (opt.unit_us < 1) usage("--unit-us must be >= 1");
+  if (opt.station.name == "station")
+    opt.station.name = "station-" + std::to_string(opt.station.id);
+
+  std::string err;
+  const int rc = live::run_station_udp(opt, &err);
+  if (rc != 0)
+    std::cerr << "asyncmac_cli live-station " << opt.station.id << ": "
+              << (err.empty() ? std::string("failed") : err) << "\n";
+  return rc;
 }
 
 }  // namespace
@@ -989,6 +1290,10 @@ int main(int argc, char** argv) {
     return run_stats(argc - 2, argv + 2);
   if (argc > 1 && std::string(argv[1]) == "resume")
     return run_resume(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "live-serve")
+    return run_live_serve(argc - 2, argv + 2);
+  if (argc > 1 && std::string(argv[1]) == "live-station")
+    return run_live_station(argc - 2, argv + 2);
   if (argc > 1 && std::string(argv[1]) == "help") print_help();
   const Options opt = parse_args(argc, argv);
   if (!opt.telemetry_path.empty())
@@ -1021,7 +1326,8 @@ int main(int argc, char** argv) {
       {{"protocol", opt.protocol},
        {"injected", engine->stats().injected_packets},
        {"delivered", engine->stats().delivered_packets}});
-  report_run(spec, opt.rho, *engine, opt.json, opt.trace_units);
+  report_run(spec, opt.rho, engine->stats(), engine->channel_stats(),
+             engine->trace().slots(), opt.json, opt.trace_units);
   if (saver && !saver->latest().empty())
     std::cerr << "checkpoint: " << saver->latest()
               << " (continue: asyncmac_cli resume " << saver->latest()
