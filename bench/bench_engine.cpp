@@ -115,29 +115,29 @@ std::unique_ptr<sim::Engine> build_engine(const EngineBenchConfig& c,
 }
 
 /// Run `slot_budget` slots and return slots/sec (one warmup run, then the
-/// median of three timed runs — engine construction excluded).
+/// best of kBenchReps timed runs — engine construction excluded; see
+/// min_of_n_rate for why best-of-N, not median).
 double slots_per_sec(const EngineBenchConfig& c, std::uint64_t slot_budget,
                      std::uint64_t prune_interval = 0,
                      std::uint64_t ckpt_interval = 0) {
   const bool was_enabled = telemetry::enabled();
   telemetry::set_enabled(c.telemetry);
-  std::vector<double> rates;
-  for (int rep = -1; rep < 3; ++rep) {
+  const auto timed_run = [&](std::uint64_t slots) {
     auto engine = build_engine(c, prune_interval, ckpt_interval);
     sim::StopCondition stop;
-    stop.max_total_slots = rep < 0 ? slot_budget / 8 : slot_budget;
+    stop.max_total_slots = slots;
     const auto t0 = std::chrono::steady_clock::now();
     engine->run(stop);
     const auto t1 = std::chrono::steady_clock::now();
-    if (rep < 0) continue;  // warmup
     const double sec =
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
             .count();
-    rates.push_back(static_cast<double>(engine->stats().total_slots) / sec);
-  }
+    return static_cast<double>(engine->stats().total_slots) / sec;
+  };
+  timed_run(slot_budget / 8);  // warmup
+  const double rate = min_of_n_rate([&] { return timed_run(slot_budget); });
   telemetry::set_enabled(was_enabled);
-  std::sort(rates.begin(), rates.end());
-  return rates[rates.size() / 2];
+  return rate;
 }
 
 /// Checkpointed slots/sec plus the autosave overhead, measured directly:
@@ -155,8 +155,12 @@ CkptPoint checkpoint_point(const EngineBenchConfig& c,
                            std::uint64_t slot_budget, std::uint64_t interval) {
   const bool was_enabled = telemetry::enabled();
   telemetry::set_enabled(c.telemetry);
-  std::vector<double> rates, overheads;
-  for (int rep = -1; rep < 3; ++rep) {
+  // Best-of-N like min_of_n_rate, but hand-rolled so the reported
+  // overhead_pct is the one *paired* with the fastest rep — mixing the
+  // rate of one rep with the overhead of another would break the in-run
+  // ratio this measurement exists for.
+  CkptPoint best;
+  for (int rep = -1; rep < kBenchReps; ++rep) {
     std::uint64_t sink_ns = 0;
     auto engine = build_engine(c, 0, interval, &sink_ns);
     sim::StopCondition stop;
@@ -168,14 +172,13 @@ CkptPoint checkpoint_point(const EngineBenchConfig& c,
     const double run_ns = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count());
-    rates.push_back(static_cast<double>(engine->stats().total_slots) /
-                    (run_ns * 1e-9));
-    overheads.push_back(100.0 * static_cast<double>(sink_ns) / run_ns);
+    const double rate =
+        static_cast<double>(engine->stats().total_slots) / (run_ns * 1e-9);
+    if (rate > best.slots_per_sec)
+      best = {rate, 100.0 * static_cast<double>(sink_ns) / run_ns};
   }
   telemetry::set_enabled(was_enabled);
-  std::sort(rates.begin(), rates.end());
-  std::sort(overheads.begin(), overheads.end());
-  return {rates[rates.size() / 2], overheads[overheads.size() / 2]};
+  return best;
 }
 
 // ---------------------------------------------------------------- cohort
@@ -205,20 +208,23 @@ struct CohortPoint {
 /// Aggregate slots/sec of K lockstep lanes vs the same K replicas run as
 /// sequential scalar engines. The slot budget is split evenly across the
 /// lanes so every K processes the same total number of slots; both sides
-/// exclude construction (one warmup rep, then the median of three).
+/// exclude construction (one warmup rep each, then the best of
+/// kBenchReps — the two sides take their best independently, so the
+/// speedup column compares two least-noise estimates).
 CohortPoint cohort_point(const EngineBenchConfig& c, std::size_t k_lanes,
                          std::uint64_t slot_budget) {
   const bool was_enabled = telemetry::enabled();
   telemetry::set_enabled(false);
   const auto lane_seed = [](std::size_t k) { return 1 + k * 1000003ULL; };
   CohortPoint out;
-  std::vector<double> cohort_rates, scalar_rates;
-  for (int rep = -1; rep < 3; ++rep) {
-    const std::uint64_t per_lane =
-        (rep < 0 ? slot_budget / 8 : slot_budget) / k_lanes;
-    sim::StopCondition stop;
-    stop.max_total_slots = per_lane;
+  const auto secs = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+        .count();
+  };
 
+  const auto cohort_rep = [&](std::uint64_t budget) {
+    sim::StopCondition stop;
+    stop.max_total_slots = budget / k_lanes;
     std::vector<sim::LaneBuilder> builders;
     builders.reserve(k_lanes);
     for (std::size_t k = 0; k < k_lanes; ++k)
@@ -226,13 +232,18 @@ CohortPoint cohort_point(const EngineBenchConfig& c, std::size_t k_lanes,
           [c, seed = lane_seed(k)] { return cohort_materials(c, seed); });
     sim::CohortEngine cohort(std::move(builders));
     out.lockstep = cohort.lockstep();
-    const auto c0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();
     cohort.run(stop);
-    const auto c1 = std::chrono::steady_clock::now();
-    std::uint64_t cohort_slots = 0;
+    const auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t slots = 0;
     for (std::size_t k = 0; k < k_lanes; ++k)
-      cohort_slots += cohort.stats(k).total_slots;
+      slots += cohort.stats(k).total_slots;
+    return static_cast<double>(slots) / secs(t0, t1);
+  };
 
+  const auto scalar_rep = [&](std::uint64_t budget) {
+    sim::StopCondition stop;
+    stop.max_total_slots = budget / k_lanes;
     std::vector<std::unique_ptr<sim::Engine>> engines;
     engines.reserve(k_lanes);
     for (std::size_t k = 0; k < k_lanes; ++k) {
@@ -241,25 +252,21 @@ CohortPoint cohort_point(const EngineBenchConfig& c, std::size_t k_lanes,
           std::move(m.cfg), std::move(m.protocols), std::move(m.slot_policy),
           std::move(m.injection)));
     }
-    const auto s0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();
     for (auto& e : engines) e->run(stop);
-    const auto s1 = std::chrono::steady_clock::now();
-    std::uint64_t scalar_slots = 0;
-    for (const auto& e : engines) scalar_slots += e->stats().total_slots;
+    const auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t slots = 0;
+    for (const auto& e : engines) slots += e->stats().total_slots;
+    return static_cast<double>(slots) / secs(t0, t1);
+  };
 
-    if (rep < 0) continue;  // warmup
-    const auto secs = [](auto a, auto b) {
-      return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
-          .count();
-    };
-    cohort_rates.push_back(static_cast<double>(cohort_slots) / secs(c0, c1));
-    scalar_rates.push_back(static_cast<double>(scalar_slots) / secs(s0, s1));
-  }
+  cohort_rep(slot_budget / 8);  // warmup
+  out.cohort_slots_per_sec =
+      min_of_n_rate([&] { return cohort_rep(slot_budget); });
+  scalar_rep(slot_budget / 8);  // warmup
+  out.scalar_slots_per_sec =
+      min_of_n_rate([&] { return scalar_rep(slot_budget); });
   telemetry::set_enabled(was_enabled);
-  std::sort(cohort_rates.begin(), cohort_rates.end());
-  std::sort(scalar_rates.begin(), scalar_rates.end());
-  out.cohort_slots_per_sec = cohort_rates[cohort_rates.size() / 2];
-  out.scalar_slots_per_sec = scalar_rates[scalar_rates.size() / 2];
   return out;
 }
 

@@ -7,6 +7,7 @@
 // simulations.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -130,6 +131,26 @@ inline std::map<std::string, double> merge_baseline(
     std::cerr << "warning: baseline " << path << " names unknown config \""
               << name << "\"; skipping it\n";
   return std::move(rec.usable);
+}
+
+/// Default timed repetitions per bench point (after the warmup rep).
+inline constexpr int kBenchReps = 3;
+
+/// Best-of-N repetition: call `fn` — one full timed repetition returning
+/// a rate such as slots/sec — `reps` times and return the fastest.
+/// Minimum-of-N wall time is maximum-of-N rate, and the minimum time is
+/// the least-noise estimate on a shared machine: interference only ever
+/// *adds* time, so the fastest rep is the one closest to the true cost.
+/// A median still wanders when two of three reps hit scheduler jitter,
+/// which is exactly the trajectory-file noise this exists to stop.
+/// Callers run their own warmup rep first (typically at a reduced
+/// budget) so construction and cold caches never count against rep one.
+/// Unit-tested in tests/test_bench_harness.cpp.
+template <typename F>
+double min_of_n_rate(F&& fn, int reps = kBenchReps) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) best = std::max(best, fn());
+  return best;
 }
 
 /// One protocol instance per station, all of type T.

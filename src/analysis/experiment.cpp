@@ -38,10 +38,7 @@ std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec) {
   const std::vector<std::uint8_t> skip = done;
   std::mutex manifest_mutex;
 
-  const unsigned cohort_width =
-      spec.cohort != 0
-          ? spec.cohort
-          : std::min(8u, static_cast<unsigned>(spec.seeds));
+  const unsigned cohort_width = grid_cohort_width(spec);
   telemetry::emit("grid.start",
                   {{"cells", static_cast<std::uint64_t>(plan.cells.size())},
                    {"jobs", static_cast<std::int64_t>(spec.jobs)},

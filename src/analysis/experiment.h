@@ -34,14 +34,16 @@ struct ExperimentSpec {
   /// Every cell is an independent deterministic Engine, so the records are
   /// byte-identical for every jobs value (including their order).
   unsigned jobs = 0;
-  /// Lockstep batching width for seed replicas: the seeds of one
-  /// (protocol, n, R, rho, policy) cell are grouped into cohorts of up to
-  /// this many lanes and stepped together through sim::CohortEngine
-  /// (configurations its fast path cannot take fall back to scalar
-  /// engines inside the cohort). 0 = auto (min(8, seeds)); 1 = one scalar
-  /// engine per cell, the pre-cohort behavior. Records are byte-identical
-  /// for every value — the cohort engine's contract — so cohort, like
-  /// jobs, is an execution knob and not part of the spec fingerprint.
+  /// Lockstep batching width: cells differing only in seed AND injector
+  /// parameters (rho) are grouped into cohorts of up to this many lanes
+  /// and stepped together through sim::CohortEngine — with a single slot
+  /// policy a whole rho x seed grid row batches, not just the seed
+  /// replicas of one cell (configurations the fast path cannot take fall
+  /// back to scalar engines inside the cohort). 0 = auto (min(8, cells
+  /// per batchable block)); 1 = one scalar engine per cell, the
+  /// pre-cohort behavior. Records are byte-identical for every value —
+  /// the cohort engine's contract — so cohort, like jobs, is an
+  /// execution knob and not part of the spec fingerprint.
   unsigned cohort = 0;
   /// When non-empty, run_grid keeps a manifest (grid-manifest.snap, see
   /// docs/CHECKPOINT.md) in this directory: after every finished cell the

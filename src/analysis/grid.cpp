@@ -15,33 +15,30 @@ namespace asyncmac::analysis {
 
 namespace {
 
-/// The per-seed-invariant parameters of one grid cell, with the registry
-/// lookup and rho reduction hoisted: one seed-replicated cell resolves
-/// its protocol maker and Ratio once and reuses them for every lane.
+/// The lane-invariant parameters of one work unit's cells, with the
+/// registry lookup hoisted: every cell of a unit shares protocol, n, R
+/// and policy, while seed AND the injector parameters (rho) may vary per
+/// lane — injectors are free under cohort eligibility, so a whole grid
+/// row of injector cells batches as one lockstep cohort.
 struct CellSetup {
   ProtocolMaker maker;
   std::string protocol;
   std::uint32_t n;
   std::uint32_t bound_r;
-  int rho_pct;
-  util::Ratio rho;
   std::string policy;
   Tick burst_units;
 
   CellSetup(const std::string& protocol_name, std::uint32_t n_,
-            std::uint32_t r_, int rho_pct_, const std::string& policy_,
-            Tick burst)
+            std::uint32_t r_, const std::string& policy_, Tick burst)
       : maker(protocol_maker(protocol_name)),
         protocol(protocol_name),
         n(n_),
         bound_r(r_),
-        rho_pct(rho_pct_),
-        rho(rho_pct_, 100),
         policy(policy_),
         burst_units(burst) {}
 
-  /// Engine materials for one seed of this cell.
-  sim::LaneMaterials materials(std::uint64_t seed) const {
+  /// Engine materials for one (seed, rho) cell of this unit.
+  sim::LaneMaterials materials(std::uint64_t seed, int rho_pct) const {
     sim::LaneMaterials m;
     m.cfg.n = n;
     m.cfg.bound_r = bound_r;
@@ -50,20 +47,21 @@ struct CellSetup {
     for (std::uint32_t i = 0; i < n; ++i) m.protocols.push_back(maker());
     m.slot_policy = adversary::make_slot_policy(policy, n, bound_r, seed);
     m.injection = std::make_unique<adversary::SaturatingInjector>(
-        rho, burst_units * kTicksPerUnit,
+        util::Ratio(rho_pct, 100), burst_units * kTicksPerUnit,
         adversary::TargetPattern::kRoundRobin, 1, seed + 1);
     return m;
   }
 };
 
-ExperimentRecord extract_record(const CellSetup& setup, std::uint64_t seed,
+ExperimentRecord extract_record(const CellSetup& setup, int rho_pct,
+                                std::uint64_t seed,
                                 const metrics::RunStats& s,
                                 const channel::LedgerStats& ch) {
   ExperimentRecord rec;
   rec.protocol = setup.protocol;
   rec.n = setup.n;
   rec.bound_r = setup.bound_r;
-  rec.rho_pct = setup.rho_pct;
+  rec.rho_pct = rho_pct;
   rec.slot_policy = setup.policy;
   rec.seed = seed;
   rec.injected = s.injected_packets;
@@ -82,7 +80,23 @@ ExperimentRecord extract_record(const CellSetup& setup, std::uint64_t seed,
   return rec;
 }
 
+/// Cells per contiguous chunkable block. Seed replicas of one base cell
+/// are always contiguous (seed innermost); with a single slot policy the
+/// whole rho x seed sub-block of one (protocol, n, R) row is contiguous
+/// too, and rho only parameterizes the injector — free under cohort
+/// eligibility — so the block grows to rho_percents.size() * seeds.
+std::size_t chunk_block(const ExperimentSpec& spec) {
+  const std::size_t seeds = static_cast<std::size_t>(spec.seeds);
+  return spec.slot_policies.size() == 1 ? seeds * spec.rho_percents.size()
+                                        : seeds;
+}
+
 }  // namespace
+
+unsigned grid_cohort_width(const ExperimentSpec& spec) {
+  if (spec.cohort != 0) return spec.cohort;
+  return static_cast<unsigned>(std::min<std::size_t>(8, chunk_block(spec)));
+}
 
 GridPlan plan_grid(const ExperimentSpec& spec) {
   AM_REQUIRE(!spec.protocols.empty() && !spec.station_counts.empty() &&
@@ -103,18 +117,17 @@ GridPlan plan_grid(const ExperimentSpec& spec) {
                   {protocol, n, r, rho, policy,
                    spec.seed + static_cast<std::uint64_t>(s) * 1000003});
 
-  // Work units: seed replicas of one base cell are contiguous (seed is
-  // the innermost dimension), so chunks of up to `cohort_width` of them
-  // form the cohorts. A unit is [first, first + count) in cell order.
-  const unsigned cohort_width =
-      spec.cohort != 0
-          ? spec.cohort
-          : std::min(8u, static_cast<unsigned>(spec.seeds));
-  const std::size_t seeds = static_cast<std::size_t>(spec.seeds);
-  for (std::size_t base = 0; base < plan.cells.size(); base += seeds)
-    for (std::size_t s = 0; s < seeds; s += cohort_width)
+  // Work units: chunks of up to `cohort_width` cells within each
+  // contiguous block of cells sharing protocol, n, R and policy (see
+  // chunk_block — with one slot policy a block is a whole rho x seed grid
+  // row, so lanes of one cohort may differ in injector parameters, not
+  // just seed). A unit is [first, first + count) in cell order.
+  const unsigned cohort_width = grid_cohort_width(spec);
+  const std::size_t block = chunk_block(spec);
+  for (std::size_t base = 0; base < plan.cells.size(); base += block)
+    for (std::size_t s = 0; s < block; s += cohort_width)
       plan.units.push_back(
-          {base + s, std::min<std::size_t>(cohort_width, seeds - s)});
+          {base + s, std::min<std::size_t>(cohort_width, block - s)});
   return plan;
 }
 
@@ -178,31 +191,39 @@ std::vector<ExperimentRecord> run_grid_cells(
     AM_REQUIRE(i < plan.cells.size(), "cell index out of range");
 
   const GridCell& c0 = plan.cells[todo.front()];
+  for (std::size_t i : todo) {
+    const GridCell& c = plan.cells[i];
+    AM_REQUIRE(c.protocol == c0.protocol && c.n == c0.n &&
+                   c.bound_r == c0.bound_r && c.slot_policy == c0.slot_policy,
+               "cells of one work unit must share protocol, n, R and policy");
+  }
   const auto setup = std::make_shared<const CellSetup>(
-      c0.protocol, c0.n, c0.bound_r, c0.rho_pct, c0.slot_policy,
-      spec.burst_units);
+      c0.protocol, c0.n, c0.bound_r, c0.slot_policy, spec.burst_units);
 
   std::vector<ExperimentRecord> out;
   out.reserve(todo.size());
   if (todo.size() == 1) {
-    sim::LaneMaterials m = setup->materials(c0.seed);
+    sim::LaneMaterials m = setup->materials(c0.seed, c0.rho_pct);
     sim::Engine engine(std::move(m.cfg), std::move(m.protocols),
                        std::move(m.slot_policy), std::move(m.injection));
     engine.run(sim::until(spec.horizon_units * kTicksPerUnit));
-    out.push_back(extract_record(*setup, c0.seed, engine.stats(),
+    out.push_back(extract_record(*setup, c0.rho_pct, c0.seed, engine.stats(),
                                  engine.channel_stats()));
   } else {
     std::vector<sim::LaneBuilder> builders;
     builders.reserve(todo.size());
     for (std::size_t i : todo)
-      builders.push_back([setup, seed = plan.cells[i].seed] {
-        return setup->materials(seed);
-      });
+      builders.push_back(
+          [setup, seed = plan.cells[i].seed, rho = plan.cells[i].rho_pct] {
+            return setup->materials(seed, rho);
+          });
     sim::CohortEngine cohort(std::move(builders));
     cohort.run(sim::until(spec.horizon_units * kTicksPerUnit));
-    for (std::size_t k = 0; k < todo.size(); ++k)
-      out.push_back(extract_record(*setup, plan.cells[todo[k]].seed,
+    for (std::size_t k = 0; k < todo.size(); ++k) {
+      const GridCell& c = plan.cells[todo[k]];
+      out.push_back(extract_record(*setup, c.rho_pct, c.seed,
                                    cohort.stats(k), cohort.channel_stats(k)));
+    }
   }
   return out;
 }

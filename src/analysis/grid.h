@@ -36,8 +36,11 @@ struct GridCell {
 };
 
 /// A contiguous run [first, first + count) of cells forming one work
-/// unit. Units never span base cells: all cells of a unit differ only in
-/// seed, so a unit batches as one sim::CohortEngine cohort.
+/// unit. All cells of a unit share protocol, n, R and slot policy —
+/// everything cohort eligibility needs — and differ only in seed and
+/// injector parameters (rho), so a unit batches as one sim::CohortEngine
+/// cohort. With a single slot policy in the spec, a unit may span the
+/// rho values of one grid row, not just the seed replicas of one cell.
 struct GridUnit {
   std::size_t first = 0;
   std::size_t count = 0;
@@ -49,9 +52,15 @@ struct GridPlan {
 };
 
 /// Enumerate the cross product and chunk it into cohort-width units
-/// (spec.cohort, 0 = auto = min(8, seeds)). Validates the spec the same
-/// way run_grid does (throws std::invalid_argument).
+/// (grid_cohort_width). Validates the spec the same way run_grid does
+/// (throws std::invalid_argument).
 GridPlan plan_grid(const ExperimentSpec& spec);
+
+/// The effective cohort width: spec.cohort when set, otherwise
+/// min(8, cells-per-chunkable-block) — with a single slot policy the
+/// block is a whole rho x seed grid row, else the seed replicas of one
+/// cell.
+unsigned grid_cohort_width(const ExperimentSpec& spec);
 
 /// CRC over the sweep-defining dimensions (not jobs / cohort /
 /// checkpoint_dir): a manifest — or a distributed worker — only serves
@@ -63,10 +72,11 @@ std::uint32_t grid_fingerprint(const ExperimentSpec& spec);
 void save_record(snapshot::Writer& w, const ExperimentRecord& rec);
 ExperimentRecord load_record(snapshot::Reader& r);
 
-/// Run the cells at `todo` (indices into plan.cells; all must share one
-/// base cell) and return their records in todo order. One cell runs a
-/// scalar engine, several run as one lockstep cohort — records are
-/// byte-identical either way (the cohort contract).
+/// Run the cells at `todo` (indices into plan.cells; all must share
+/// protocol, n, R and slot policy — seed and rho may differ) and return
+/// their records in todo order. One cell runs a scalar engine, several
+/// run as one lockstep cohort — records are byte-identical either way
+/// (the cohort contract).
 std::vector<ExperimentRecord> run_grid_cells(
     const ExperimentSpec& spec, const GridPlan& plan,
     const std::vector<std::size_t>& todo);

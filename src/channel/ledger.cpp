@@ -22,6 +22,10 @@ struct LedgerTelemetry {
       telemetry::Registry::global().counter("channel.feedback_scanned");
   telemetry::Counter& feedback_fast_silence =
       telemetry::Registry::global().counter("channel.feedback_fast_silence");
+  telemetry::Counter& memo_hits =
+      telemetry::Registry::global().counter("channel.memo_hits");
+  telemetry::Counter& memo_misses =
+      telemetry::Registry::global().counter("channel.memo_misses");
   telemetry::Counter& prunes =
       telemetry::Registry::global().counter("channel.prunes");
   telemetry::Counter& pruned_entries =
@@ -117,6 +121,7 @@ Feedback Ledger::feedback_slow(Tick s, Tick t) {
   // The O(1) silence fast paths (and the pending_queries_ accounting) ran
   // inline in the header; from here on the slot provably neighbors at
   // least one live interval.
+  ++pending_memo_misses_;
   finalize_until(t);
   // Only a bounded neighborhood of the slot can matter: an entry with
   // begin <= s - max_duration_ has end <= s, so it neither overlaps [s, t)
@@ -172,19 +177,22 @@ void Ledger::prune_before(Tick horizon) {
 
 void Ledger::flush_telemetry() {
   if ((pending_adds_ | pending_queries_ | pending_scanned_ |
-       pending_fast_silence_ | pending_prunes_ | pending_pruned_entries_ |
-       window_peak_local_) == 0)
+       pending_fast_silence_ | pending_memo_hits_ | pending_memo_misses_ |
+       pending_prunes_ | pending_pruned_entries_ | window_peak_local_) == 0)
     return;
   LedgerTelemetry& t = LedgerTelemetry::get();
   t.adds.add(pending_adds_);
   t.feedback_queries.add(pending_queries_);
   t.feedback_scanned.add(pending_scanned_);
   t.feedback_fast_silence.add(pending_fast_silence_);
+  t.memo_hits.add(pending_memo_hits_);
+  t.memo_misses.add(pending_memo_misses_);
   t.prunes.add(pending_prunes_);
   t.pruned_entries.add(pending_pruned_entries_);
   t.window_peak.observe(window_peak_local_);
   pending_adds_ = pending_queries_ = pending_scanned_ =
-      pending_fast_silence_ = pending_prunes_ = pending_pruned_entries_ = 0;
+      pending_fast_silence_ = pending_memo_hits_ = pending_memo_misses_ =
+          pending_prunes_ = pending_pruned_entries_ = 0;
   window_peak_local_ = 0;
 }
 
@@ -238,6 +246,8 @@ void Ledger::save_state(snapshot::Writer& w) const {
   w.u64(pending_queries_);
   w.u64(pending_scanned_);
   w.u64(pending_fast_silence_);
+  w.u64(pending_memo_hits_);
+  w.u64(pending_memo_misses_);
   w.u64(pending_prunes_);
   w.u64(pending_pruned_entries_);
   w.u64(window_peak_local_);
@@ -277,6 +287,8 @@ void Ledger::load_state(snapshot::Reader& r) {
   pending_queries_ = r.u64();
   pending_scanned_ = r.u64();
   pending_fast_silence_ = r.u64();
+  pending_memo_hits_ = r.u64();
+  pending_memo_misses_ = r.u64();
   pending_prunes_ = r.u64();
   pending_pruned_entries_ = r.u64();
   window_peak_local_ = static_cast<std::size_t>(r.u64());

@@ -109,6 +109,7 @@ class Ledger {
     // feedback, stats and counters, so it is deliberately not serialized.
     if (memo_valid_ && s == memo_s_ && t == memo_t_) {
       pending_scanned_ += memo_scanned_;
+      ++pending_memo_hits_;
       return memo_fb_;
     }
     return feedback_slow(s, t);
@@ -190,6 +191,10 @@ class Ledger {
   std::uint64_t pending_queries_ = 0;
   std::uint64_t pending_scanned_ = 0;
   std::uint64_t pending_fast_silence_ = 0;
+  // Memo effectiveness: a hit replays the memo, a miss runs the seek-and-
+  // scan tail. Fast-silence queries are neither (the memo never sees them).
+  std::uint64_t pending_memo_hits_ = 0;
+  std::uint64_t pending_memo_misses_ = 0;
   std::uint64_t pending_prunes_ = 0;
   std::uint64_t pending_pruned_entries_ = 0;
   std::size_t window_peak_local_ = 0;

@@ -44,6 +44,29 @@ class Collector {
     }
   }
 
+  /// Batched slot accounting for the cohort lockstep path: numerically
+  /// identical to `events` on_slot_end calls of which `listen` were
+  /// kListen, `tx_packet` kTransmitPacket and `tx_control`
+  /// kTransmitControl (events == listen + tx_packet + tx_control). The
+  /// per-station halves arrive separately via on_station_slot_batch so
+  /// the caller can keep its counters lane-major. The cohort engine folds
+  /// these in before every stats() observation point, so RunStats stays
+  /// per-step exact as far as any reader (StopCondition, snapshots,
+  /// adaptive adversaries) can tell.
+  void on_slot_batch(std::uint64_t events, std::uint64_t listen,
+                     std::uint64_t tx_packet, std::uint64_t tx_control) {
+    stats_.total_slots += events;
+    stats_.listen_slots += listen;
+    stats_.transmit_slots += tx_packet + tx_control;
+    stats_.control_slots += tx_control;
+  }
+  void on_station_slot_batch(StationId station, std::uint64_t slots,
+                             std::uint64_t transmit_slots) {
+    StationStats& s = stats_.station[station - 1];
+    s.slots += slots;
+    s.transmit_slots += transmit_slots;
+  }
+
   const RunStats& stats() const noexcept { return stats_; }
 
   /// Current total queue cost across all stations (ticks).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "channel/lane_ledger.h"
 #include "snapshot/io.h"
 #include "snapshot/state.h"
 #include "telemetry/registry.h"
@@ -111,14 +112,13 @@ struct CohortEngine::Impl {
   };
 
   struct Lane {
-    Lane(bool keep_history, std::uint32_t n)
-        : ledger(keep_history), metrics(n) {}
+    explicit Lane(std::uint32_t n) : metrics(n) {}
 
     LaneBuilder builder;
     // Live per-lane objects with the scalar engine's exact semantics.
+    // The channel ledger lives lane-major in Impl::lane_ledger, not here.
     std::vector<StationContext> stations;
     std::unique_ptr<InjectionPolicy> injection;
-    channel::Ledger ledger;
     metrics::Collector metrics;
     trace::Recorder trace;
     std::vector<DeliveryRecord> deliveries;
@@ -145,6 +145,37 @@ struct CohortEngine::Impl {
   std::vector<Lane*> lane_ptr;
   std::vector<std::uint32_t> active;  ///< lockstep lanes still advancing
 
+  /// Lane-major SoA channel substrate (lockstep only; fallback lanes own
+  /// scalar Engines with scalar Ledgers). One feedback_all call per event
+  /// classifies all K lanes over contiguous arrays.
+  std::unique_ptr<channel::LaneLedger> lane_ledger;
+  std::vector<Feedback> fb_buffer;  ///< feedback_all output, indexed by lane
+  bool any_injection = false;  ///< hoisted: phase 1 skips injector-free runs
+
+  // ---- SoA batched RunStats slot counters (lockstep only) ----
+  // Every active lane processes every event, so the per-lane total_slots
+  // delta is one shared scalar; the action split and per-station transmit
+  // counts stay per lane. flush_metrics() folds these into each lane's
+  // real Collector before ANY RunStats observation (stats() accessor,
+  // lane snapshot, stop-gate recompute, prune cadence), so readers see
+  // exactly the values K scalar on_slot_end streams would have produced.
+  // Unlike the engine.* telemetry pendings these are NOT serialized as
+  // distinct fields — Collector state is observed whole — so flushing at
+  // any observation point is free of byte-identity concerns.
+  std::uint64_t pend_events = 0;                  ///< per-lane total_slots delta
+  std::vector<std::uint64_t> pend_station_slots;  ///< [station-1], lane-shared
+  std::vector<std::uint64_t> pend_listen;         ///< [lane]
+  std::vector<std::uint64_t> pend_tx_packet;      ///< [lane]
+  std::vector<std::uint64_t> pend_tx_control;     ///< [lane]
+  std::vector<std::uint64_t> pend_station_tx;     ///< [(station-1)*K + lane]
+
+  /// engine.slots telemetry delta shared across active lanes (one
+  /// increment per event instead of K). Folded into a lane's own
+  /// pending_slots exactly where the scalar engine flushes: prune cadence
+  /// zeroes it after folding into every active lane; a retiring lane
+  /// takes its share without zeroing (the remaining lanes still own it).
+  std::uint64_t pend_slots_shared = 0;
+
   std::vector<Injection> injection_buffer;
 
   // Cohort-level batched telemetry.
@@ -158,7 +189,9 @@ struct CohortEngine::Impl {
   struct LaneView final : EngineView {
     const Impl* impl;
     const Lane* lane;
-    LaneView(const Impl* i, const Lane* l) : impl(i), lane(l) {}
+    std::uint32_t k;
+    LaneView(const Impl* i, const Lane* l, std::uint32_t lane_idx)
+        : impl(i), lane(l), k(lane_idx) {}
     Tick now() const override { return impl->now; }
     std::uint32_t n() const override { return impl->cfg.n; }
     std::uint32_t bound_r() const override { return impl->cfg.bound_r; }
@@ -169,7 +202,7 @@ struct CohortEngine::Impl {
       return lane->stations[station - 1].queue_cost();
     }
     const channel::LedgerStats& channel_stats() const override {
-      return lane->ledger.stats();
+      return impl->lane_ledger->stats(k);
     }
     StationId last_successful_station() const override {
       return lane->last_successful;
@@ -261,7 +294,7 @@ struct CohortEngine::Impl {
     Lane& L = *lane_ptr[k];
     if (!L.injection) return;
     injection_buffer.clear();
-    const LaneView view(this, &L);
+    const LaneView view(this, &L, k);
     L.injection->poll(t, view, injection_buffer);
     for (const Injection& inj : injection_buffer) {
       AM_CHECK_MSG(inj.time <= t, "injection in the future");
@@ -285,14 +318,16 @@ struct CohortEngine::Impl {
 
   /// The per-lane half of Engine::begin_slot: validity checks, the action
   /// commitment and the ledger registration. The shared half (slot index/
-  /// bounds and the heap re-key) runs once per event for all lanes.
-  [[gnu::always_inline]] inline void lane_commit_action(Lane& L,
+  /// bounds and the heap re-key) runs once per event for all lanes. The
+  /// common listen commit touches only the SoA action array — the Lane
+  /// object is dereferenced only on the transmit paths.
+  [[gnu::always_inline]] inline void lane_commit_action(std::uint32_t k,
                                                         std::size_t i,
                                                         StationId id,
                                                         SlotAction a,
                                                         Tick begin, Tick end) {
     if (a == SlotAction::kTransmitPacket)
-      AM_CHECK_MSG(!L.stations[id - 1].queue_empty(),
+      AM_CHECK_MSG(!lane_ptr[k]->stations[id - 1].queue_empty(),
                    "station " << id << " transmits with empty queue");
     if (a == SlotAction::kTransmitControl)
       AM_CHECK_MSG(cfg.allow_control,
@@ -305,8 +340,9 @@ struct CohortEngine::Impl {
       tx.begin = begin;
       tx.end = end;
       tx.is_control = (a == SlotAction::kTransmitControl);
-      tx.packet = tx.is_control ? 0 : L.stations[id - 1].front().seq;
-      L.ledger.add(tx);
+      tx.packet =
+          tx.is_control ? 0 : lane_ptr[k]->stations[id - 1].front().seq;
+      lane_ledger->add(k, tx);
     }
   }
 
@@ -322,6 +358,32 @@ struct CohortEngine::Impl {
     t.engine_polls_skipped.add(L.pending_polls_skipped);
     L.pending_slots = L.pending_deliveries = L.pending_injections =
         L.pending_polls_skipped = 0;
+  }
+
+  /// Fold the SoA slot counters into every active lane's Collector and
+  /// zero them. Invariant: since the last zero, every currently-active
+  /// lane processed exactly pend_events events (retire() folds before
+  /// removing a lane from `active`), so the shared event count and the
+  /// lane-shared per-station slot counts apply to each of them verbatim.
+  void flush_metrics() {
+    if (pend_events == 0) return;
+    for (const std::uint32_t k : active) {
+      Lane& L = *lane_ptr[k];
+      L.metrics.on_slot_batch(pend_events, pend_listen[k], pend_tx_packet[k],
+                              pend_tx_control[k]);
+      for (std::uint32_t s = 0; s < cfg.n; ++s) {
+        const std::size_t i = static_cast<std::size_t>(s) * K + k;
+        if ((pend_station_slots[s] | pend_station_tx[i]) != 0)
+          L.metrics.on_station_slot_batch(s + 1, pend_station_slots[s],
+                                          pend_station_tx[i]);
+      }
+    }
+    pend_events = 0;
+    std::fill(pend_station_slots.begin(), pend_station_slots.end(), 0);
+    std::fill(pend_listen.begin(), pend_listen.end(), 0);
+    std::fill(pend_tx_packet.begin(), pend_tx_packet.end(), 0);
+    std::fill(pend_tx_control.begin(), pend_tx_control.end(), 0);
+    std::fill(pend_station_tx.begin(), pend_station_tx.end(), 0);
   }
 
   void flush_cohort_telemetry() {
@@ -342,6 +404,7 @@ struct CohortEngine::Impl {
   /// as Engine::run flushes on exit.
   void retire(std::uint32_t k) {
     Lane& L = *lanes[k];
+    flush_metrics();  // k still active here: its slot counters land first
     auto fz = std::make_unique<Frozen>();
     fz->now = now;
     fz->steps_since_prune = steps_since_prune;
@@ -350,8 +413,11 @@ struct CohortEngine::Impl {
     fz->slot_end = slot_end;
     L.frozen = std::move(fz);
     L.retired = true;
+    // Take this lane's share of the shared slot delta without zeroing it —
+    // the remaining active lanes processed the same events and still own it.
+    L.pending_slots += pend_slots_shared;
     flush_lane(L);
-    L.ledger.flush_telemetry();
+    lane_ledger->flush_telemetry(k);
     ++pending_lanes_retired;
     active.erase(std::find(active.begin(), active.end(), k));
   }
@@ -384,20 +450,93 @@ struct CohortEngine::Impl {
     const Tick new_end = t + len;
     const std::size_t base = si * K;
 
-    for (const std::uint32_t k : active) {
-      Lane& L = *lane_ptr[k];
-      // Injection skip-ahead, per lane (hints differ across seeds).
-      if (t >= L.next_injection_poll) {
-        poll_lane(k, t);
-        L.next_injection_poll = L.injection->next_arrival_hint(t);
-      } else if (L.injection) {
-        ++L.pending_polls_skipped;
+    // Phase 1 — injection polls, per lane (hints differ across seeds).
+    // Skipped outright for injector-free cohorts; lanes are independent,
+    // so phasing across lanes cannot reorder any single lane's calls.
+    if (any_injection) {
+      for (const std::uint32_t k : active) {
+        Lane& L = *lane_ptr[k];
+        if (t >= L.next_injection_poll) {
+          poll_lane(k, t);
+          L.next_injection_poll = L.injection->next_arrival_hint(t);
+        } else if (L.injection) {
+          ++L.pending_polls_skipped;
+        }
       }
+    }
 
+    // Phase 2 — feedback for all K lanes of this slot in one vectorized
+    // classification pass over the LaneLedger's contiguous summary arrays.
+    // Awaiting-station fast paths — the steady-state shapes on arrow
+    // workloads. When every lane of this station sits in
+    // kCaAwaitSequenceEnd with a listen committed and no lane is at its
+    // sequence-end transition (silence after something heard), the full
+    // phase 3 per lane reduces to vectorizable strips: no delivery is
+    // possible (a listen never pops a queue), the automaton's only
+    // effect is ca_heard |= (fb != silence), the commit re-stores the
+    // same listen byte, and the only counter that moves is pend_listen.
+    // Only the turn-holder's slots (countdown / noise / drain) and the
+    // one-per-turn sequence-end slots fall through to the general loop —
+    // ~1 station in n.
+    //
+    // Tier 1 (quiet rounds): the ledger's inline all-quiet gate plus an
+    // await check with heard == 0 — feedback is silence by construction,
+    // so the fb_buffer fill, the heard |= strip and the feedback_all
+    // call are all skipped; the ledger's pass-0 counters are applied
+    // directly. Tier 2 (busy rounds): full feedback_all, then the await
+    // check against the actual feedback bytes.
+    const bool dense = !cfg.record_trace && active.size() == K;
+    bool idle = false;
+    if (dense && lane_ledger->all_quiet(s_begin)) {
+      std::uint32_t await = 1;
+      for (std::uint32_t k = 0; k < K; ++k) {
+        const std::size_t i = base + k;
+        await &= static_cast<std::uint32_t>(ca_state[i] ==
+                                            kCaAwaitSequenceEnd) &
+                 static_cast<std::uint32_t>(action[i] == SlotAction::kListen) &
+                 static_cast<std::uint32_t>(ca_heard[i] == 0);
+      }
+      if (await != 0) {
+        lane_ledger->apply_all_quiet();
+        for (std::uint32_t k = 0; k < K; ++k) ++pend_listen[k];
+        idle = true;
+      }
+    }
+    if (!idle) {
+      lane_ledger->feedback_all(s_begin, t, active, fb_buffer.data());
+      if (dense) {
+        std::uint32_t await = 1;
+        for (std::uint32_t k = 0; k < K; ++k) {
+          const std::size_t i = base + k;
+          const std::uint32_t heard_something = static_cast<std::uint32_t>(
+              fb_buffer[k] != Feedback::kSilence);
+          await &= static_cast<std::uint32_t>(ca_state[i] ==
+                                              kCaAwaitSequenceEnd) &
+                   static_cast<std::uint32_t>(action[i] ==
+                                              SlotAction::kListen) &
+                   (heard_something |
+                    static_cast<std::uint32_t>(ca_heard[i] == 0));
+        }
+        if (await != 0) {
+          for (std::uint32_t k = 0; k < K; ++k)
+            ca_heard[base + k] |= static_cast<std::uint8_t>(
+                fb_buffer[k] != Feedback::kSilence);
+          for (std::uint32_t k = 0; k < K; ++k) ++pend_listen[k];
+          idle = true;
+        }
+      }
+    }
+
+    // Phase 3 — slot end + next-slot commit per lane. The common listen
+    // path touches only the SoA arrays (fb_buffer, action, q_empty, the
+    // pend_* counters); the Lane object is dereferenced only on delivery,
+    // trace and transmit commits.
+    if (!idle) for (const std::uint32_t k : active) {
       const std::size_t i = base + k;
-      const Feedback fb = L.ledger.feedback(s_begin, t);
+      const Feedback fb = fb_buffer[k];
       const SlotAction act = action[i];
       if (act == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
+        Lane& L = *lane_ptr[k];
         StationContext& ctx = L.stations[si];
         const Packet p = ctx.pop_front();
         q_empty[i] = ctx.queue_empty() ? 1 : 0;
@@ -408,15 +547,22 @@ struct CohortEngine::Impl {
                                   t - s_begin, t});
         ++L.pending_deliveries;
       }
-      ++L.pending_slots;
-      L.metrics.on_slot_end(id, act);
+      // SoA slot accounting (on_delivery stays eager above; the two
+      // touch disjoint RunStats fields, so folding later is exact).
+      pend_listen[k] += act == SlotAction::kListen;
+      pend_tx_packet[k] += act == SlotAction::kTransmitPacket;
+      pend_tx_control[k] += act == SlotAction::kTransmitControl;
+      pend_station_tx[i] += is_transmit(act);
       if (cfg.record_trace)
-        L.trace.record({id, ended_index, s_begin, t, act, fb});
+        lane_ptr[k]->trace.record({id, ended_index, s_begin, t, act, fb});
 
       // (The lane-ized automaton ignores SlotResult::delivered.)
       const SlotAction next = ca_next_action(i, id, fb, q_empty[i] != 0);
-      lane_commit_action(L, i, id, next, t, new_end);
+      lane_commit_action(k, i, id, next, t, new_end);
     }
+    ++pend_events;
+    ++pend_station_slots[si];
+    ++pend_slots_shared;
 
     // Shared schedule half of begin_slot, once for all lanes.
     ++slot_index[si];
@@ -428,30 +574,188 @@ struct CohortEngine::Impl {
     // Prune cadence — shared counter: every active lane has processed
     // exactly the events the counter counts, so it equals each lane's
     // scalar steps_since_prune_.
-    if (++steps_since_prune >= cfg.prune_interval) {
-      steps_since_prune = 0;
-      Tick horizon = kTickInfinity;
-      for (std::uint32_t s = 0; s < cfg.n; ++s)
-        horizon = std::min(horizon, slot_begin[s]);
-      CohortTelemetry::get().engine_prunes.add(active.size());
-      for (const std::uint32_t k : active) {
-        lane_ptr[k]->ledger.prune_before(horizon);
-        flush_lane(*lane_ptr[k]);
-      }
-      flush_cohort_telemetry();
+    if (++steps_since_prune >= cfg.prune_interval) do_prune();
+  }
+
+  /// The shared prune cadence body (reached from the scalar per-event
+  /// path and from batched quiet runs, at exactly the event counts where
+  /// every lane's scalar engine would prune).
+  void do_prune() {
+    steps_since_prune = 0;
+    Tick horizon = kTickInfinity;
+    for (std::uint32_t s = 0; s < cfg.n; ++s)
+      horizon = std::min(horizon, slot_begin[s]);
+    CohortTelemetry::get().engine_prunes.add(active.size());
+    flush_metrics();
+    for (const std::uint32_t k : active) {
+      lane_ledger->prune_before(k, horizon);
+      lane_ptr[k]->pending_slots += pend_slots_shared;
+      flush_lane(*lane_ptr[k]);
     }
+    pend_slots_shared = 0;
+    flush_cohort_telemetry();
+  }
+
+  /// Batched quiet-run fast path for the uniform (synchronous) schedule.
+  ///
+  /// Within one uniform round every still-unprocessed station's event
+  /// shares the same slot [s_begin, t): the round advances in ascending
+  /// station order and nothing a listening station does moves the
+  /// schedule. If additionally (a) every lane's channel is all-quiet for
+  /// [s_begin, t) — silence feedback via the O(1) fast path, and a
+  /// listen commit cannot change that, (b) no lane's injector poll is
+  /// due at t (one check covers the whole run: t is constant), and (c)
+  /// a consecutive range of stations from the round cursor holds every
+  /// lane in kCaAwaitSequenceEnd + committed listen + nothing heard,
+  /// then each of those events is the idle no-op of process_event's
+  /// fast path, and m of them collapse to `+= m` strips over the SoA
+  /// counters plus one unit-stride pass over the m per-station slot
+  /// records. The await scan itself is a contiguous byte sweep: station
+  /// si's K lanes live at [si*K, si*K + K) in ca_state / action /
+  /// ca_heard, so consecutive stations form one flat range.
+  ///
+  /// Byte-identity: every touched quantity advances by exactly the sum
+  /// of the per-event deltas process_event would have applied, and no
+  /// observation point (stop gate, prune cadence, retire, snapshot) can
+  /// fire mid-run — `stop_budget` caps the run at the next stop
+  /// trigger and the prune cap lands the cadence on the exact event.
+  ///
+  /// Returns the number of events processed (0: caller must take the
+  /// scalar path).
+  std::uint64_t process_quiet_run(std::uint64_t stop_budget) {
+    if (!uniform || cfg.record_trace || active.size() != K) return 0;
+    const std::size_t si0 = next_station - 1;
+    const Tick t = slot_end[si0];
+    const Tick s_begin = slot_begin[si0];
+    // Classify the round's channel for all lanes at once. Quiet: silence
+    // in every lane via the O(1) fast path. Memo: every lane replays its
+    // memoized feedback for this exact [s_begin, t) — the shape of a busy
+    // uniform round after its first event paid the seek-and-scan. Either
+    // way the per-lane feedback byte is a run constant: heard_mask[k] is
+    // 1 iff lane k hears something (so its awaiting stations must latch
+    // ca_heard).
+    const bool quiet = lane_ledger->all_quiet(s_begin);
+    if (!quiet && !lane_ledger->all_memo(s_begin, t)) return 0;
+    if (any_injection) {
+      for (const std::uint32_t k : active)
+        if (t >= lane_ptr[k]->next_injection_poll) return 0;
+    }
+    std::uint64_t cap = cfg.n - si0;  // stations left in this round
+    cap = std::min(cap, cfg.prune_interval - steps_since_prune);
+    cap = std::min(cap, stop_budget);
+    std::uint64_t m = 0;
+    if (quiet) {
+      // Quiet rounds batch awaiting stations through silence feedback
+      // REGARDLESS of ca_heard: a lane that heard nothing idles, a lane
+      // with ca_heard set is at its sequence end and advances the turn —
+      // ca_advance_turn + ca_begin_phase as branchless per-lane selects
+      // (every store writes the scalar path's exact value, which for
+      // non-advancing lanes is the value already there). This covers the
+      // round after every noise burst, where all n-1 awaiting stations
+      // advance their local turn counters at once.
+      const std::uint64_t fresh_countdown = 2ULL * cfg.bound_r;
+      while (m < cap) {
+        const std::size_t b = (si0 + m) * K;
+        std::uint32_t ok = 1;
+        for (std::uint32_t k = 0; k < K; ++k)
+          ok &= static_cast<std::uint32_t>(ca_state[b + k] ==
+                                           kCaAwaitSequenceEnd) &
+                static_cast<std::uint32_t>(action[b + k] ==
+                                           SlotAction::kListen);
+        if (ok == 0) break;
+        const std::uint32_t id = static_cast<std::uint32_t>(si0 + m + 1);
+        std::uint64_t took = 0;
+        for (std::uint32_t k = 0; k < K; ++k) {
+          const std::uint32_t adv = ca_heard[b + k];  // 0 or 1
+          const std::uint32_t turn = ca_turn[b + k];
+          const std::uint32_t stepped = turn == cfg.n ? 1u : turn + 1u;
+          const std::uint32_t new_turn = adv != 0 ? stepped : turn;
+          const std::uint32_t my =
+              adv & static_cast<std::uint32_t>(new_turn == id);
+          ca_turn[b + k] = new_turn;
+          ca_state[b + k] =
+              my != 0 ? kCaCountdown : kCaAwaitSequenceEnd;
+          ca_countdown[b + k] =
+              my != 0 ? fresh_countdown : ca_countdown[b + k];
+          ca_turns_taken[b + k] += my;
+          ca_heard[b + k] = static_cast<std::uint8_t>(my != 0 ? 1u : 0u);
+          took += my;
+        }
+        pending_turns += took;
+        ++m;
+      }
+    } else {
+      // Memo rounds: the per-lane feedback byte is a run constant, so an
+      // awaiting station's only update is latching ca_heard. A lane that
+      // hears silence from its memo must not be at its sequence end
+      // (heard already set) — that transition needs the general path.
+      std::uint8_t heard_mask[64];
+      std::uint8_t* mask =
+          K <= 64 ? heard_mask
+                  : reinterpret_cast<std::uint8_t*>(fb_buffer.data());
+      for (std::uint32_t k = 0; k < K; ++k)
+        mask[k] = static_cast<std::uint8_t>(
+            lane_ledger->memo_feedback(k) !=
+            static_cast<std::uint8_t>(Feedback::kSilence));
+      while (m < cap) {
+        const std::size_t b = (si0 + m) * K;
+        std::uint32_t ok = 1;
+        for (std::uint32_t k = 0; k < K; ++k)
+          ok &= static_cast<std::uint32_t>(ca_state[b + k] ==
+                                           kCaAwaitSequenceEnd) &
+                static_cast<std::uint32_t>(action[b + k] ==
+                                           SlotAction::kListen) &
+                (static_cast<std::uint32_t>(mask[k]) |
+                 static_cast<std::uint32_t>(ca_heard[b + k] == 0));
+        if (ok == 0) break;
+        for (std::uint32_t k = 0; k < K; ++k) ca_heard[b + k] |= mask[k];
+        ++m;
+      }
+    }
+    if (m == 0) return 0;
+
+    const Tick new_end = t + lengths[si0];  // uniform: one shared length
+    for (std::size_t si = si0; si < si0 + m; ++si) {
+      ++slot_index[si];
+      slot_begin[si] = t;
+      slot_end[si] = new_end;
+      ++pend_station_slots[si];
+    }
+    now = t;
+    next_station = si0 + m == cfg.n
+                       ? 1
+                       : static_cast<StationId>(next_station + m);
+    if (quiet)
+      lane_ledger->apply_all_quiet(m);
+    else
+      lane_ledger->apply_all_memo(m);
+    for (std::uint32_t k = 0; k < K; ++k) pend_listen[k] += m;
+    if (any_injection) {
+      for (const std::uint32_t k : active)
+        if (lane_ptr[k]->injection)
+          lane_ptr[k]->pending_polls_skipped += m;
+    }
+    pend_events += m;
+    pend_slots_shared += m;
+    pending_batches += m;
+    steps_since_prune += m;
+    if (steps_since_prune >= cfg.prune_interval) do_prune();
+    return m;
   }
 
   // ---- snapshot / detachment ----
 
   /// Engine::save_state's exact byte layout, written from lane state.
   /// KEEP IN SYNC with sim/engine.cpp (the note there points back here).
-  void save_lane_state(std::size_t k, snapshot::Writer& w) const {
+  void save_lane_state(std::size_t k, snapshot::Writer& w) {
     const Lane& L = *lanes[k];
     if (L.engine) {
       L.engine->save_state(w);
       return;
     }
+    // Fold the SoA slot counters in first: Collector bytes must match the
+    // scalar engine's exactly (this is a no-op outside the lockstep loop).
+    flush_metrics();
     const Frozen* fz = L.frozen.get();
     const std::vector<SlotIndex>& sidx = fz ? fz->slot_index : slot_index;
     const std::vector<Tick>& sbeg = fz ? fz->slot_begin : slot_begin;
@@ -496,7 +800,7 @@ struct CohortEngine::Impl {
     w.boolean(L.injection != nullptr);
     if (L.injection) L.injection->save_state(w);
 
-    L.ledger.save_state(w);
+    lane_ledger->save_state(static_cast<std::uint32_t>(k), w);
     L.metrics.save_state(w);
 
     const auto& slots = L.trace.slots();
@@ -527,7 +831,9 @@ struct CohortEngine::Impl {
     w.u32(L.last_successful);
     w.u64(lane_steps);
     w.u64(0);  // steps_since_checkpoint_ (checkpointing is ineligible)
-    w.u64(L.pending_slots);
+    // An active lockstep lane's share of the shared slot delta rides in
+    // pend_slots_shared; a frozen lane took its share at retirement.
+    w.u64(fz ? L.pending_slots : L.pending_slots + pend_slots_shared);
     w.u64(L.pending_deliveries);
     w.u64(L.pending_injections);
     w.u64(L.pending_polls_skipped);
@@ -586,6 +892,7 @@ struct CohortEngine::Impl {
     Tick min_max_time = kTickInfinity;
     std::uint64_t min_slot_trigger = UINT64_MAX;
     const auto recompute_gate = [&] {
+      flush_metrics();  // total_slots reads below need the folded counters
       min_max_time = kTickInfinity;
       min_slot_trigger = UINT64_MAX;
       for (const std::uint32_t k : active) {
@@ -605,6 +912,7 @@ struct CohortEngine::Impl {
     while (!active.empty()) {
       const Tick t = peek_time();
       if (t > min_max_time || events_done >= min_slot_trigger) {
+        flush_metrics();
         retiring.clear();
         for (const std::uint32_t k : active) {
           if (t > stops[k].max_time ||
@@ -616,8 +924,12 @@ struct CohortEngine::Impl {
         if (active.empty()) break;
         recompute_gate();
       }
-      process_event();
-      ++events_done;
+      std::uint64_t did = process_quiet_run(min_slot_trigger - events_done);
+      if (did == 0) {
+        process_event();
+        did = 1;
+      }
+      events_done += did;
     }
     flush_cohort_telemetry();
   }
@@ -682,7 +994,7 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
     // order inside each Engine is exactly the scalar order, so results
     // are trivially identical to independent scalar runs.
     for (std::uint32_t k = 0; k < im.K; ++k) {
-      auto lane = std::make_unique<Impl::Lane>(false, 1);
+      auto lane = std::make_unique<Impl::Lane>(1);
       lane->builder = std::move(builders[k]);
       lane->engine = std::make_unique<Engine>(
           std::move(mats[k].cfg), std::move(mats[k].protocols),
@@ -714,10 +1026,17 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
   im.q_empty.assign(cells, 1);  // queues start empty; poll_lane marks pushes
   im.uniform = std::all_of(im.lengths.begin(), im.lengths.end(),
                            [&](Tick l) { return l == im.lengths[0]; });
+  im.lane_ledger = std::make_unique<channel::LaneLedger>(
+      im.K, im.cfg.keep_channel_history);
+  im.fb_buffer.assign(im.K, Feedback::kSilence);
+  im.pend_station_slots.assign(n, 0);
+  im.pend_listen.assign(im.K, 0);
+  im.pend_tx_packet.assign(im.K, 0);
+  im.pend_tx_control.assign(im.K, 0);
+  im.pend_station_tx.assign(cells, 0);
 
   for (std::uint32_t k = 0; k < im.K; ++k) {
-    auto lane =
-        std::make_unique<Impl::Lane>(im.cfg.keep_channel_history, n);
+    auto lane = std::make_unique<Impl::Lane>(n);
     lane->builder = std::move(builders[k]);
     lane->injection = std::move(mats[k].injection);
     if (im.cfg.record_deliveries)
@@ -734,6 +1053,7 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
     Impl::Lane& L = *im.lanes.back();
     L.next_injection_poll =
         L.injection ? L.injection->next_arrival_hint(0) : kTickInfinity;
+    im.any_injection = im.any_injection || L.injection != nullptr;
     im.active.push_back(k);
   }
 
@@ -744,7 +1064,7 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
     for (std::uint32_t k = 0; k < im.K; ++k) {
       const std::size_t i = im.idx(s, k);
       const SlotAction first = im.ca_first_action(i, s);
-      im.lane_commit_action(*im.lane_ptr[k], i, s, first, /*begin=*/0, end);
+      im.lane_commit_action(k, i, s, first, /*begin=*/0, end);
     }
     im.slot_index[s - 1] = 1;
     im.slot_begin[s - 1] = 0;
@@ -755,9 +1075,15 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
 
 CohortEngine::~CohortEngine() {
   if (!impl_) return;
-  for (auto& lane : impl_->lanes)
-    if (!lane->engine) impl_->flush_lane(*lane);
-  impl_->flush_cohort_telemetry();
+  Impl& im = *impl_;
+  im.flush_metrics();
+  for (const std::uint32_t k : im.active)
+    im.lane_ptr[k]->pending_slots += im.pend_slots_shared;
+  im.pend_slots_shared = 0;
+  for (auto& lane : im.lanes)
+    if (!lane->engine) im.flush_lane(*lane);
+  im.flush_cohort_telemetry();
+  // im.lane_ledger's destructor flushes each lane's channel telemetry.
 }
 
 std::size_t CohortEngine::lanes() const noexcept { return impl_->lanes.size(); }
@@ -781,14 +1107,18 @@ void CohortEngine::run(const std::vector<StopCondition>& stops) {
 const metrics::RunStats& CohortEngine::stats(std::size_t lane) const {
   AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
   const Impl::Lane& L = *impl_->lanes[lane];
-  return L.engine ? L.engine->stats() : L.metrics.stats();
+  if (L.engine) return L.engine->stats();
+  impl_->flush_metrics();  // fold the SoA slot counters before observing
+  return L.metrics.stats();
 }
 
 const channel::LedgerStats& CohortEngine::channel_stats(
     std::size_t lane) const {
   AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
   const Impl::Lane& L = *impl_->lanes[lane];
-  return L.engine ? L.engine->channel_stats() : L.ledger.stats();
+  if (L.engine) return L.engine->channel_stats();
+  // LedgerStats update eagerly in the LaneLedger — no fold needed.
+  return impl_->lane_ledger->stats(static_cast<std::uint32_t>(lane));
 }
 
 void CohortEngine::save_lane_state(std::size_t lane,

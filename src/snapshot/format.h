@@ -28,7 +28,9 @@
 
 namespace asyncmac::snapshot {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: Ledger::save_state grew the memo_hits/memo_misses pending telemetry
+// deltas (channel/ledger.h).
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr char kMagic[8] = {'A', 'M', 'A', 'C', 'S', 'N', 'A', 'P'};
 
 enum class FileKind : std::uint8_t {

@@ -109,36 +109,52 @@ namespace {
 /// engine's, byte for byte. Lane 1 rides along with a different seed (the
 /// Monte Carlo shape cohorts exist for); lane 2 replays the scenario with
 /// a mid-horizon stop and resumes, covering retirement + materialization
-/// under every generated adversary.
+/// under every generated adversary; lane 3 runs the scenario with varied
+/// injector *parameters* (halved rho, longer bursts) and must match its
+/// own scalar twin — the lane-varying-parameter shape analysis::run_grid
+/// batches whole grid rows with.
 trace::CheckResult check_cohort_equivalence(const Scenario& s,
                                             const sim::Engine& scalar) {
   snapshot::Writer scalar_bytes;
   scalar.save_state(scalar_bytes);
+
+  // Same protocol/policy/seed, different injector parameters: legal for
+  // every injector kind (rho only shrinks, bursts only lengthen).
+  Scenario varied = s;
+  varied.injector.rho =
+      util::Ratio(varied.injector.rho.num, varied.injector.rho.den * 2);
+  varied.injector.burst_ticks += 4 * kTicksPerUnit;
+  snapshot::Writer varied_bytes;
+  run_scenario(varied)->save_state(varied_bytes);
 
   std::vector<sim::LaneBuilder> builders;
   builders.push_back([s] { return scenario_materials(s); });
   builders.push_back(
       [s, seed = s.seed + 1] { return scenario_materials(s, seed); });
   builders.push_back([s] { return scenario_materials(s); });
+  builders.push_back([varied] { return scenario_materials(varied); });
   sim::CohortEngine cohort(std::move(builders));
 
   const Tick horizon = s.horizon_units * kTicksPerUnit;
-  std::vector<sim::StopCondition> stops(3, sim::until(horizon));
+  std::vector<sim::StopCondition> stops(4, sim::until(horizon));
   stops[2] = sim::until(horizon / 2);
   cohort.run(stops);
   cohort.run(sim::until(horizon));  // resume lane 2 to the full horizon
 
-  for (const std::size_t lane : {std::size_t{0}, std::size_t{2}}) {
+  for (const std::size_t lane :
+       {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    const auto& want = lane == 3 ? varied_bytes : scalar_bytes;
     snapshot::Writer lane_bytes;
     cohort.save_lane_state(lane, lane_bytes);
-    if (lane_bytes.buffer() != scalar_bytes.buffer()) {
+    if (lane_bytes.buffer() != want.buffer()) {
       std::ostringstream os;
       os << "cohort lane " << lane << " ("
          << (cohort.lockstep() ? "lockstep" : "scalar-fallback")
          << (lane == 2 ? ", retired mid-run and resumed" : "")
+         << (lane == 3 ? ", param-varied injector" : "")
          << ") diverged from the scalar engine: state snapshots differ ("
-         << lane_bytes.buffer().size() << " vs "
-         << scalar_bytes.buffer().size() << " bytes)";
+         << lane_bytes.buffer().size() << " vs " << want.buffer().size()
+         << " bytes)";
       return {false, os.str()};
     }
   }

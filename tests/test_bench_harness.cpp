@@ -55,6 +55,32 @@ TEST(ReconcileBaseline, EmptyInputs) {
   EXPECT_EQ(no_expected.stray, (std::vector<std::string>{"a"}));
 }
 
+TEST(MinOfNRate, ReturnsFastestRepetition) {
+  // Simulated noisy reps: interference only slows a rep down, so the
+  // best (max) rate is the estimate; 900.0 here is "two of three reps
+  // hit jitter" and must not win the way it could under a median.
+  std::vector<double> reps = {900.0, 1000.0, 950.0};
+  std::size_t i = 0;
+  EXPECT_DOUBLE_EQ(min_of_n_rate([&] { return reps[i++]; }), 1000.0);
+  EXPECT_EQ(i, 3u);  // default kBenchReps repetitions, no more
+}
+
+TEST(MinOfNRate, HonorsRepCountParameter) {
+  int calls = 0;
+  const double best = min_of_n_rate(
+      [&] {
+        ++calls;
+        return static_cast<double>(calls);  // monotonically "faster"
+      },
+      5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_DOUBLE_EQ(best, 5.0);
+
+  calls = 0;
+  EXPECT_DOUBLE_EQ(min_of_n_rate([&] { return 42.0 + calls++; }, 1), 42.0);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(MergeBaseline, EndToEndOverTrajectoryFile) {
   const std::string path =
       ::testing::TempDir() + "/harness_baseline_test.json";

@@ -178,6 +178,83 @@ TEST(CohortScenario, GeneratedScenariosByteIdentity) {
   }
 }
 
+// Lanes that share protocol / policy / n / R / seed but differ in
+// injector *parameters and kinds* — the grid-row batching shape
+// (analysis::run_grid groups a rho x seed block into one cohort). Every
+// lane must still match its own scalar twin byte for byte, including a
+// no-injector lane riding along with adversarial ones.
+TEST(Cohort, ParamVaryingLanesByteIdentity) {
+  auto lane = [](adversary::InjectorSpec* inj) {
+    const adversary::InjectorSpec spec = inj ? *inj : adversary::InjectorSpec{};
+    const bool none = inj == nullptr;
+    return [spec, none] {
+      sim::LaneMaterials m = eligible_materials(55);
+      m.injection = none ? nullptr : adversary::make_injector(spec);
+      return m;
+    };
+  };
+  std::vector<adversary::InjectorSpec> specs(4);
+  specs[0].rho = util::Ratio(1, 2);  // the eligible_materials default shape
+  specs[1].rho = util::Ratio(1, 4);  // halved rate
+  specs[1].burst_ticks = 16 * kTicksPerUnit;  // doubled burst
+  specs[2].pattern = "single";  // different cost-bucket targeting
+  specs[2].single_target = 2;
+  specs[3].kind = "drain-chasing";  // different injector kind entirely
+  specs[3].drain_a = 1;
+  specs[3].drain_b = 3;
+
+  std::vector<sim::LaneBuilder> builders;
+  for (auto& s : specs) builders.push_back(lane(&s));
+  builders.push_back(lane(nullptr));  // and one lane with no injector
+  sim::CohortEngine cohort(std::move(builders));
+  ASSERT_TRUE(cohort.lockstep());
+  const sim::StopCondition stop = sim::until(300 * kTicksPerUnit);
+  cohort.run(stop);
+  for (std::size_t k = 0; k < 5; ++k) {
+    auto ref = engine_from(lane(k < specs.size() ? &specs[k] : nullptr)());
+    ref->run(stop);
+    EXPECT_EQ(lane_bytes(cohort, k), engine_bytes(*ref)) << "lane " << k;
+  }
+}
+
+// Kill-anywhere: a lane's snapshot must equal the scalar engine's at
+// *every* observation point, not just retirement — save_lane_state on a
+// live lockstep lane flushes the SoA ledger and metrics blocks
+// mid-cadence. Swept across prune cadences (every event, the shared
+// default-ish 16, and one so sparse it never fires) so cuts land before,
+// between and on prune boundaries.
+TEST(Cohort, KillAnywhereByteIdentityAcrossPruneCadences) {
+  for (const std::uint64_t prune : {std::uint64_t{1}, std::uint64_t{16},
+                                    std::uint64_t{4096}}) {
+    auto lane = [prune](std::uint64_t seed) {
+      return [prune, seed] {
+        sim::LaneMaterials m = eligible_materials(seed);
+        m.cfg.prune_interval = prune;
+        return m;
+      };
+    };
+    const std::size_t kLanes = 3;
+    std::vector<sim::LaneBuilder> builders;
+    std::vector<std::unique_ptr<sim::Engine>> refs;
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      builders.push_back(lane(600 + 7 * k));
+      refs.push_back(engine_from(lane(600 + 7 * k)()));
+    }
+    sim::CohortEngine cohort(std::move(builders));
+    ASSERT_TRUE(cohort.lockstep());
+    // Cuts chosen to straddle prune boundaries for every cadence above.
+    for (const Tick cut_units : {3, 17, 40, 111, 256}) {
+      const sim::StopCondition stop = sim::until(cut_units * kTicksPerUnit);
+      cohort.run(stop);
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        refs[k]->run(stop);
+        EXPECT_EQ(lane_bytes(cohort, k), engine_bytes(*refs[k]))
+            << "prune=" << prune << " cut=" << cut_units << " lane " << k;
+      }
+    }
+  }
+}
+
 // K = 1 is the degenerate cohort: still lockstep, still identical.
 TEST(Cohort, SingleLaneDegenerate) {
   std::vector<sim::LaneBuilder> builders;
@@ -335,16 +412,22 @@ TEST(Cohort, MismatchedLanesFallBackToScalar) {
 }
 
 // Checkpointing configurations are ineligible by design (the sink
-// callback observes a scalar Engine mid-run).
+// callback observes a scalar Engine mid-run) — and the fallback still
+// runs them to byte-identity with a scalar engine.
 TEST(Cohort, CheckpointConfigFallsBack) {
-  std::vector<sim::LaneBuilder> builders;
-  builders.push_back([] {
+  auto lane = [] {
     sim::LaneMaterials m = eligible_materials(17);
     m.cfg.checkpoint_interval = 64;
     return m;
-  });
+  };
+  std::vector<sim::LaneBuilder> builders;
+  builders.push_back(lane);
   sim::CohortEngine cohort(std::move(builders));
   EXPECT_FALSE(cohort.lockstep());
+  cohort.run(sim::until(100 * kTicksPerUnit));
+  auto ref = engine_from(lane());
+  ref->run(sim::until(100 * kTicksPerUnit));
+  EXPECT_EQ(lane_bytes(cohort, 0), engine_bytes(*ref));
 }
 
 TEST(Cohort, RejectsEmptyAndLaneIndexOutOfRange) {

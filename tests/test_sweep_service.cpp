@@ -185,8 +185,15 @@ TEST_F(SweepServiceTest, DelayedResultStillMerges) {
 }
 
 TEST_F(SweepServiceTest, WorkerKilledWhileIdleBetweenUnits) {
-  const auto control = analysis::run_grid(small_spec());
-  Coordinator coord(fast_config(grid_job()));
+  // Pin cohort=2: with param-varying cohorts the 8-cell grid would plan
+  // as 2 whole-row units and worker 1 would finish before the kill step;
+  // 4 units keep it mid-sweep (idle between its units) when killed.
+  analysis::ExperimentSpec spec = small_spec();
+  spec.cohort = 2;
+  const auto control = analysis::run_grid(spec);
+  SweepJob job = grid_job();
+  job.grid = spec;
+  Coordinator coord(fast_config(job));
   LoopbackNet net(coord);
   WorkerSession w1, w2;
   const std::uint64_t c1 = net.attach(w1);

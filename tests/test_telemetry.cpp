@@ -333,6 +333,65 @@ TEST(TelemetryDeterminism, RunStatsAndTraceAreByteIdentical) {
   std::remove(path.c_str());
 }
 
+RunArtifacts run_memo_sim(std::uint64_t seed) {
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.bound_r = 1;
+  cfg.seed = seed;
+  cfg.record_trace = true;
+  // Synchronous slots: every station polls feedback over the same [s, t)
+  // window, so each slot is one ledger memo miss followed by n - 1 hits —
+  // the repeat-query memo's home turf.
+  sim::Engine engine(
+      cfg, analysis::make_protocols("ca-arrow", cfg.n),
+      adversary::make_slot_policy("sync", cfg.n, cfg.bound_r, seed),
+      std::make_unique<adversary::SaturatingInjector>(
+          util::Ratio(1, 2), 8 * kTicksPerUnit,
+          adversary::TargetPattern::kRoundRobin, 1, seed + 1));
+  engine.run(sim::until(1000 * kTicksPerUnit));
+
+  RunArtifacts out;
+  out.stats_json = metrics::to_json(engine.stats(), &engine.channel_stats());
+  trace::RenderOptions r;
+  r.to = 200 * kTicksPerUnit;
+  out.schedule = trace::render_schedule(engine.trace().slots(), r);
+  return out;
+}
+
+// The ledger's repeat-query memo counters (channel.memo_hits /
+// channel.memo_misses) are write-only like every other instrument:
+// telemetry on vs off changes no result byte, and a synchronous run —
+// where all n stations query the same slot window — records both.
+TEST(TelemetryDeterminism, MemoCountersAreWriteOnlyAndRecorded) {
+  telemetry::set_enabled(false);
+  const RunArtifacts off = run_memo_sim(23);
+
+  const std::string path = temp_path("telemetry_memo_determinism.jsonl");
+  RunArtifacts on;
+  {
+    ScopedTelemetry enabled;
+    ASSERT_TRUE(telemetry::enable_to_file(path));
+    on = run_memo_sim(23);
+  }
+
+  EXPECT_EQ(off.stats_json, on.stats_json);
+  EXPECT_EQ(off.schedule, on.schedule);
+
+  std::ifstream in(path);
+  const auto summary = telemetry::summarize_stream(in);
+  std::uint64_t hits = 0, misses = 0, queries = 0;
+  for (const auto& [name, value] : summary.counters) {
+    if (name == "channel.memo_hits") hits = value;
+    if (name == "channel.memo_misses") misses = value;
+    if (name == "channel.feedback_queries") queries = value;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+  // Every non-fast-path query is exactly one hit or one miss, never both.
+  EXPECT_LE(hits + misses, queries);
+  std::remove(path.c_str());
+}
+
 RunArtifacts run_instrumented_live(std::uint64_t seed) {
   snapshot::RunSpec spec;
   spec.protocol = "ca-arrow";

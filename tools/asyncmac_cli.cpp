@@ -165,8 +165,9 @@ std::vector<std::string> split_list(const std::string& s) {
       "  --seeds=K      seed replications per cell (default 1)\n"
       "  --jobs=J       worker threads, 0 = all cores (default 0);\n"
       "                 records are byte-identical for every J\n"
-      "  --cohort=K     batch up to K seed replicas per cell through the\n"
-      "                 lockstep cohort engine; 0 = auto, 1 = scalar\n"
+      "  --cohort=K     batch up to K cells differing only in seed and\n"
+      "                 injector params (rho) through the lockstep cohort\n"
+      "                 engine; 0 = auto, 1 = scalar\n"
       "                 (default 0); records are byte-identical for\n"
       "                 every K\n"
       "  --csv=PATH     also write the records as CSV\n"
