@@ -90,16 +90,31 @@ std::string to_table(const std::vector<ExperimentRecord>& records) {
 }
 
 void write_csv(const std::vector<ExperimentRecord>& records,
-               const std::string& path) {
-  util::CsvWriter csv(
-      path, {"protocol", "n", "R", "rho_pct", "policy", "seed", "injected",
-             "delivered", "queued", "max_queue_units", "final_queue_units",
-             "collisions", "control_msgs", "p99_latency_units"});
-  for (const auto& r : records)
-    csv.row(r.protocol, r.n, r.bound_r, r.rho_pct, r.slot_policy, r.seed,
-            r.injected, r.delivered, r.queued, r.max_queue_cost_units,
-            r.final_queue_cost_units, r.collisions, r.control_msgs,
-            r.p99_latency_units);
+               const std::string& path, bool energy_columns) {
+  std::vector<std::string> header{
+      "protocol", "n", "R", "rho_pct", "policy", "seed", "injected",
+      "delivered", "queued", "max_queue_units", "final_queue_units",
+      "collisions", "control_msgs", "p99_latency_units"};
+  if (energy_columns) {
+    header.push_back("energy_total");
+    header.push_back("energy_peak_station");
+    header.push_back("energy_per_delivery");
+  }
+  util::CsvWriter csv(path, header);
+  for (const auto& r : records) {
+    if (energy_columns) {
+      csv.row(r.protocol, r.n, r.bound_r, r.rho_pct, r.slot_policy, r.seed,
+              r.injected, r.delivered, r.queued, r.max_queue_cost_units,
+              r.final_queue_cost_units, r.collisions, r.control_msgs,
+              r.p99_latency_units, r.energy_total, r.energy_peak_station,
+              r.energy_per_delivery);
+    } else {
+      csv.row(r.protocol, r.n, r.bound_r, r.rho_pct, r.slot_policy, r.seed,
+              r.injected, r.delivered, r.queued, r.max_queue_cost_units,
+              r.final_queue_cost_units, r.collisions, r.control_msgs,
+              r.p99_latency_units);
+    }
+  }
 }
 
 }  // namespace asyncmac::analysis

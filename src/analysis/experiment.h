@@ -45,6 +45,18 @@ struct ExperimentSpec {
   /// the cohort engine's contract — so cohort, like jobs, is an
   /// execution knob and not part of the spec fingerprint.
   unsigned cohort = 0;
+  /// k-restrained channel for every cell (channel/transmission.h): at most
+  /// k transmissions on the air at once; 0 = unrestrained. Over-capacity
+  /// transmissions jam (sent anyway, guaranteed collision) when
+  /// restrained_jam is true, otherwise they are rejected (suppressed).
+  std::uint32_t restrained_k = 0;
+  bool restrained_jam = true;
+  /// Per-slot energy accounting (energy/model.h, docs/ENERGY.md).
+  /// Observation-only: enabling it changes no non-energy record field.
+  bool energy_enabled = false;
+  std::uint64_t energy_cost_transmit = 1;
+  std::uint64_t energy_cost_listen = 1;
+  std::uint64_t energy_cost_sleep = 0;
   /// When non-empty, run_grid keeps a manifest (grid-manifest.snap, see
   /// docs/CHECKPOINT.md) in this directory: after every finished cell the
   /// manifest is atomically rewritten with the completed-cell set and
@@ -75,6 +87,10 @@ struct ExperimentRecord {
   std::uint64_t control_msgs = 0;
   double delivered_fraction = 0;
   double p99_latency_units = 0;
+  // Energy results (all zero unless spec.energy_enabled; docs/ENERGY.md).
+  std::uint64_t energy_total = 0;         ///< sum of station charges
+  std::uint64_t energy_peak_station = 0;  ///< largest single-station charge
+  double energy_per_delivery = 0;         ///< total / delivered (0 if none)
 };
 
 /// Run the full cross product, on spec.jobs worker threads. Record order:
@@ -83,9 +99,12 @@ struct ExperimentRecord {
 /// and each worker writes into its cell's pre-sized slot.
 std::vector<ExperimentRecord> run_grid(const ExperimentSpec& spec);
 
-/// Render records as an aligned ASCII table / CSV file.
+/// Render records as an aligned ASCII table / CSV file. The energy
+/// columns are opt-in (energy_columns = spec.energy_enabled): a sweep
+/// without energy accounting writes byte-identical files to builds that
+/// predate the energy subsystem.
 std::string to_table(const std::vector<ExperimentRecord>& records);
 void write_csv(const std::vector<ExperimentRecord>& records,
-               const std::string& path);
+               const std::string& path, bool energy_columns = false);
 
 }  // namespace asyncmac::analysis

@@ -6,6 +6,8 @@
 #include "adversary/injectors.h"
 #include "adversary/slot_policies.h"
 #include "analysis/registry.h"
+#include "channel/transmission.h"
+#include "energy/meter.h"
 #include "sim/cohort_engine.h"
 #include "sim/engine.h"
 #include "snapshot/format.h"
@@ -27,15 +29,20 @@ struct CellSetup {
   std::uint32_t bound_r;
   std::string policy;
   Tick burst_units;
+  channel::RestrainedSpec restrained;
+  energy::EnergyModel energy;
 
-  CellSetup(const std::string& protocol_name, std::uint32_t n_,
-            std::uint32_t r_, const std::string& policy_, Tick burst)
+  CellSetup(const ExperimentSpec& spec, const std::string& protocol_name,
+            std::uint32_t n_, std::uint32_t r_, const std::string& policy_)
       : maker(protocol_maker(protocol_name)),
         protocol(protocol_name),
         n(n_),
         bound_r(r_),
         policy(policy_),
-        burst_units(burst) {}
+        burst_units(spec.burst_units),
+        restrained{spec.restrained_k, spec.restrained_jam},
+        energy{spec.energy_enabled, spec.energy_cost_transmit,
+               spec.energy_cost_listen, spec.energy_cost_sleep} {}
 
   /// Engine materials for one (seed, rho) cell of this unit.
   sim::LaneMaterials materials(std::uint64_t seed, int rho_pct) const {
@@ -43,6 +50,8 @@ struct CellSetup {
     m.cfg.n = n;
     m.cfg.bound_r = bound_r;
     m.cfg.seed = seed;
+    m.cfg.restrained = restrained;
+    m.cfg.energy = energy;
     m.protocols.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) m.protocols.push_back(maker());
     m.slot_policy = adversary::make_slot_policy(policy, n, bound_r, seed);
@@ -56,7 +65,8 @@ struct CellSetup {
 ExperimentRecord extract_record(const CellSetup& setup, int rho_pct,
                                 std::uint64_t seed,
                                 const metrics::RunStats& s,
-                                const channel::LedgerStats& ch) {
+                                const channel::LedgerStats& ch,
+                                const energy::EnergyMeter& meter) {
   ExperimentRecord rec;
   rec.protocol = setup.protocol;
   rec.n = setup.n;
@@ -77,6 +87,14 @@ ExperimentRecord extract_record(const CellSetup& setup, int rho_pct,
                          : 1.0;
   rec.p99_latency_units =
       s.latency.empty() ? 0.0 : to_units(s.latency.quantile(0.99));
+  if (setup.energy.enabled) {
+    rec.energy_total = meter.total_charge(setup.energy);
+    rec.energy_peak_station = meter.peak_station_charge(setup.energy);
+    rec.energy_per_delivery =
+        s.delivered_packets ? static_cast<double>(rec.energy_total) /
+                                  static_cast<double>(s.delivered_packets)
+                            : 0.0;
+  }
   return rec;
 }
 
@@ -142,6 +160,12 @@ std::uint32_t grid_fingerprint(const ExperimentSpec& spec) {
   w.i64(spec.horizon_units);
   w.u64(spec.seed);
   w.i64(spec.seeds);
+  w.u32(spec.restrained_k);
+  w.boolean(spec.restrained_jam);
+  w.boolean(spec.energy_enabled);
+  w.u64(spec.energy_cost_transmit);
+  w.u64(spec.energy_cost_listen);
+  w.u64(spec.energy_cost_sleep);
   return snapshot::crc32(w.buffer().data(), w.buffer().size());
 }
 
@@ -161,6 +185,9 @@ void save_record(snapshot::Writer& w, const ExperimentRecord& rec) {
   w.u64(rec.control_msgs);
   w.f64(rec.delivered_fraction);
   w.f64(rec.p99_latency_units);
+  w.u64(rec.energy_total);
+  w.u64(rec.energy_peak_station);
+  w.f64(rec.energy_per_delivery);
 }
 
 ExperimentRecord load_record(snapshot::Reader& r) {
@@ -180,6 +207,9 @@ ExperimentRecord load_record(snapshot::Reader& r) {
   rec.control_msgs = r.u64();
   rec.delivered_fraction = r.f64();
   rec.p99_latency_units = r.f64();
+  rec.energy_total = r.u64();
+  rec.energy_peak_station = r.u64();
+  rec.energy_per_delivery = r.f64();
   return rec;
 }
 
@@ -198,7 +228,7 @@ std::vector<ExperimentRecord> run_grid_cells(
                "cells of one work unit must share protocol, n, R and policy");
   }
   const auto setup = std::make_shared<const CellSetup>(
-      c0.protocol, c0.n, c0.bound_r, c0.slot_policy, spec.burst_units);
+      spec, c0.protocol, c0.n, c0.bound_r, c0.slot_policy);
 
   std::vector<ExperimentRecord> out;
   out.reserve(todo.size());
@@ -208,7 +238,8 @@ std::vector<ExperimentRecord> run_grid_cells(
                        std::move(m.slot_policy), std::move(m.injection));
     engine.run(sim::until(spec.horizon_units * kTicksPerUnit));
     out.push_back(extract_record(*setup, c0.rho_pct, c0.seed, engine.stats(),
-                                 engine.channel_stats()));
+                                 engine.channel_stats(),
+                                 engine.energy_meter()));
   } else {
     std::vector<sim::LaneBuilder> builders;
     builders.reserve(todo.size());
@@ -221,8 +252,9 @@ std::vector<ExperimentRecord> run_grid_cells(
     cohort.run(sim::until(spec.horizon_units * kTicksPerUnit));
     for (std::size_t k = 0; k < todo.size(); ++k) {
       const GridCell& c = plan.cells[todo[k]];
-      out.push_back(extract_record(*setup, c.rho_pct, c.seed,
-                                   cohort.stats(k), cohort.channel_stats(k)));
+      out.push_back(extract_record(*setup, c.rho_pct, c.seed, cohort.stats(k),
+                                   cohort.channel_stats(k),
+                                   cohort.energy_meter(k)));
     }
   }
   return out;

@@ -4,6 +4,7 @@
 
 #include "baselines/aloha.h"
 #include "baselines/beb.h"
+#include "baselines/csma_lbt.h"
 #include "baselines/listen.h"
 #include "baselines/mbtf.h"
 #include "baselines/rrw.h"
@@ -34,6 +35,8 @@ const std::map<std::string, ProtocolMaker>& registry() {
       {"aloha",
        [] { return std::make_unique<baselines::SlottedAlohaProtocol>(); }},
       {"beb", [] { return std::make_unique<baselines::BebProtocol>(); }},
+      {"csma-lbt",
+       [] { return std::make_unique<baselines::CsmaLbtProtocol>(); }},
       {"silence-tdma",
        [] {
          return std::make_unique<baselines::SilenceCountTdmaProtocol>();

@@ -1,6 +1,7 @@
 #include "channel/lane_ledger.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "snapshot/io.h"
 #include "telemetry/registry.h"
@@ -45,8 +46,11 @@ void LaneLedger::Window::push(const Transmission& t) {
   station.push_back(t.station);
   packet.push_back(t.packet);
   is_control.push_back(t.is_control ? 1 : 0);
+  // Success flags start cleared; a rejected transmission arrives decided
+  // (the scalar add() flips it before the window push).
   successful.push_back(0);
-  decided.push_back(0);
+  decided.push_back(t.decided ? 1 : 0);
+  admission.push_back(t.admission);
 }
 
 void LaneLedger::Window::compact() {
@@ -60,15 +64,18 @@ void LaneLedger::Window::compact() {
   is_control.erase(is_control.begin(), is_control.begin() + h);
   successful.erase(successful.begin(), successful.begin() + h);
   decided.erase(decided.begin(), decided.begin() + h);
+  admission.erase(admission.begin(), admission.begin() + h);
   finalized -= head;
   head = 0;
 }
 
-LaneLedger::LaneLedger(std::uint32_t lanes, bool keep_history)
-    : K_(lanes), keep_history_(keep_history) {
+LaneLedger::LaneLedger(std::uint32_t lanes, bool keep_history,
+                       RestrainedSpec restrained)
+    : K_(lanes), keep_history_(keep_history), restrained_(restrained) {
   AM_REQUIRE(lanes >= 1, "lane ledger needs at least one lane");
   win_.resize(K_);
   history_.resize(K_);
+  live_ends_.resize(K_);
   stats_.resize(K_);
   live_count_.assign(K_, 0);
   fin_pending_.assign(K_, 0);
@@ -97,12 +104,30 @@ LaneLedger::~LaneLedger() {
   for (std::uint32_t k = 0; k < K_; ++k) flush_telemetry(k);
 }
 
-void LaneLedger::add(std::uint32_t lane, const Transmission& t) {
+void LaneLedger::add(std::uint32_t lane, const Transmission& t_in) {
+  Transmission t = t_in;
   AM_CHECK_MSG(t.begin >= last_begin_[lane],
                "transmissions must be added in begin order: "
                    << t.begin << " < " << last_begin_[lane]);
   AM_CHECK(t.end > t.begin);
   AM_CHECK(t.station != kInvalidStation);
+  t.decided = false;
+  t.successful = false;
+  t.admission = static_cast<std::uint8_t>(Admission::kOk);
+  if (restrained_.enabled()) {
+    const Admission verdict = admit(lane, t.begin, t.end);
+    t.admission = static_cast<std::uint8_t>(verdict);
+    if (verdict == Admission::kJammed) {
+      ++stats_[lane].jammed;
+    } else if (verdict == Admission::kRejected) {
+      // Scalar rule (ledger.cpp add): decided-unsuccessful at add, and
+      // counted as collided so successful + collided keeps tracking the
+      // decided count.
+      t.decided = true;
+      ++stats_[lane].rejected;
+      ++stats_[lane].collided;
+    }
+  }
   last_begin_[lane] = t.begin;
   latest_end_[lane] = std::max(latest_end_[lane], t.end);
   const Tick prev_max_duration = max_duration_[lane];
@@ -122,6 +147,25 @@ void LaneLedger::add(std::uint32_t lane, const Transmission& t) {
     window_peak_[lane] = win_[lane].live();
 }
 
+Admission LaneLedger::admit(std::uint32_t lane, Tick begin, Tick end) {
+  std::vector<Tick>& heap = live_ends_[lane];
+  while (!heap.empty() && heap.front() <= begin) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<Tick>());
+    heap.pop_back();
+  }
+  if (heap.size() < restrained_.k) {
+    heap.push_back(end);
+    std::push_heap(heap.begin(), heap.end(), std::greater<Tick>());
+    return Admission::kOk;
+  }
+  if (restrained_.jam) {
+    heap.push_back(end);
+    std::push_heap(heap.begin(), heap.end(), std::greater<Tick>());
+    return Admission::kJammed;
+  }
+  return Admission::kRejected;
+}
+
 bool LaneLedger::overlaps_other(const Window& w, Tick max_dur,
                                 std::size_t i) const {
   const Tick b = w.begin[i];
@@ -135,12 +179,16 @@ bool LaneLedger::overlaps_other(const Window& w, Tick max_dur,
   for (std::size_t j = lo; j > w.head;) {
     --j;
     if (w.begin[j] + max_dur <= b) break;
+    if (static_cast<Admission>(w.admission[j]) == Admission::kRejected)
+      continue;  // never reached the medium
     if (w.end[j] > b &&
         !(w.station[j] == st && w.begin[j] == b && w.end[j] == e))
       return true;
   }
   for (std::size_t j = lo; j < w.size(); ++j) {
     if (w.begin[j] >= e) break;
+    if (static_cast<Admission>(w.admission[j]) == Admission::kRejected)
+      continue;  // never reached the medium
     if (w.station[j] == st && w.begin[j] == b && w.end[j] == e)
       continue;  // the entry itself
     if (intervals_overlap(w.begin[j], w.end[j], b, e)) return true;
@@ -200,6 +248,10 @@ Feedback LaneLedger::feedback_slow(std::uint32_t lane, Tick s, Tick t) {
   for (; i < w.size(); ++i) {
     if (w.begin[i] >= t) break;
     ++scanned;
+    // Rejected transmissions are invisible to feedback (scalar rule:
+    // counted in the scan telemetry, neither ack nor busy).
+    if (static_cast<Admission>(w.admission[i]) == Admission::kRejected)
+      continue;
     if (w.end[i] > s && w.end[i] <= t) {
       AM_CHECK(w.decided[i]);  // end <= t means finalize_until(t) decided it
       if (w.successful[i]) return record(Feedback::kAck);
@@ -313,6 +365,7 @@ void LaneLedger::prune_before(std::uint32_t lane, Tick horizon) {
       t.packet = w.packet[w.head];
       t.successful = w.successful[w.head] != 0;
       t.decided = true;
+      t.admission = w.admission[w.head];
       history_[lane].push_back(t);
     }
     AM_CHECK(w.finalized > w.head);
@@ -349,6 +402,23 @@ void LaneLedger::flush_telemetry(std::uint32_t lane) {
   window_peak_[lane] = 0;
 }
 
+bool LaneLedger::transmission_successful(std::uint32_t lane,
+                                         StationId station, Tick end) const {
+  const Window& w = win_[lane];
+  for (std::size_t i = w.size(); i-- > w.head;) {
+    if (w.station[i] == station && w.end[i] == end) {
+      AM_CHECK(w.decided[i]);
+      return w.successful[i] != 0;
+    }
+    // Sorted by begin: once begins are so old they cannot reach `end`,
+    // no earlier entry can have this end time (scalar rule).
+    if (w.begin[i] + max_duration_[lane] < end) break;
+  }
+  AM_CHECK_MSG(false, "no transmission of station " << station
+                                                    << " ending at " << end);
+  return false;
+}
+
 void LaneLedger::save_state(std::uint32_t lane, snapshot::Writer& w) const {
   // Ledger::save_state's exact field order (channel/ledger.cpp — the KEEP
   // IN SYNC note there points back here).
@@ -361,8 +431,11 @@ void LaneLedger::save_state(std::uint32_t lane, snapshot::Writer& w) const {
     w.u64(win.packet[i]);
     w.boolean(win.successful[i] != 0);
     w.boolean(win.decided[i] != 0);
+    w.u8(win.admission[i]);
   };
   w.boolean(keep_history_);
+  w.u32(restrained_.k);
+  w.boolean(restrained_.jam);
   w.u64(win.live());
   for (std::size_t i = win.head; i < win.size(); ++i) entry(i);
   w.u64(win.finalized - win.head);
@@ -375,6 +448,7 @@ void LaneLedger::save_state(std::uint32_t lane, snapshot::Writer& w) const {
     w.u64(t.packet);
     w.boolean(t.successful);
     w.boolean(t.decided);
+    w.u8(t.admission);
   }
   const LedgerStats& st = stats_[lane];
   w.u64(st.transmissions);
@@ -384,6 +458,8 @@ void LaneLedger::save_state(std::uint32_t lane, snapshot::Writer& w) const {
   w.u64(st.successful_packets);
   w.i64(st.successful_packet_time);
   w.i64(st.successful_control_time);
+  w.u64(st.rejected);
+  w.u64(st.jammed);
   w.i64(last_begin_[lane]);
   w.i64(latest_end_[lane]);
   w.i64(max_duration_[lane]);

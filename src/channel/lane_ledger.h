@@ -39,9 +39,11 @@ namespace asyncmac::channel {
 
 class LaneLedger {
  public:
-  /// `lanes` ledgers, all with the same keep_history flag (cohort
-  /// eligibility requires the flag shared across lanes).
-  LaneLedger(std::uint32_t lanes, bool keep_history);
+  /// `lanes` ledgers, all with the same keep_history flag and
+  /// restrained-channel spec (cohort eligibility requires both shared
+  /// across lanes).
+  LaneLedger(std::uint32_t lanes, bool keep_history,
+             RestrainedSpec restrained = {});
   ~LaneLedger();  ///< flushes every lane's pending telemetry
 
   LaneLedger(const LaneLedger&) = delete;
@@ -129,6 +131,16 @@ class LaneLedger {
   /// point in the call sequence.
   const LedgerStats& stats(std::uint32_t lane) const { return stats_[lane]; }
 
+  /// The restrained-channel spec shared by every lane.
+  const RestrainedSpec& restrained() const noexcept { return restrained_; }
+
+  /// Ledger::transmission_successful for one lane: was lane `lane`'s most
+  /// recent transmission of `station` ending exactly at `end` successful?
+  /// The cohort engine consults this on restrained channels before
+  /// delivering — an ack can be another station's under reject mode.
+  bool transmission_successful(std::uint32_t lane, StationId station,
+                               Tick end) const;
+
   /// Push one lane's batched telemetry deltas into the global atomic
   /// instruments (the same channel.* names the scalar Ledger uses).
   void flush_telemetry(std::uint32_t lane);
@@ -148,6 +160,7 @@ class LaneLedger {
     std::vector<std::uint8_t> is_control;
     std::vector<std::uint8_t> successful;
     std::vector<std::uint8_t> decided;
+    std::vector<std::uint8_t> admission;
     std::size_t head = 0;
     std::size_t finalized = 0;  ///< absolute: [head, finalized) decided
 
@@ -160,9 +173,15 @@ class LaneLedger {
   Feedback feedback_slow(std::uint32_t lane, Tick s, Tick t);
   void finalize_until(std::uint32_t lane, Tick now);
   bool overlaps_other(const Window& w, Tick max_dur, std::size_t i) const;
+  /// The scalar Ledger::admit, per lane: lazy pops, on-air count, verdict.
+  Admission admit(std::uint32_t lane, Tick begin, Tick end);
 
   std::uint32_t K_;
   bool keep_history_;
+  RestrainedSpec restrained_;
+  /// Per-lane min-heaps of non-rejected transmission ends (restrained
+  /// mode only; empty vectors otherwise). Mirrors Ledger::live_ends_.
+  std::vector<std::vector<Tick>> live_ends_;
   std::vector<Window> win_;
   std::vector<std::vector<Transmission>> history_;
   std::vector<LedgerStats> stats_;

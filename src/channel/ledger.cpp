@@ -1,6 +1,7 @@
 #include "channel/ledger.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "snapshot/io.h"
 #include "telemetry/registry.h"
@@ -49,6 +50,21 @@ void Ledger::add(Transmission t) {
   AM_CHECK(t.station != kInvalidStation);
   t.decided = false;
   t.successful = false;
+  t.admission = static_cast<std::uint8_t>(Admission::kOk);
+  if (restrained_.enabled()) {
+    const Admission verdict = admit(t.begin, t.end);
+    t.admission = static_cast<std::uint8_t>(verdict);
+    if (verdict == Admission::kJammed) {
+      ++stats_.jammed;
+    } else if (verdict == Admission::kRejected) {
+      // Suppressed at the radio: decided-unsuccessful right here, and
+      // counted as collided so successful + collided keeps tracking the
+      // decided count exactly as finalize_until maintains it.
+      t.decided = true;
+      ++stats_.rejected;
+      ++stats_.collided;
+    }
+  }
   last_begin_ = t.begin;
   latest_end_ = std::max(latest_end_, t.end);
   const Tick prev_max_duration = max_duration_;
@@ -68,6 +84,28 @@ void Ledger::add(Transmission t) {
   if (window_.size() > window_peak_local_) window_peak_local_ = window_.size();
 }
 
+Admission Ledger::admit(Tick begin, Tick end) {
+  // Lazily drop ends at or before the new begin (half-open intervals:
+  // a transmission ending exactly at `begin` is off the air already).
+  while (!live_ends_.empty() && live_ends_.front() <= begin) {
+    std::pop_heap(live_ends_.begin(), live_ends_.end(), std::greater<Tick>());
+    live_ends_.pop_back();
+  }
+  if (live_ends_.size() < restrained_.k) {
+    live_ends_.push_back(end);
+    std::push_heap(live_ends_.begin(), live_ends_.end(), std::greater<Tick>());
+    return Admission::kOk;
+  }
+  if (restrained_.jam) {
+    // A jammed transmission still occupies the medium (and so counts
+    // toward the on-air total seen by later adds).
+    live_ends_.push_back(end);
+    std::push_heap(live_ends_.begin(), live_ends_.end(), std::greater<Tick>());
+    return Admission::kJammed;
+  }
+  return Admission::kRejected;
+}
+
 bool Ledger::overlaps_other(const Transmission& t) const {
   // window_ is sorted by begin. Only a bounded neighborhood can overlap t:
   // predecessors whose begin is within max_duration_ of t.begin, and
@@ -78,6 +116,8 @@ bool Ledger::overlaps_other(const Transmission& t) const {
   for (auto it = lo; it != window_.begin();) {
     --it;
     if (it->begin + max_duration_ <= t.begin) break;
+    if (static_cast<Admission>(it->admission) == Admission::kRejected)
+      continue;  // never reached the medium
     if (it->end > t.begin &&
         !(it->station == t.station && it->begin == t.begin &&
           it->end == t.end))
@@ -85,6 +125,8 @@ bool Ledger::overlaps_other(const Transmission& t) const {
   }
   for (auto it = lo; it != window_.end(); ++it) {
     if (it->begin >= t.end) break;
+    if (static_cast<Admission>(it->admission) == Admission::kRejected)
+      continue;  // never reached the medium
     if (it->station == t.station && it->begin == t.begin && it->end == t.end)
       continue;  // t itself
     if (intervals_overlap(it->begin, it->end, t.begin, t.end)) return true;
@@ -149,6 +191,10 @@ Feedback Ledger::feedback_slow(Tick s, Tick t) {
     const Transmission& tx = *it;
     if (tx.begin >= t) break;
     ++scanned;
+    // Rejected transmissions are invisible to feedback: counted in the
+    // scan telemetry (the entry was visited) but neither ack nor busy.
+    if (static_cast<Admission>(tx.admission) == Admission::kRejected)
+      continue;
     if (tx.end > s && tx.end <= t) {
       AM_CHECK(tx.decided);  // end <= t means finalize_until(t) decided it
       if (tx.successful) return record(Feedback::kAck);
@@ -206,6 +252,7 @@ void save_transmission(snapshot::Writer& w, const Transmission& t) {
   w.u64(t.packet);
   w.boolean(t.successful);
   w.boolean(t.decided);
+  w.u8(t.admission);
 }
 
 Transmission load_transmission(snapshot::Reader& r) {
@@ -217,6 +264,7 @@ Transmission load_transmission(snapshot::Reader& r) {
   t.packet = r.u64();
   t.successful = r.boolean();
   t.decided = r.boolean();
+  t.admission = r.u8();
   return t;
 }
 
@@ -224,6 +272,8 @@ Transmission load_transmission(snapshot::Reader& r) {
 
 void Ledger::save_state(snapshot::Writer& w) const {
   w.boolean(keep_history_);
+  w.u32(restrained_.k);
+  w.boolean(restrained_.jam);
   w.u64(window_.size());
   for (const Transmission& t : window_) save_transmission(w, t);
   w.u64(finalized_);
@@ -236,6 +286,8 @@ void Ledger::save_state(snapshot::Writer& w) const {
   w.u64(stats_.successful_packets);
   w.i64(stats_.successful_packet_time);
   w.i64(stats_.successful_control_time);
+  w.u64(stats_.rejected);
+  w.u64(stats_.jammed);
   w.i64(last_begin_);
   w.i64(latest_end_);
   w.i64(max_duration_);
@@ -260,6 +312,12 @@ void Ledger::load_state(snapshot::Reader& r) {
     throw snapshot::SnapshotError(
         snapshot::ErrorKind::kMismatch,
         "ledger keep_history flag differs from the snapshot's");
+  const std::uint32_t restrained_k = r.u32();
+  const bool restrained_jam = r.boolean();
+  if (restrained_k != restrained_.k || restrained_jam != restrained_.jam)
+    throw snapshot::SnapshotError(
+        snapshot::ErrorKind::kMismatch,
+        "ledger restrained-channel spec differs from the snapshot's");
   const std::uint64_t window_count = r.u64();
   window_.clear();
   for (std::uint64_t i = 0; i < window_count; ++i)
@@ -280,6 +338,8 @@ void Ledger::load_state(snapshot::Reader& r) {
   stats_.successful_packets = r.u64();
   stats_.successful_packet_time = r.i64();
   stats_.successful_control_time = r.i64();
+  stats_.rejected = r.u64();
+  stats_.jammed = r.u64();
   last_begin_ = r.i64();
   latest_end_ = r.i64();
   max_duration_ = r.i64();
@@ -292,6 +352,17 @@ void Ledger::load_state(snapshot::Reader& r) {
   pending_prunes_ = r.u64();
   pending_pruned_entries_ = r.u64();
   window_peak_local_ = static_cast<std::size_t>(r.u64());
+  // Rebuild the admission heap from the non-rejected window entries.
+  // Observably equivalent to the pre-save heap: any end the saver had
+  // already lazily popped (or pruned) lies at or below every future
+  // begin, so it would be popped again before the next admission count.
+  live_ends_.clear();
+  if (restrained_.enabled()) {
+    for (const Transmission& t : window_)
+      if (static_cast<Admission>(t.admission) != Admission::kRejected)
+        live_ends_.push_back(t.end);
+    std::make_heap(live_ends_.begin(), live_ends_.end(), std::greater<Tick>());
+  }
 }
 
 bool Ledger::transmission_successful(StationId station, Tick end) const {

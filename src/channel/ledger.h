@@ -47,14 +47,21 @@ struct LedgerStats {
                                     ///< packet transmissions; the complement
                                     ///< is the paper's "wasted time" (Def. 2)
   Tick successful_control_time = 0;
+  // Restrained channel (always 0 when k == 0). Rejected transmissions are
+  // counted in `collided` too — they are decided-unsuccessful at add() —
+  // so successful + collided still equals the decided count.
+  std::uint64_t rejected = 0;  ///< suppressed over-capacity transmissions
+  std::uint64_t jammed = 0;    ///< over-capacity transmissions sent anyway
 };
 
 class Ledger {
  public:
   /// When keep_history is true every finalized transmission is retained in
   /// full_history() for trace rendering; otherwise finalized transmissions
-  /// are pruned once out of range.
-  explicit Ledger(bool keep_history = false) : keep_history_(keep_history) {}
+  /// are pruned once out of range. `restrained` selects the k-restrained
+  /// channel (channel/transmission.h); the default is unrestrained.
+  explicit Ledger(bool keep_history = false, RestrainedSpec restrained = {})
+      : restrained_(restrained), keep_history_(keep_history) {}
   ~Ledger() { flush_telemetry(); }
 
   Ledger(const Ledger&) = delete;
@@ -65,6 +72,11 @@ class Ledger {
   /// Precondition (engine-guaranteed): one station's transmissions never
   /// overlap each other — a station occupies one slot at a time — so a
   /// (station, begin, end) triple identifies a transmission uniquely.
+  /// On a restrained channel the admission verdict is fixed here: the
+  /// on-air count at t.begin (non-rejected entries with end > t.begin)
+  /// decides kOk vs kJammed/kRejected. Rejected transmissions are decided
+  /// unsuccessful immediately and never touch the medium — overlap scans
+  /// and feedback classification skip them.
   void add(Transmission t);
 
   /// Exact feedback for a slot [s, t). Uniform for transmitters and
@@ -137,6 +149,9 @@ class Ledger {
 
   const LedgerStats& stats() const noexcept { return stats_; }
 
+  /// The restrained-channel configuration this ledger was built with.
+  const RestrainedSpec& restrained() const noexcept { return restrained_; }
+
   /// Live window (unpruned), ordered by begin.
   const std::deque<Transmission>& window() const noexcept { return window_; }
 
@@ -166,9 +181,20 @@ class Ledger {
   /// slots the inline fast paths cannot decide.
   Feedback feedback_slow(Tick s, Tick t);
   bool overlaps_other(const Transmission& t) const;
+  /// Restrained admission at add() time: pops stale ends lazily, counts
+  /// the on-air transmissions at `begin` and records `end` when the new
+  /// transmission reaches the medium. Returns the admission verdict.
+  Admission admit(Tick begin, Tick end);
 
   std::deque<Transmission> window_;
   std::size_t finalized_ = 0;  ///< window_[0..finalized_) have final flags
+  RestrainedSpec restrained_;
+  /// Min-heap of non-rejected transmission ends (restrained mode only).
+  /// Ends <= the current add's begin are popped lazily; the remainder is
+  /// the on-air count. Not serialized: load_state rebuilds it from the
+  /// non-rejected window entries, which is observably equivalent (pruned
+  /// ends lie at or below the horizon, below every future begin).
+  std::vector<Tick> live_ends_;
 
   // Repeat-query memo (see feedback()). Valid only while the window is
   // untouched: add() and prune_before() invalidate, load_state() starts

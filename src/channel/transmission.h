@@ -12,6 +12,38 @@
 
 namespace asyncmac::channel {
 
+/// Admission verdict of a transmission under the k-restrained channel
+/// (Hradovich–Klonowski–Kowalski, arXiv 1808.02216): the channel admits
+/// at most k concurrently on-air transmissions. Excess transmissions are
+/// either jammed (they occupy the medium and destroy every overlapping
+/// transmission, like a classic collision) or rejected (the channel
+/// refuses them outright: they never reach the medium, are invisible to
+/// feedback, and cannot collide with anything). On the unrestrained
+/// channel every transmission is kOk.
+enum class Admission : std::uint8_t {
+  kOk = 0,        ///< admitted: competes on the medium normally
+  kJammed = 1,    ///< over capacity, transmitted anyway: jams the medium
+  kRejected = 2,  ///< over capacity, suppressed: never reaches the medium
+};
+
+/// Restrained-channel configuration. k == 0 means unrestrained (the
+/// paper's default model); k >= 1 bounds concurrent on-air transmissions.
+struct RestrainedSpec {
+  /// Maximum concurrently on-air (non-rejected) transmissions; 0 = off.
+  std::uint32_t k = 0;
+  /// True: excess transmissions jam (occupy the medium, collide);
+  /// false: excess transmissions are rejected (suppressed at the radio).
+  bool jam = true;
+
+  bool enabled() const noexcept { return k != 0; }
+  bool operator==(const RestrainedSpec& o) const noexcept {
+    return k == o.k && jam == o.jam;
+  }
+  bool operator!=(const RestrainedSpec& o) const noexcept {
+    return !(*this == o);
+  }
+};
+
 struct Transmission {
   StationId station = kInvalidStation;
   Tick begin = 0;  ///< inclusive start (base-station continuous time, ticks)
@@ -25,6 +57,9 @@ struct Transmission {
   bool successful = false;
   /// Ledger-internal: true once `successful` has been finalized.
   bool decided = false;
+  /// Restrained-channel admission verdict, fixed at add() time (always
+  /// Admission::kOk on the unrestrained channel).
+  std::uint8_t admission = 0;
 
   Tick duration() const noexcept { return end - begin; }
 };

@@ -1,0 +1,45 @@
+// asyncmac/energy/model.h
+//
+// Per-slot energy cost model (docs/ENERGY.md). De Marco–Kowalski–
+// Stachowiak (arXiv 2209.14140) charge a station for every slot it
+// spends transmitting or listening with packets pending; a station with
+// an empty queue can power its radio down and sleep. The model here is
+// the configurable integer generalization: each station slot is billed
+// exactly one of three costs, decided by the slot action and the queue
+// state at the slot's end event:
+//
+//   transmit — the slot transmitted (packet or control signal);
+//   listen   — the slot listened and the station's queue was non-empty
+//              (the station must stay receive-ready);
+//   sleep    — the slot listened with an empty queue (idle-sleep).
+//
+// Costs are exact integers so accumulated charges are deterministic and
+// serialize bit-for-bit. The default (1/1/0) is the related paper's
+// transmitting-and-listening cost model.
+//
+// Determinism contract: energy accounting is observation-only. Enabling
+// it changes no RunStats, trace, feedback or verdict byte — engines
+// charge meters strictly after all simulation decisions of a slot
+// (tests/test_energy.cpp pins this, mirroring the telemetry guarantee).
+#pragma once
+
+#include <cstdint>
+
+namespace asyncmac::energy {
+
+struct EnergyModel {
+  bool enabled = false;
+  std::uint64_t cost_transmit = 1;  ///< per transmitting slot
+  std::uint64_t cost_listen = 1;    ///< per listening slot, queue non-empty
+  std::uint64_t cost_sleep = 0;     ///< per listening slot, queue empty
+
+  bool operator==(const EnergyModel& o) const noexcept {
+    return enabled == o.enabled && cost_transmit == o.cost_transmit &&
+           cost_listen == o.cost_listen && cost_sleep == o.cost_sleep;
+  }
+  bool operator!=(const EnergyModel& o) const noexcept {
+    return !(*this == o);
+  }
+};
+
+}  // namespace asyncmac::energy

@@ -19,6 +19,30 @@ void LiveChannel::begin_tx(StationId station, Tick begin, bool is_control,
   tx.end = kTickInfinity;  // open: end fixed by the SlotEnd arrival
   tx.is_control = is_control;
   tx.packet = packet;
+  if (restrained_.enabled()) {
+    // On-air census at `begin`: non-rejected entries still occupying the
+    // medium. Open entries count unconditionally (end = +inf); pruned
+    // entries ended at or below every live begin and cannot count.
+    std::uint32_t on_air = 0;
+    for (const Transmission& o : window_) {
+      if (static_cast<channel::Admission>(o.admission) ==
+          channel::Admission::kRejected)
+        continue;
+      if (o.end > begin) ++on_air;
+    }
+    if (on_air >= restrained_.k) {
+      if (restrained_.jam) {
+        tx.admission = static_cast<std::uint8_t>(channel::Admission::kJammed);
+        ++stats_.jammed;
+      } else {
+        tx.admission =
+            static_cast<std::uint8_t>(channel::Admission::kRejected);
+        tx.decided = true;  // never reaches the medium; unsuccessful now
+        ++stats_.rejected;
+        ++stats_.collided;
+      }
+    }
+  }
   window_.push_back(tx);
   ++open_count_;
   ++stats_.transmissions;
@@ -27,10 +51,12 @@ void LiveChannel::begin_tx(StationId station, Tick begin, bool is_control,
 
 bool LiveChannel::close_tx(StationId station, Tick end) {
   // The open entry is near the back (it was registered at the station's
-  // current slot begin); scan backwards.
+  // current slot begin); scan backwards. Openness is end == +inf, not
+  // !decided: a rejected transmission is decided at begin_tx yet still
+  // awaits its SlotEnd here.
   std::size_t self = window_.size();
   for (std::size_t i = window_.size(); i-- > 0;) {
-    if (window_[i].station == station && !window_[i].decided) {
+    if (window_[i].station == station && window_[i].end == kTickInfinity) {
       self = i;
       break;
     }
@@ -40,16 +66,24 @@ bool LiveChannel::close_tx(StationId station, Tick end) {
   Transmission& tx = window_[self];
   AM_CHECK_MSG(end > tx.begin, "transmission must have positive duration");
   tx.end = end;
-  tx.decided = true;
   --open_count_;
+  if (static_cast<channel::Admission>(tx.admission) ==
+      channel::Admission::kRejected) {
+    // Decided (and tallied) at begin_tx; only the interval end was open.
+    return false;
+  }
+  tx.decided = true;
 
-  // Success iff no other interval overlaps [begin, end). Open entries
-  // count with end = +inf; closed-and-pruned entries cannot overlap
-  // (prune_before's horizon argument is below every live begin).
+  // Success iff no other non-rejected interval overlaps [begin, end).
+  // Open entries count with end = +inf; closed-and-pruned entries cannot
+  // overlap (prune_before's horizon argument is below every live begin).
   bool successful = true;
   for (std::size_t i = 0; i < window_.size(); ++i) {
     if (i == self) continue;
     const Transmission& o = window_[i];
+    if (static_cast<channel::Admission>(o.admission) ==
+        channel::Admission::kRejected)
+      continue;
     if (intervals_overlap(tx.begin, tx.end, o.begin, o.end)) {
       successful = false;
       break;
@@ -75,11 +109,27 @@ Feedback LiveChannel::feedback(Tick s, Tick t) const {
   AM_CHECK(s < t);
   bool busy = false;
   for (const Transmission& tx : window_) {
+    // Rejected transmissions never reached the medium: no ack, no busy.
+    if (static_cast<channel::Admission>(tx.admission) ==
+        channel::Admission::kRejected)
+      continue;
     if (tx.decided && tx.successful && tx.end > s && tx.end <= t)
       return Feedback::kAck;
     if (!busy && intervals_overlap(tx.begin, tx.end, s, t)) busy = true;
   }
   return busy ? Feedback::kBusy : Feedback::kSilence;
+}
+
+bool LiveChannel::transmission_successful(StationId station, Tick end) const {
+  for (std::size_t i = window_.size(); i-- > 0;) {
+    if (window_[i].station == station && window_[i].end == end) {
+      AM_CHECK(window_[i].decided);  // rejected entries decide at begin_tx
+      return window_[i].successful;
+    }
+  }
+  AM_CHECK_MSG(false, "no transmission of station " << station
+                                                    << " ending at " << end);
+  return false;
 }
 
 void LiveChannel::prune_before(Tick horizon) {
@@ -92,7 +142,8 @@ void LiveChannel::prune_before(Tick horizon) {
 bool LiveChannel::has_open(StationId station) const {
   if (open_count_ == 0) return false;
   for (std::size_t i = window_.size(); i-- > 0;) {
-    if (window_[i].station == station && !window_[i].decided) return true;
+    if (window_[i].station == station && window_[i].end == kTickInfinity)
+      return true;
   }
   return false;
 }

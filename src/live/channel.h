@@ -40,9 +40,24 @@ namespace asyncmac::live {
 
 class LiveChannel {
  public:
+  /// `restrained` selects the k-restrained channel; admission verdicts
+  /// are decided at begin_tx (the on-air census needs no end times: open
+  /// entries count with end = +inf, exactly like the ledger's heap of
+  /// not-yet-expired ends). Default is unrestrained.
+  explicit LiveChannel(channel::RestrainedSpec restrained = {})
+      : restrained_(restrained) {}
+
+  const channel::RestrainedSpec& restrained() const noexcept {
+    return restrained_;
+  }
+
   /// Register an open transmission starting at `begin`. Begins must be
   /// non-decreasing across calls (the daemon processes waves in arrival
-  /// order); a station may have at most one open transmission.
+  /// order); a station may have at most one open transmission. On a
+  /// restrained channel the admission verdict is fixed here; a rejected
+  /// transmission is decided unsuccessful immediately (it still awaits
+  /// its SlotEnd to fix the interval's end, but never touches the
+  /// medium: overlap scans and feedback skip it).
   void begin_tx(StationId station, Tick begin, bool is_control,
                 PacketSeq packet);
 
@@ -57,6 +72,11 @@ class LiveChannel {
   /// at or before t to be closed already (phase A before phase B).
   Feedback feedback(Tick s, Tick t) const;
 
+  /// Success verdict of `station`'s closed transmission ending at `end`
+  /// (the daemon's ack-ownership check under a reject-mode restrained
+  /// channel — mirrors Ledger::transmission_successful).
+  bool transmission_successful(StationId station, Tick end) const;
+
   /// Drop closed transmissions with end <= horizon; the daemon passes the
   /// minimum current-slot begin over all stations, so no future feedback
   /// query or success decision can reference a dropped interval (the same
@@ -70,6 +90,7 @@ class LiveChannel {
 
  private:
   std::deque<channel::Transmission> window_;  ///< begin-sorted; open: end=inf
+  channel::RestrainedSpec restrained_;
   channel::LedgerStats stats_;
   Tick last_begin_ = 0;
   std::size_t open_count_ = 0;

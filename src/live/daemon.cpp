@@ -41,7 +41,9 @@ Daemon::Daemon(DaemonConfig cfg)
       n_(cfg_.spec.n),
       horizon_ticks_(cfg_.spec.horizon_units * kTicksPerUnit),
       max_slot_ticks_(static_cast<Tick>(cfg_.spec.bound_r) * kTicksPerUnit),
-      metrics_(cfg_.spec.n) {
+      channel_(cfg_.spec.restrained()),
+      metrics_(cfg_.spec.n),
+      meter_(cfg_.spec.n) {
   AM_REQUIRE(n_ >= 1, "need at least one station");
   AM_REQUIRE(cfg_.spec.bound_r >= 1, "R must be >= 1");
   AM_REQUIRE(cfg_.spec.horizon_units >= 1, "horizon must be positive");
@@ -230,7 +232,12 @@ void Daemon::settle_slot(Tick t, StationId id, DaemonActions& out) {
   poll_injections(t);
   const Feedback fb = channel_.feedback(st.slot_begin, st.slot_close_end);
   bool delivered = false;
-  if (st.action == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
+  // Ownership check mirrors the engines: under a reject-mode restrained
+  // channel the ack may belong to another station's transmission ending
+  // inside this slot (ours never reached the medium).
+  if (st.action == SlotAction::kTransmitPacket && fb == Feedback::kAck &&
+      (!channel_.restrained().enabled() ||
+       channel_.transmission_successful(id, st.slot_close_end))) {
     AM_CHECK_MSG(!st.queue.empty(), "delivery with empty mirror queue");
     const sim::Packet p = st.queue.front();
     st.queue.pop_front();
@@ -241,6 +248,13 @@ void Daemon::settle_slot(Tick t, StationId id, DaemonActions& out) {
                          st.slot_close_end - st.slot_begin, t);
   }
   metrics_.on_slot_end(id, st.action);
+  if (cfg_.spec.energy_enabled) {
+    // Post-delivery mirror queue state — the engines' exact billing rule.
+    if (is_transmit(st.action))
+      meter_.add_transmit(id);
+    else
+      meter_.add_idle(id, st.queue.empty());
+  }
   if (cfg_.spec.record_trace)
     trace_.record({id, st.slot_index, st.slot_begin, st.slot_close_end,
                    st.action, fb});

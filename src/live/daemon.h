@@ -60,6 +60,7 @@
 
 #include "analysis/stability.h"
 #include "channel/ledger.h"
+#include "energy/meter.h"
 #include "live/channel.h"
 #include "live/wire.h"
 #include "metrics/collector.h"
@@ -119,6 +120,8 @@ class Daemon : public sim::EngineView {
     return channel_.stats();
   }
   const trace::Recorder& trace() const noexcept { return trace_; }
+  /// Per-station energy slot counts (all-zero unless spec.energy_enabled).
+  const energy::EnergyMeter& energy_meter() const noexcept { return meter_; }
   const std::vector<Tick>& backlog_samples() const noexcept { return samples_; }
   /// Valid once done(): the same verdict probe_stability would emit for
   /// these samples.
@@ -185,6 +188,7 @@ class Daemon : public sim::EngineView {
   std::unique_ptr<sim::InjectionPolicy> injector_;
   LiveChannel channel_;
   metrics::Collector metrics_;
+  energy::EnergyMeter meter_;
   trace::Recorder trace_;
   std::vector<Mirror> mirrors_;
   std::vector<std::uint64_t> rng_seeds_;  ///< per-station, engine order

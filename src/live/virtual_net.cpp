@@ -176,6 +176,7 @@ VirtualRunReport run_virtual(const snapshot::RunSpec& spec,
   report.reason = daemon.reason();
   report.stats = daemon.stats();
   report.channel = daemon.live_channel_stats();
+  report.energy = daemon.energy_meter();
   report.trace = daemon.trace().slots();
   report.samples = daemon.backlog_samples();
   if (!report.samples.empty()) report.verdict = daemon.verdict();

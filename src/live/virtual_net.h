@@ -31,6 +31,7 @@
 
 #include "analysis/stability.h"
 #include "channel/ledger.h"
+#include "energy/meter.h"
 #include "live/daemon.h"
 #include "live/station.h"
 #include "metrics/run_stats.h"
@@ -112,6 +113,7 @@ struct VirtualRunReport {
   std::string reason;
   metrics::RunStats stats;
   channel::LedgerStats channel;
+  energy::EnergyMeter energy;  ///< all-zero unless spec.energy_enabled
   std::vector<trace::SlotRecord> trace;
   std::vector<Tick> samples;
   analysis::Verdict verdict = analysis::Verdict::kStable;

@@ -60,7 +60,9 @@ std::string station_json(const StationStats& s, int indent) {
 
 std::string to_json(const RunStats& stats,
                     const channel::LedgerStats* channel,
-                    bool include_stations) {
+                    bool include_stations,
+                    const energy::EnergyMeter* meter,
+                    const energy::EnergyModel* model) {
   std::ostringstream os;
   {
     JsonObject o(os);
@@ -101,6 +103,26 @@ std::string to_json(const RunStats& stats,
         c.field("successful_packet_time", channel->successful_packet_time);
       }
       o.raw_field("channel", ch.str());
+    }
+    if (meter != nullptr && model != nullptr && model->enabled) {
+      std::ostringstream en;
+      {
+        JsonObject e(en, 2);
+        e.field("cost_transmit", model->cost_transmit);
+        e.field("cost_listen", model->cost_listen);
+        e.field("cost_sleep", model->cost_sleep);
+        e.field("total_charge", meter->total_charge(*model));
+        e.field("peak_station_charge", meter->peak_station_charge(*model));
+        std::ostringstream arr;
+        arr << "[";
+        for (StationId i = 1; i <= meter->n(); ++i) {
+          if (i > 1) arr << ", ";
+          arr << meter->station_charge(*model, i);
+        }
+        arr << "]";
+        e.raw_field("station_charges", arr.str());
+      }
+      o.raw_field("energy", en.str());
     }
     if (include_stations) {
       std::ostringstream arr;

@@ -8,15 +8,20 @@
 #include <string>
 
 #include "channel/ledger.h"
+#include "energy/meter.h"
 #include "metrics/run_stats.h"
 
 namespace asyncmac::metrics {
 
 /// Serialize a RunStats (+ optional channel stats) to a JSON object.
 /// Times are reported in ticks; kTicksPerUnit is included so consumers
-/// can convert.
+/// can convert. An energy block is emitted only when both `meter` and
+/// `model` are passed and the model is enabled — callers without energy
+/// accounting produce byte-identical JSON to builds predating it.
 std::string to_json(const RunStats& stats,
                     const channel::LedgerStats* channel = nullptr,
-                    bool include_stations = true);
+                    bool include_stations = true,
+                    const energy::EnergyMeter* meter = nullptr,
+                    const energy::EnergyModel* model = nullptr);
 
 }  // namespace asyncmac::metrics

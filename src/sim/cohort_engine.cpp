@@ -112,7 +112,7 @@ struct CohortEngine::Impl {
   };
 
   struct Lane {
-    explicit Lane(std::uint32_t n) : metrics(n) {}
+    explicit Lane(std::uint32_t n) : metrics(n), meter(n) {}
 
     LaneBuilder builder;
     // Live per-lane objects with the scalar engine's exact semantics.
@@ -120,6 +120,9 @@ struct CohortEngine::Impl {
     std::vector<StationContext> stations;
     std::unique_ptr<InjectionPolicy> injection;
     metrics::Collector metrics;
+    /// Mirrors Engine::meter_; charged eagerly (energy runs are rare
+    /// enough that the SoA fold machinery would buy nothing).
+    energy::EnergyMeter meter;
     trace::Recorder trace;
     std::vector<DeliveryRecord> deliveries;
     // Engine cursors (per lane — mirror Engine's members).
@@ -499,6 +502,9 @@ struct CohortEngine::Impl {
       if (await != 0) {
         lane_ledger->apply_all_quiet();
         for (std::uint32_t k = 0; k < K; ++k) ++pend_listen[k];
+        if (cfg.energy.enabled)
+          for (std::uint32_t k = 0; k < K; ++k)
+            lane_ptr[k]->meter.add_idle(id, q_empty[base + k] != 0);
         idle = true;
       }
     }
@@ -522,6 +528,9 @@ struct CohortEngine::Impl {
             ca_heard[base + k] |= static_cast<std::uint8_t>(
                 fb_buffer[k] != Feedback::kSilence);
           for (std::uint32_t k = 0; k < K; ++k) ++pend_listen[k];
+          if (cfg.energy.enabled)
+            for (std::uint32_t k = 0; k < K; ++k)
+              lane_ptr[k]->meter.add_idle(id, q_empty[base + k] != 0);
           idle = true;
         }
       }
@@ -535,7 +544,12 @@ struct CohortEngine::Impl {
       const std::size_t i = base + k;
       const Feedback fb = fb_buffer[k];
       const SlotAction act = action[i];
-      if (act == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
+      // Ownership check mirrors the scalar engine: under a reject-mode
+      // restrained channel the ack may be another station's (a rejected
+      // transmission never reached the medium and cannot mask it).
+      if (act == SlotAction::kTransmitPacket && fb == Feedback::kAck &&
+          (!cfg.restrained.enabled() ||
+           lane_ledger->transmission_successful(k, id, t))) {
         Lane& L = *lane_ptr[k];
         StationContext& ctx = L.stations[si];
         const Packet p = ctx.pop_front();
@@ -553,6 +567,13 @@ struct CohortEngine::Impl {
       pend_tx_packet[k] += act == SlotAction::kTransmitPacket;
       pend_tx_control[k] += act == SlotAction::kTransmitControl;
       pend_station_tx[i] += is_transmit(act);
+      if (cfg.energy.enabled) {
+        // Post-delivery queue state, like the scalar engine's billing.
+        if (is_transmit(act))
+          lane_ptr[k]->meter.add_transmit(id);
+        else
+          lane_ptr[k]->meter.add_idle(id, q_empty[i] != 0);
+      }
       if (cfg.record_trace)
         lane_ptr[k]->trace.record({id, ended_index, s_begin, t, act, fb});
 
@@ -730,6 +751,15 @@ struct CohortEngine::Impl {
     else
       lane_ledger->apply_all_memo(m);
     for (std::uint32_t k = 0; k < K; ++k) pend_listen[k] += m;
+    if (cfg.energy.enabled) {
+      // One listen slot per (station, lane) pair in the run; queues are
+      // untouched in a quiet run (no polls due, listens cannot deliver),
+      // so q_empty is exactly the scalar engine's post-slot state.
+      for (std::size_t si = si0; si < si0 + m; ++si)
+        for (std::uint32_t k = 0; k < K; ++k)
+          lane_ptr[k]->meter.add_idle(static_cast<StationId>(si + 1),
+                                      q_empty[si * K + k] != 0);
+    }
     if (any_injection) {
       for (const std::uint32_t k : active)
         if (lane_ptr[k]->injection)
@@ -837,6 +867,14 @@ struct CohortEngine::Impl {
     w.u64(L.pending_deliveries);
     w.u64(L.pending_injections);
     w.u64(L.pending_polls_skipped);
+
+    w.boolean(cfg.energy.enabled);
+    if (cfg.energy.enabled) {
+      w.u64(cfg.energy.cost_transmit);
+      w.u64(cfg.energy.cost_listen);
+      w.u64(cfg.energy.cost_sleep);
+      L.meter.save_state(w);
+    }
   }
 
   /// Detach lane k: rebuild fresh materials via the lane's builder and
@@ -967,6 +1005,7 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
                c.record_deliveries == c0.record_deliveries &&
                c.allow_control == c0.allow_control &&
                c.prune_interval == c0.prune_interval &&
+               c.restrained == c0.restrained && c.energy == c0.energy &&
                c.checkpoint_interval == 0 && !c.checkpoint_sink &&
                m.slot_policy != nullptr && m.protocols.size() == c.n;
     if (!eligible) break;
@@ -1027,7 +1066,7 @@ CohortEngine::CohortEngine(std::vector<LaneBuilder> builders)
   im.uniform = std::all_of(im.lengths.begin(), im.lengths.end(),
                            [&](Tick l) { return l == im.lengths[0]; });
   im.lane_ledger = std::make_unique<channel::LaneLedger>(
-      im.K, im.cfg.keep_channel_history);
+      im.K, im.cfg.keep_channel_history, im.cfg.restrained);
   im.fb_buffer.assign(im.K, Feedback::kSilence);
   im.pend_station_slots.assign(n, 0);
   im.pend_listen.assign(im.K, 0);
@@ -1110,6 +1149,13 @@ const metrics::RunStats& CohortEngine::stats(std::size_t lane) const {
   if (L.engine) return L.engine->stats();
   impl_->flush_metrics();  // fold the SoA slot counters before observing
   return L.metrics.stats();
+}
+
+const energy::EnergyMeter& CohortEngine::energy_meter(std::size_t lane) const {
+  AM_REQUIRE(lane < impl_->lanes.size(), "lane index out of range");
+  const Impl::Lane& L = *impl_->lanes[lane];
+  if (L.engine) return L.engine->energy_meter();
+  return L.meter;  // charged eagerly — no fold needed
 }
 
 const channel::LedgerStats& CohortEngine::channel_stats(

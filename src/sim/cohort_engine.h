@@ -101,6 +101,8 @@ class CohortEngine {
   /// Per-lane results, O(1), valid in every lane state.
   const metrics::RunStats& stats(std::size_t lane) const;
   const channel::LedgerStats& channel_stats(std::size_t lane) const;
+  /// Per-lane energy slot counts (all-zero unless cfg.energy.enabled).
+  const energy::EnergyMeter& energy_meter(std::size_t lane) const;
 
   /// Serialize lane `lane` exactly as the equivalent scalar
   /// Engine::save_state would — THE byte-identity oracle (tests and

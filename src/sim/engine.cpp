@@ -40,8 +40,9 @@ Engine::Engine(EngineConfig cfg,
     : cfg_(cfg),
       slot_policy_(std::move(slot_policy)),
       injection_(std::move(injection)),
-      ledger_(cfg.keep_channel_history),
+      ledger_(cfg.keep_channel_history, cfg.restrained),
       metrics_(cfg.n),
+      meter_(cfg.n),
       events_(cfg.n) {
   AM_REQUIRE(cfg_.n >= 1, "need at least one station");
   AM_REQUIRE(cfg_.bound_r >= 1, "R must be >= 1");
@@ -162,9 +163,14 @@ bool Engine::step() {
 
   const Feedback fb = ledger_.feedback(s.slot_begin, s.slot_end);
   bool delivered = false;
-  if (s.action == SlotAction::kTransmitPacket && fb == Feedback::kAck) {
-    // A transmitter's ack can only come from its own transmission (any
-    // other successful end inside its slot would overlap it).
+  // Unrestrained, a transmitter's ack can only come from its own
+  // transmission (any other successful end inside its slot would overlap
+  // it). A rejected transmission never reached the medium, though, so
+  // under a reject-mode restrained channel the ack may belong to another
+  // station's transmission ending inside this slot — confirm ownership.
+  if (s.action == SlotAction::kTransmitPacket && fb == Feedback::kAck &&
+      (!cfg_.restrained.enabled() ||
+       ledger_.transmission_successful(id, s.slot_end))) {
     const Packet p = s.ctx.pop_front();
     delivered = true;
     last_successful_ = id;
@@ -177,6 +183,15 @@ bool Engine::step() {
   }
   ++pending_slots_;
   metrics_.on_slot_end(id, s.action);
+  if (cfg_.energy.enabled) {
+    // Billed strictly after every simulation decision of the slot (the
+    // queue state is post-delivery), so accounting can never perturb the
+    // run — see energy/model.h for the billing rules.
+    if (is_transmit(s.action))
+      meter_.add_transmit(id);
+    else
+      meter_.add_idle(id, s.ctx.queue_empty());
+  }
   if (cfg_.record_trace)
     trace_.record({id, s.slot_index, s.slot_begin, s.slot_end, s.action, fb});
 
@@ -381,6 +396,17 @@ void Engine::save_state(snapshot::Writer& w) const {
   w.u64(pending_deliveries_);
   w.u64(pending_injections_);
   w.u64(pending_polls_skipped_);
+
+  // Energy accounting tail, gated by the enabled flag: a disabled run
+  // contributes one flag byte regardless of the configured costs, so the
+  // energy-off snapshot bytes never depend on the cost vector.
+  w.boolean(cfg_.energy.enabled);
+  if (cfg_.energy.enabled) {
+    w.u64(cfg_.energy.cost_transmit);
+    w.u64(cfg_.energy.cost_listen);
+    w.u64(cfg_.energy.cost_sleep);
+    meter_.save_state(w);
+  }
 }
 
 void Engine::load_state(snapshot::Reader& r) {
@@ -462,6 +488,18 @@ void Engine::load_state(snapshot::Reader& r) {
   pending_deliveries_ = r.u64();
   pending_injections_ = r.u64();
   pending_polls_skipped_ = r.u64();
+
+  if (r.boolean() != cfg_.energy.enabled)
+    throw_mismatch("energy accounting setting");
+  if (cfg_.energy.enabled) {
+    const std::uint64_t tx = r.u64();
+    const std::uint64_t listen = r.u64();
+    const std::uint64_t sleep = r.u64();
+    if (tx != cfg_.energy.cost_transmit || listen != cfg_.energy.cost_listen ||
+        sleep != cfg_.energy.cost_sleep)
+      throw_mismatch("energy cost model");
+    meter_.load_state(r);
+  }
 }
 
 }  // namespace asyncmac::sim

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "channel/ledger.h"
+#include "energy/meter.h"
 #include "metrics/collector.h"
 #include "sim/event_heap.h"
 #include "sim/injection.h"
@@ -82,6 +83,16 @@ struct EngineConfig {
   /// as an uninterrupted one.
   std::uint64_t checkpoint_interval = 0;
   std::function<void(const class Engine&)> checkpoint_sink;
+  /// k-restrained channel (channel/transmission.h, arXiv 1808.02216): at
+  /// most `restrained.k` overlapping transmissions are admitted on air;
+  /// excess ones are jammed or rejected. k == 0 keeps the classic
+  /// unrestrained channel and bypasses all admission machinery.
+  channel::RestrainedSpec restrained;
+  /// Per-station energy accounting (energy/model.h, docs/ENERGY.md).
+  /// Observation-only: enabling it changes no simulation byte — stats,
+  /// trace, feedback and snapshots (minus the gated energy tail) are
+  /// identical with it on or off.
+  energy::EnergyModel energy;
 };
 
 struct StopCondition {
@@ -150,6 +161,9 @@ class Engine final : public EngineView {
   Protocol& protocol_mut(StationId station);
   const StationContext& context(StationId station) const;
   std::uint64_t station_slots(StationId station) const;
+  /// Per-station energy slot counts (all zero unless cfg.energy.enabled).
+  const energy::EnergyMeter& energy_meter() const { return meter_; }
+  const energy::EnergyModel& energy_model() const { return cfg_.energy; }
   const std::vector<DeliveryRecord>& deliveries() const { return deliveries_; }
   /// True when every protocol reports finished() (one-shot tasks).
   bool all_finished() const;
@@ -207,6 +221,7 @@ class Engine final : public EngineView {
   std::unique_ptr<InjectionPolicy> injection_;
   channel::Ledger ledger_;
   metrics::Collector metrics_;
+  energy::EnergyMeter meter_;
   trace::Recorder trace_;
   std::vector<DeliveryRecord> deliveries_;
 

@@ -56,6 +56,12 @@ void save_run_spec(Writer& w, const RunSpec& spec) {
   w.boolean(spec.allow_control);
   w.u64(spec.prune_interval);
   w.u64(spec.checkpoint_interval);
+  w.u32(spec.restrained_k);
+  w.boolean(spec.restrained_jam);
+  w.boolean(spec.energy_enabled);
+  w.u64(spec.energy_cost_transmit);
+  w.u64(spec.energy_cost_listen);
+  w.u64(spec.energy_cost_sleep);
 }
 
 RunSpec load_run_spec(Reader& r) {
@@ -74,6 +80,12 @@ RunSpec load_run_spec(Reader& r) {
   spec.allow_control = r.boolean();
   spec.prune_interval = r.u64();
   spec.checkpoint_interval = r.u64();
+  spec.restrained_k = r.u32();
+  spec.restrained_jam = r.boolean();
+  spec.energy_enabled = r.boolean();
+  spec.energy_cost_transmit = r.u64();
+  spec.energy_cost_listen = r.u64();
+  spec.energy_cost_sleep = r.u64();
   if (spec.n < 1 || spec.bound_r < 1 || spec.prune_interval < 1)
     throw SnapshotError(ErrorKind::kCorrupt,
                         "run spec violates engine invariants");
@@ -91,6 +103,8 @@ std::unique_ptr<sim::Engine> build_engine(const RunSpec& spec) {
   cfg.allow_control = spec.allow_control;
   cfg.prune_interval = spec.prune_interval;
   cfg.checkpoint_interval = spec.checkpoint_interval;
+  cfg.restrained = spec.restrained();
+  cfg.energy = spec.energy();
   return std::make_unique<sim::Engine>(
       cfg, analysis::make_protocols(spec.protocol, spec.n),
       adversary::make_slot_policy(spec.slot_policy, spec.n, spec.bound_r,

@@ -46,6 +46,23 @@ struct RunSpec {
   bool allow_control = true;
   std::uint64_t prune_interval = 4096;
   std::uint64_t checkpoint_interval = 0;
+  /// k-restrained channel admission cap (0 = unrestrained) and overflow
+  /// mode — see channel::RestrainedSpec.
+  std::uint32_t restrained_k = 0;
+  bool restrained_jam = true;
+  /// Per-station energy accounting model (energy/model.h).
+  bool energy_enabled = false;
+  std::uint64_t energy_cost_transmit = 1;
+  std::uint64_t energy_cost_listen = 1;
+  std::uint64_t energy_cost_sleep = 0;
+
+  channel::RestrainedSpec restrained() const {
+    return {restrained_k, restrained_jam};
+  }
+  energy::EnergyModel energy() const {
+    return {energy_enabled, energy_cost_transmit, energy_cost_listen,
+            energy_cost_sleep};
+  }
 
   bool operator==(const RunSpec&) const = default;
 };

@@ -61,6 +61,12 @@ void save_grid_spec(Writer& w, const analysis::ExperimentSpec& spec) {
   w.i64(spec.horizon_units);
   w.u64(spec.seed);
   w.i64(spec.seeds);
+  w.u32(spec.restrained_k);
+  w.boolean(spec.restrained_jam);
+  w.boolean(spec.energy_enabled);
+  w.u64(spec.energy_cost_transmit);
+  w.u64(spec.energy_cost_listen);
+  w.u64(spec.energy_cost_sleep);
 }
 
 analysis::ExperimentSpec load_grid_spec(Reader& r) {
@@ -85,6 +91,12 @@ analysis::ExperimentSpec load_grid_spec(Reader& r) {
   spec.horizon_units = r.i64();
   spec.seed = r.u64();
   spec.seeds = static_cast<int>(r.i64());
+  spec.restrained_k = r.u32();
+  spec.restrained_jam = r.boolean();
+  spec.energy_enabled = r.boolean();
+  spec.energy_cost_transmit = r.u64();
+  spec.energy_cost_listen = r.u64();
+  spec.energy_cost_sleep = r.u64();
   return spec;
 }
 

@@ -102,9 +102,10 @@ Tick checkable_horizon(const std::vector<SlotRecord>& slots) {
   return horizon;
 }
 
-CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots) {
+CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots,
+                                       channel::RestrainedSpec restrained) {
   const Tick horizon = checkable_horizon(slots);
-  channel::Ledger ledger;
+  channel::Ledger ledger(/*keep_history=*/false, restrained);
   for (const auto& t : transmissions_of(slots)) ledger.add(t);
   for (const auto& s : slots) {
     if (s.end > horizon) continue;  // may depend on unrecorded slots

@@ -32,8 +32,12 @@ CheckResult check_slot_contiguity(const std::vector<SlotRecord>& slots);
 
 /// Re-derive every slot's feedback from the transmissions alone (through
 /// a fresh Ledger) and compare with what the engine delivered. This is an
-/// end-to-end consistency check of the channel model.
-CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots);
+/// end-to-end consistency check of the channel model. When the run used
+/// a k-restrained channel, pass its spec so the replay admits/rejects
+/// identically (transmissions_of() returns adds in (begin, station)
+/// order — the engine's event order — so admission replays exactly).
+CheckResult check_feedback_consistency(const std::vector<SlotRecord>& slots,
+                                       channel::RestrainedSpec restrained = {});
 
 /// The mirror-execution property (Theorem 2): listening slots hear
 /// silence, transmitting slots hear busy — and hence nobody succeeds.

@@ -166,9 +166,11 @@ trace::CheckResult run_case_impl(const Scenario& s, const CaseCheck& extra) {
     auto engine = run_scenario(s);
     const auto& slots = engine->trace().slots();
 
+    const channel::RestrainedSpec restrained = engine->ledger().restrained();
     if (auto r = trace::check_slot_contiguity(slots); !r) return r;
-    if (auto r = trace::check_feedback_consistency(slots); !r) return r;
-    if (auto r = check_channel_oracle(slots); !r) return r;
+    if (auto r = trace::check_feedback_consistency(slots, restrained); !r)
+      return r;
+    if (auto r = check_channel_oracle(slots, restrained); !r) return r;
     if (auto r = check_ledger_history(*engine); !r) return r;
 
     if (s.protocol == "ca-arrow") {
@@ -293,6 +295,26 @@ Scenario shrink_counterexample(Scenario s, const CaseCheck& extra,
     if (s.injector.pattern != "single") {
       Scenario candidate = s;
       candidate.injector.pattern = "single";
+      if (fails(candidate)) {
+        s = candidate;
+        improved = true;
+      }
+    }
+
+    // Simpler channel: an unrestrained medium beats a k-restrained one,
+    // and energy metering is observation-only so dropping it should
+    // never mask a violation — if it does, that is itself the bug.
+    if (s.restrained_k != 0) {
+      Scenario candidate = s;
+      candidate.restrained_k = 0;
+      if (fails(candidate)) {
+        s = candidate;
+        improved = true;
+      }
+    }
+    if (s.energy_enabled) {
+      Scenario candidate = s;
+      candidate.energy_enabled = false;
       if (fails(candidate)) {
         s = candidate;
         improved = true;

@@ -25,11 +25,35 @@ class ReferenceChannel {
  public:
   /// Register a transmission interval. Order does not matter (the
   /// reference never assumes sortedness — one less shared assumption
-  /// with the Ledger).
-  void add(const channel::Transmission& t) { txs_.push_back(t); }
+  /// with the Ledger). The stored `admission`/`decided`/`successful`
+  /// flags of `t` are ignored: the reference re-derives everything.
+  void add(const channel::Transmission& t) {
+    txs_.push_back(t);
+    cached_ = false;
+    admissions_valid_ = false;
+  }
 
-  /// A transmission is successful iff no other transmission overlaps it
-  /// (Section II). O(T) scan over everything.
+  /// Run the channel k-restrained (arXiv 1808.02216): at most k
+  /// transmissions admitted on air at once; excess ones are jammed
+  /// (spec.jam) or rejected outright. k == 0 means unrestrained.
+  void set_restrained(channel::RestrainedSpec spec) {
+    restrained_ = spec;
+    cached_ = false;
+    admissions_valid_ = false;
+  }
+  const channel::RestrainedSpec& restrained() const noexcept {
+    return restrained_;
+  }
+
+  /// Admission verdict for transmission i, re-derived naively: replay
+  /// all adds in (begin, station) order — the engines' event order —
+  /// counting, for each, the earlier non-rejected transmissions still on
+  /// air at its begin. O(T^2), no heap, no laziness.
+  channel::Admission admission(std::size_t i) const;
+
+  /// A transmission is successful iff it was admitted and no other
+  /// non-rejected transmission overlaps it (Section II; rejected entries
+  /// never reached the medium). O(T) scan over everything.
   bool successful(std::size_t i) const;
 
   /// Success verdict for the transmission occupying [begin, end) of
@@ -51,9 +75,16 @@ class ReferenceChannel {
   }
 
  private:
+  void ensure_admissions() const;
+
   std::vector<channel::Transmission> txs_;
+  channel::RestrainedSpec restrained_;
   std::vector<bool> success_cache_;  ///< valid when cached_
   bool cached_ = false;
+  /// Admission verdict per transmission (insertion-indexed), valid when
+  /// admissions_valid_. Derived lazily; all kOk when unrestrained.
+  mutable std::vector<std::uint8_t> admission_;
+  mutable bool admissions_valid_ = false;
 };
 
 /// Differential oracle over a recorded trace: rebuild the transmission
@@ -61,8 +92,11 @@ class ReferenceChannel {
 /// (a) the feedback the engine recorded, (b) a fresh optimized Ledger
 /// replay and (c) the naive reference — convicting either the live
 /// engine/ledger interaction or the Ledger's windowed feedback scan.
+/// When the run used a k-restrained channel, pass its spec; both replays
+/// then also cross-check per-transmission admission verdicts.
 trace::CheckResult check_channel_oracle(
-    const std::vector<trace::SlotRecord>& slots);
+    const std::vector<trace::SlotRecord>& slots,
+    channel::RestrainedSpec restrained = {});
 
 /// Cross-check the engine's own ledger — live window plus the entries
 /// prune_before() archived into full_history() — against the reference:

@@ -245,6 +245,15 @@ std::uint32_t get_u32(const JsonValue& obj, const std::string& key) {
   return static_cast<std::uint32_t>(v);
 }
 
+// Optional fields added after version 1 shipped: absent in old repro
+// files, which must keep parsing (they predate the restrained channel
+// and energy metering, so the defaults reproduce their runs exactly).
+std::uint64_t get_u64_or(const JsonValue& obj, const std::string& key,
+                         std::uint64_t fallback) {
+  if (obj.object.find(key) == obj.object.end()) return fallback;
+  return get_u64(obj, key);
+}
+
 }  // namespace
 
 std::string to_json(const Repro& repro) {
@@ -269,6 +278,15 @@ std::string to_json(const Repro& repro) {
   os << "    \"horizon_units\": " << s.horizon_units << ",\n";
   os << "    \"seed\": " << s.seed << ",\n";
   os << "    \"case_seed\": " << s.case_seed << ",\n";
+  // Channel-variant fields (0/1 for flags — the strict parser speaks
+  // only objects, strings and integers). Written unconditionally so a
+  // repro is explicit about running on the unrestrained channel too.
+  os << "    \"restrained_k\": " << s.restrained_k << ",\n";
+  os << "    \"restrained_jam\": " << (s.restrained_jam ? 1 : 0) << ",\n";
+  os << "    \"energy_enabled\": " << (s.energy_enabled ? 1 : 0) << ",\n";
+  os << "    \"energy_cost_transmit\": " << s.energy_cost_transmit << ",\n";
+  os << "    \"energy_cost_listen\": " << s.energy_cost_listen << ",\n";
+  os << "    \"energy_cost_sleep\": " << s.energy_cost_sleep << ",\n";
   os << "    \"injector\": {\n";
   os << "      \"kind\": ";
   write_escaped(os, inj.kind);
@@ -311,6 +329,14 @@ Repro parse_repro_json(const std::string& text) {
   s.horizon_units = get_i64(sc, "horizon_units");
   s.seed = get_u64(sc, "seed");
   s.case_seed = get_u64(sc, "case_seed");
+  const std::uint64_t rk = get_u64_or(sc, "restrained_k", 0);
+  AM_REQUIRE(rk <= UINT32_MAX, "repro field out of range: restrained_k");
+  s.restrained_k = static_cast<std::uint32_t>(rk);
+  s.restrained_jam = get_u64_or(sc, "restrained_jam", 1) != 0;
+  s.energy_enabled = get_u64_or(sc, "energy_enabled", 0) != 0;
+  s.energy_cost_transmit = get_u64_or(sc, "energy_cost_transmit", 1);
+  s.energy_cost_listen = get_u64_or(sc, "energy_cost_listen", 1);
+  s.energy_cost_sleep = get_u64_or(sc, "energy_cost_sleep", 0);
   AM_REQUIRE(s.n >= 1 && s.bound_r >= 1 && s.horizon_units >= 1,
              "repro scenario out of range");
 

@@ -47,6 +47,12 @@ std::string Scenario::describe() const {
   if (injector.kind == "drain-chasing")
     os << " chase=" << injector.drain_a << "<->" << injector.drain_b;
   os << ")";
+  if (restrained_k != 0)
+    os << " restrained=" << restrained_k
+       << (restrained_jam ? ":jam" : ":reject");
+  if (energy_enabled)
+    os << " energy=" << energy_cost_transmit << ":" << energy_cost_listen
+       << ":" << energy_cost_sleep;
   if (case_seed != 0) os << " case-seed=" << case_seed;
   return os.str();
 }
@@ -65,6 +71,9 @@ sim::LaneMaterials scenario_materials(const Scenario& s,
   // cross-checks the engine's own pruned-and-archived ledger against a
   // naive reference (this is what exercises prune-with-history).
   m.cfg.keep_channel_history = true;
+  m.cfg.restrained = {s.restrained_k, s.restrained_jam};
+  m.cfg.energy = {s.energy_enabled, s.energy_cost_transmit,
+                  s.energy_cost_listen, s.energy_cost_sleep};
   m.protocols = analysis::make_protocols(s.protocol, s.n);
   m.slot_policy =
       adversary::make_slot_policy(s.slot_policy, s.n, s.bound_r, s.seed);
@@ -90,8 +99,9 @@ const std::vector<std::string>& default_protocol_pool() {
   // abs, sync-binary-le, listen — expect scripted participation, not a
   // packet workload, so the generator leaves them to their own tests).
   static const std::vector<std::string> kPool = {
-      "ao-arrow", "ca-arrow", "adaptive-abs",  "rrw", "mbtf",
-      "aloha",    "beb",      "silence-tdma", "tree-resolution"};
+      "ao-arrow", "ca-arrow", "adaptive-abs",  "rrw",
+      "mbtf",     "aloha",    "beb",           "csma-lbt",
+      "silence-tdma", "tree-resolution"};
   return kPool;
 }
 
@@ -111,6 +121,9 @@ Scenario scenario_from_seed(std::uint64_t case_seed,
   util::Rng slots_rng = root.split();
   util::Rng inject_rng = root.split();
   util::Rng seed_rng = root.split();
+  // Appended after the original five groups: earlier-split generators
+  // are unaffected, so pre-channel corpora regenerate identically.
+  util::Rng channel_rng = root.split();
 
   Scenario s;
   s.case_seed = case_seed;
@@ -160,6 +173,22 @@ Scenario scenario_from_seed(std::uint64_t case_seed,
     inj.period_ticks =
         static_cast<Tick>(inject_rng.range(200, 1000)) * kTicksPerUnit;
     inj.rho = util::Ratio(inject_rng.range(1, 10), 100);
+  }
+  // Channel-variant group: a minority of cases run on the k-restrained
+  // channel (both jam and reject semantics) and/or with energy metering
+  // on, so the campaign's differential oracles sweep those code paths.
+  // Energy is observation-only, so enabling it must never change a
+  // verdict — the fuzzer doubles as a regression guard for that.
+  if (channel_rng.below(100) < 30) {
+    s.restrained_k = static_cast<std::uint32_t>(channel_rng.range(1, s.n));
+    s.restrained_jam = channel_rng.below(2) == 0;
+  }
+  if (channel_rng.below(100) < 30) {
+    s.energy_enabled = true;
+    s.energy_cost_transmit =
+        static_cast<std::uint64_t>(channel_rng.range(1, 8));
+    s.energy_cost_listen = static_cast<std::uint64_t>(channel_rng.range(0, 4));
+    s.energy_cost_sleep = static_cast<std::uint64_t>(channel_rng.range(0, 2));
   }
   return s;
 }

@@ -33,6 +33,17 @@ struct Scenario {
   Tick horizon_units = 100;           ///< simulated time units
   std::uint64_t seed = 1;             ///< engine + slot-policy seed
   adversary::InjectorSpec injector;
+  /// k-restrained channel: at most `restrained_k` overlapping
+  /// transmissions admitted (0 = unrestrained). Excess arrivals jam the
+  /// slot when `restrained_jam`, else they are silently rejected.
+  std::uint32_t restrained_k = 0;
+  bool restrained_jam = true;
+  /// Per-slot energy accounting (observation-only: billing never feeds
+  /// back into protocol decisions, so traces are unchanged).
+  bool energy_enabled = false;
+  std::uint64_t energy_cost_transmit = 1;
+  std::uint64_t energy_cost_listen = 1;
+  std::uint64_t energy_cost_sleep = 0;
   /// Generator seed this scenario was derived from (0 = handwritten).
   std::uint64_t case_seed = 0;
 

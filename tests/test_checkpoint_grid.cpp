@@ -61,6 +61,9 @@ void skip_record(snapshot::Reader& r) {
   r.u64();  // control_msgs
   r.f64();  // delivered_fraction
   r.f64();  // p99_latency_units
+  r.u64();  // energy_total
+  r.u64();  // energy_peak_station
+  r.f64();  // energy_per_delivery
 }
 
 TEST(CheckpointGrid, ResumeFromPartialManifestIsByteIdentical) {

@@ -1,0 +1,280 @@
+// The energy subsystem's contract (energy/meter.h, docs/ENERGY.md):
+// metering is observation-only — enabling it changes no RunStats, trace
+// or fuzz-verdict byte — while the meter itself is exact (slot counts
+// reconcile with the engine's own accounting), survives checkpoint/
+// resume at arbitrary kill points, and agrees byte-for-byte between the
+// scalar engine and every cohort lane.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/meter.h"
+#include "metrics/json.h"
+#include "sim/cohort_engine.h"
+#include "sim/engine.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/io.h"
+#include "trace/serialize.h"
+#include "verify/campaign.h"
+#include "verify/scenario.h"
+
+namespace asyncmac {
+namespace {
+
+using energy::EnergyMeter;
+using energy::EnergyModel;
+
+// ------------------------------------------------------------- meter unit
+
+TEST(EnergyMeter, ChargesAreExactLinearCombinations) {
+  EnergyMeter m(3);
+  m.add_transmit(1, 5);
+  m.add_idle(1, /*queue_empty=*/false, 7);
+  m.add_idle(2, /*queue_empty=*/true, 11);
+  m.add_transmit(3);
+
+  const EnergyModel model{true, 4, 2, 1};
+  EXPECT_EQ(m.station_charge(model, 1), 5u * 4 + 7u * 2);
+  EXPECT_EQ(m.station_charge(model, 2), 11u * 1);
+  EXPECT_EQ(m.station_charge(model, 3), 4u);
+  EXPECT_EQ(m.total_charge(model), 34u + 11u + 4u);
+  EXPECT_EQ(m.peak_station_charge(model), 34u);
+
+  // Re-pricing the same counts under a different cost vector needs no
+  // re-simulation — the meter stores counts, not charges.
+  const EnergyModel free_listen{true, 4, 0, 0};
+  EXPECT_EQ(m.station_charge(free_listen, 1), 20u);
+  EXPECT_EQ(m.station_charge(free_listen, 2), 0u);
+}
+
+TEST(EnergyMeter, ResetAndEqualityTrackCounts) {
+  EnergyMeter a(2), b(2);
+  EXPECT_EQ(a, b);
+  a.add_transmit(2, 3);
+  EXPECT_NE(a, b);
+  b.add_transmit(2, 3);
+  EXPECT_EQ(a, b);
+  a.reset(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.tx_slots(2), 0u);
+}
+
+TEST(EnergyMeter, SnapshotRoundTripsExactly) {
+  EnergyMeter m(4);
+  m.add_transmit(1, 9);
+  m.add_idle(2, false, 3);
+  m.add_idle(4, true, 100);
+
+  snapshot::Writer w;
+  m.save_state(w);
+  snapshot::Reader r(w.buffer());
+  EnergyMeter loaded(4);
+  loaded.load_state(r);
+  r.expect_end();
+  EXPECT_EQ(loaded, m);
+}
+
+TEST(EnergyMeter, LoadRejectsStationCountMismatch) {
+  EnergyMeter m(3);
+  snapshot::Writer w;
+  m.save_state(w);
+  snapshot::Reader r(w.buffer());
+  EnergyMeter other(2);
+  EXPECT_THROW(other.load_state(r), snapshot::SnapshotError);
+}
+
+// --------------------------------------------------------- observation-only
+
+/// A scenario exercising contention (collisions, queue drain, busy
+/// feedback) so all three billing classes occur.
+verify::Scenario contended_scenario(const std::string& protocol) {
+  verify::Scenario s;
+  s.protocol = protocol;
+  s.n = 4;
+  s.bound_r = 2;
+  s.slot_policy = "perstation";
+  s.horizon_units = 300;
+  s.seed = 77;
+  s.injector.kind = "saturating";
+  s.injector.rho = util::Ratio(2, 5);
+  s.injector.burst_ticks = 8 * kTicksPerUnit;
+  s.injector.pattern = "roundrobin";
+  s.injector.seed = 78;
+  return s;
+}
+
+/// Trace + stats JSON, deliberately *without* the energy block — the
+/// bytes that must not move when metering is enabled.
+std::string render_artifacts(const verify::Scenario& s,
+                             const sim::Engine& engine) {
+  std::string out =
+      trace::serialize_trace({s.n, s.bound_r}, engine.trace().slots());
+  out += metrics::to_json(engine.stats(), &engine.channel_stats());
+  return out;
+}
+
+TEST(EnergyDeterminism, MeteringChangesNoRunStatsOrTraceByte) {
+  for (const char* protocol : {"ao-arrow", "beb", "csma-lbt"}) {
+    verify::Scenario off = contended_scenario(protocol);
+    verify::Scenario on = off;
+    on.energy_enabled = true;
+    on.energy_cost_transmit = 3;
+    on.energy_cost_listen = 2;
+    on.energy_cost_sleep = 1;
+
+    auto engine_off = verify::run_scenario(off);
+    auto engine_on = verify::run_scenario(on);
+
+    EXPECT_EQ(render_artifacts(off, *engine_off),
+              render_artifacts(on, *engine_on))
+        << protocol;
+
+    // Metering-off leaves the meter untouched; metering-on billed every
+    // completed slot of every station exactly once.
+    const EnergyMeter& idle = engine_off->energy_meter();
+    const EnergyModel priced{true, 1, 1, 1};
+    EXPECT_EQ(idle.total_charge(priced), 0u) << protocol;
+
+    const EnergyMeter& meter = engine_on->energy_meter();
+    const auto& stats = engine_on->stats();
+    ASSERT_EQ(meter.n(), stats.station.size());
+    for (StationId i = 1; i <= meter.n(); ++i) {
+      const auto& st = stats.station[i - 1];
+      EXPECT_EQ(meter.tx_slots(i) + meter.listen_slots(i) +
+                    meter.sleep_slots(i),
+                st.slots)
+          << protocol << " station " << i;
+      EXPECT_EQ(meter.tx_slots(i), st.transmit_slots)
+          << protocol << " station " << i;
+    }
+    EXPECT_GT(meter.total_charge(engine_on->energy_model()), 0u) << protocol;
+  }
+}
+
+TEST(EnergyDeterminism, FuzzVerdictsAreUnchangedByMetering) {
+  // Generated scenarios with metering force-enabled must produce the
+  // same verdict text as with metering force-disabled: energy never
+  // feeds back into any oracle-visible behavior.
+  const verify::ScenarioGen gen(909);
+  int tested = 0;
+  for (std::uint64_t i = 0; tested < 4 && i < 64; ++i) {
+    verify::Scenario s = gen.generate(i);
+    if (s.horizon_units > 150) continue;
+    verify::Scenario off = s, on = s;
+    off.energy_enabled = false;
+    on.energy_enabled = true;
+    on.energy_cost_transmit = 5;
+    const auto r_off = verify::run_case(off);
+    const auto r_on = verify::run_case(on);
+    EXPECT_EQ(r_off.ok, r_on.ok) << s.describe();
+    EXPECT_EQ(r_off.what, r_on.what) << s.describe();
+    ++tested;
+  }
+  EXPECT_EQ(tested, 4);
+}
+
+// -------------------------------------------------------- checkpoint/resume
+
+snapshot::RunSpec energy_spec(std::uint64_t seed) {
+  snapshot::RunSpec spec;
+  spec.protocol = "rrw";
+  spec.n = 3;
+  spec.bound_r = 2;
+  spec.slot_policy = "perstation";
+  spec.has_injector = true;
+  spec.injector.kind = "saturating";
+  spec.injector.rho = util::Ratio(1, 2);
+  spec.injector.burst_ticks = 6 * kTicksPerUnit;
+  spec.injector.pattern = "roundrobin";
+  spec.injector.seed = seed + 1;
+  spec.seed = seed;
+  spec.horizon_units = 250;
+  spec.record_trace = true;
+  spec.energy_enabled = true;
+  spec.energy_cost_transmit = 7;
+  spec.energy_cost_listen = 2;
+  spec.energy_cost_sleep = 1;
+  return spec;
+}
+
+TEST(EnergyCheckpoint, MeterSurvivesKillAnywhereResume) {
+  const snapshot::RunSpec spec = energy_spec(31);
+  auto control = snapshot::build_engine(spec);
+  control->run(sim::until(spec.horizon_units * kTicksPerUnit));
+
+  for (const std::uint64_t kill : {std::uint64_t{1}, std::uint64_t{23},
+                                   std::uint64_t{171}}) {
+    const std::string path =
+        "energy_ckpt_" + std::to_string(kill) + ".snap";
+    {
+      auto engine = snapshot::build_engine(spec);
+      sim::StopCondition stop =
+          sim::until(spec.horizon_units * kTicksPerUnit);
+      stop.max_total_slots = kill;
+      engine->run(stop);
+      snapshot::write_checkpoint(path, spec, *engine);
+    }
+    snapshot::ResumedRun run = snapshot::resume_checkpoint(path);
+    EXPECT_EQ(run.spec, spec);
+    run.engine->run(sim::until(spec.horizon_units * kTicksPerUnit));
+    EXPECT_EQ(run.engine->energy_meter(), control->energy_meter())
+        << "killed at " << kill;
+    EXPECT_EQ(metrics::to_json(run.engine->stats(), nullptr, true,
+                               &run.engine->energy_meter(),
+                               &run.engine->energy_model()),
+              metrics::to_json(control->stats(), nullptr, true,
+                               &control->energy_meter(),
+                               &control->energy_model()))
+        << "killed at " << kill;
+    std::remove(path.c_str());
+  }
+}
+
+// ------------------------------------------------------------- cohort lanes
+
+TEST(EnergyCohort, LanesMatchTheirScalarTwinsExactly) {
+  // Two lane shapes: a lockstep-eligible scenario (ca-arrow + sync) and
+  // a scalar-fallback one (rrw + perstation); both with metering on.
+  std::vector<verify::Scenario> lanes;
+  {
+    verify::Scenario s = contended_scenario("ca-arrow");
+    s.slot_policy = "sync";
+    s.bound_r = 1;
+    s.energy_enabled = true;
+    s.energy_cost_transmit = 4;
+    s.energy_cost_listen = 2;
+    s.energy_cost_sleep = 1;
+    lanes.push_back(s);
+  }
+  {
+    verify::Scenario s = contended_scenario("rrw");
+    s.seed = 123;
+    s.energy_enabled = true;
+    s.energy_cost_transmit = 2;
+    lanes.push_back(s);
+  }
+
+  std::vector<sim::LaneBuilder> builders;
+  for (const auto& s : lanes)
+    builders.push_back([s] { return verify::scenario_materials(s); });
+  sim::CohortEngine cohort(std::move(builders));
+  const Tick horizon = lanes[0].horizon_units * kTicksPerUnit;
+  cohort.run(sim::until(horizon));
+
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    auto scalar = verify::build_engine(lanes[k]);
+    scalar->run(sim::until(horizon));
+    EXPECT_EQ(cohort.energy_meter(k), scalar->energy_meter())
+        << "lane " << k;
+    EXPECT_GT(cohort.energy_meter(k).total_charge(scalar->energy_model()),
+              0u)
+        << "lane " << k;
+  }
+}
+
+}  // namespace
+}  // namespace asyncmac

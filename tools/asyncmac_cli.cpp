@@ -46,6 +46,7 @@
 #include "analysis/experiment.h"
 #include "analysis/msr.h"
 #include "analysis/registry.h"
+#include "energy/meter.h"
 #include "live/daemon.h"
 #include "live/station.h"
 #include "live/udp.h"
@@ -92,6 +93,13 @@ struct Options {
   std::string telemetry_path;
   std::uint64_t checkpoint_every = 0;
   std::string checkpoint_dir;
+  // k-restrained channel (0 = unrestrained) and per-slot energy model.
+  std::uint32_t restrained_k = 0;
+  bool restrained_jam = true;
+  bool energy_enabled = false;
+  std::uint64_t energy_cost_transmit = 1;
+  std::uint64_t energy_cost_listen = 1;
+  std::uint64_t energy_cost_sleep = 0;
 };
 
 std::vector<std::string> split_list(const std::string& s) {
@@ -137,8 +145,9 @@ std::vector<std::string> split_list(const std::string& s) {
       "\n"
       "run flags (single run, --msr, and --grid):\n"
       "  --protocol=P   ao-arrow | ca-arrow | adaptive-abs | abs | rrw |\n"
-      "                 mbtf | aloha | beb | silence-tdma | sync-binary-le\n"
-      "                 | listen | tree-resolution     (default ao-arrow)\n"
+      "                 mbtf | aloha | beb | csma-lbt | silence-tdma |\n"
+      "                 sync-binary-le | listen | tree-resolution\n"
+      "                 (default ao-arrow)\n"
       "  --n=N          stations (default 4)\n"
       "  --r=R          asynchrony bound R >= 1 (default 2)\n"
       "  --rho=F        injection rate in [0, 1] (default 0.5)\n"
@@ -153,6 +162,14 @@ std::vector<std::string> split_list(const std::string& s) {
       "  --trace=T      also render the first T time units of the schedule\n"
       "  --telemetry=P  stream run telemetry as JSONL to P (never changes\n"
       "                 simulation results; see docs/OBSERVABILITY.md)\n"
+      "  --restrained-k=K[:jam|reject]  k-restrained channel: at most K\n"
+      "                 concurrent transmissions; over-capacity ones jam\n"
+      "                 (sent anyway, guaranteed collision; default) or\n"
+      "                 are rejected (suppressed). 0 = unrestrained\n"
+      "  --energy-model=TX:LISTEN:SLEEP  per-slot energy accounting with\n"
+      "                 the three integer costs (transmit / listen with a\n"
+      "                 non-empty queue / idle-sleep); observation-only,\n"
+      "                 never changes simulation results (docs/ENERGY.md)\n"
       "  --checkpoint-every=K  single run: autosave a snapshot every K\n"
       "                 slot events (requires --checkpoint-dir)\n"
       "  --checkpoint-dir=D    single run: rotating snapshot directory;\n"
@@ -301,6 +318,41 @@ double arg_finite(const std::string& s, const char* what) {
   }
 }
 
+/// --restrained-k=K[:jam|reject] — at most K concurrent transmissions;
+/// over-capacity ones jam (default) or are rejected. Shared by run, grid,
+/// serve and live-serve parsing so every mode spells the channel the same
+/// way.
+void parse_restrained_arg(const std::string& v, Options& opt) {
+  const std::size_t colon = v.find(':');
+  opt.restrained_k = arg_u32(
+      colon == std::string::npos ? v : v.substr(0, colon), "--restrained-k");
+  if (colon != std::string::npos) {
+    const std::string mode = v.substr(colon + 1);
+    if (mode == "jam")
+      opt.restrained_jam = true;
+    else if (mode == "reject")
+      opt.restrained_jam = false;
+    else
+      usage("--restrained-k mode must be jam or reject, got: " + mode);
+  }
+}
+
+/// --energy-model=TX:LISTEN:SLEEP — enable per-slot energy accounting
+/// with the three integer costs (energy/model.h; docs/ENERGY.md).
+void parse_energy_arg(const std::string& v, Options& opt) {
+  const std::size_t c1 = v.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? c1 : v.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos)
+    usage("--energy-model takes TX:LISTEN:SLEEP integer costs");
+  opt.energy_enabled = true;
+  opt.energy_cost_transmit =
+      arg_u64(v.substr(0, c1), "--energy-model transmit cost");
+  opt.energy_cost_listen =
+      arg_u64(v.substr(c1 + 1, c2 - c1 - 1), "--energy-model listen cost");
+  opt.energy_cost_sleep =
+      arg_u64(v.substr(c2 + 1), "--energy-model sleep cost");
+}
+
 Options parse_args(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -350,6 +402,10 @@ Options parse_args(int argc, char** argv) {
           arg_u64(value("--checkpoint-every="), "--checkpoint-every");
     else if (arg.rfind("--checkpoint-dir=", 0) == 0)
       opt.checkpoint_dir = value("--checkpoint-dir=");
+    else if (arg.rfind("--restrained-k=", 0) == 0)
+      parse_restrained_arg(value("--restrained-k="), opt);
+    else if (arg.rfind("--energy-model=", 0) == 0)
+      parse_energy_arg(value("--energy-model="), opt);
     else if (arg == "--help" || arg == "-h")
       print_help();
     else
@@ -412,6 +468,12 @@ analysis::ExperimentSpec make_grid_spec(const Options& opt) {
   spec.seeds = opt.seeds;
   spec.jobs = opt.jobs;
   spec.cohort = opt.cohort;
+  spec.restrained_k = opt.restrained_k;
+  spec.restrained_jam = opt.restrained_jam;
+  spec.energy_enabled = opt.energy_enabled;
+  spec.energy_cost_transmit = opt.energy_cost_transmit;
+  spec.energy_cost_listen = opt.energy_cost_listen;
+  spec.energy_cost_sleep = opt.energy_cost_sleep;
   spec.checkpoint_dir = opt.checkpoint_dir;
   return spec;
 }
@@ -420,10 +482,10 @@ analysis::ExperimentSpec make_grid_spec(const Options& opt) {
 /// path must produce byte-identical stdout and CSV (the sweep-smoke CI
 /// job diffs both against a single-process control).
 int print_grid_results(const std::vector<analysis::ExperimentRecord>& records,
-                       const std::string& csv_path) {
+                       const std::string& csv_path, bool energy_columns) {
   std::cout << analysis::to_table(records);
   if (!csv_path.empty()) {
-    analysis::write_csv(records, csv_path);
+    analysis::write_csv(records, csv_path, energy_columns);
     std::cout << "(" << records.size() << " records written to "
               << csv_path << ")\n";
   }
@@ -442,7 +504,7 @@ int run_experiment_grid(const Options& opt) {
               << ": " << e.what() << "\n";
     return 1;
   }
-  return print_grid_results(records, opt.csv_path);
+  return print_grid_results(records, opt.csv_path, spec.energy_enabled);
 }
 
 std::unique_ptr<sim::SlotPolicy> make_policy(const Options& opt) {
@@ -496,6 +558,12 @@ snapshot::RunSpec make_run_spec(const Options& opt, util::Ratio rho) {
   spec.horizon_units = opt.horizon_units;
   spec.record_trace = opt.trace_units > 0;
   spec.checkpoint_interval = opt.checkpoint_every;
+  spec.restrained_k = opt.restrained_k;
+  spec.restrained_jam = opt.restrained_jam;
+  spec.energy_enabled = opt.energy_enabled;
+  spec.energy_cost_transmit = opt.energy_cost_transmit;
+  spec.energy_cost_listen = opt.energy_cost_listen;
+  spec.energy_cost_sleep = opt.energy_cost_sleep;
   return spec;
 }
 
@@ -508,9 +576,16 @@ snapshot::RunSpec make_run_spec(const Options& opt, util::Ratio rho) {
 void report_run(const snapshot::RunSpec& spec, double rho,
                 const metrics::RunStats& s, const channel::LedgerStats& ch,
                 const std::vector<trace::SlotRecord>& slots, bool json,
-                Tick trace_units) {
+                Tick trace_units,
+                const energy::EnergyMeter* meter = nullptr) {
+  // The energy block (text and JSON) is emitted only for enabled runs, so
+  // a run without --energy-model prints byte-identical output to builds
+  // that predate the energy subsystem.
+  const energy::EnergyModel model = spec.energy();
+  const bool energy_on = meter != nullptr && model.enabled;
   if (json) {
-    std::cout << metrics::to_json(s, &ch);
+    std::cout << metrics::to_json(s, &ch, true, energy_on ? meter : nullptr,
+                                  energy_on ? &model : nullptr);
   } else {
     std::cout << "protocol=" << spec.protocol << " n=" << spec.n
               << " R=" << spec.bound_r << " rho=" << rho
@@ -528,6 +603,19 @@ void report_run(const snapshot::RunSpec& spec, double rho,
       std::cout << "  latency    p50 " << to_units(s.latency.quantile(0.5))
                 << "  p99 " << to_units(s.latency.quantile(0.99))
                 << "  max " << to_units(s.latency.max()) << " (units)\n";
+    if (energy_on) {
+      std::cout << "  energy     " << meter->total_charge(model)
+                << " total (peak station "
+                << meter->peak_station_charge(model) << ", costs "
+                << model.cost_transmit << ":" << model.cost_listen << ":"
+                << model.cost_sleep << ")";
+      if (s.delivered_packets > 0)
+        std::cout << ", "
+                  << static_cast<double>(meter->total_charge(model)) /
+                         static_cast<double>(s.delivered_packets)
+                  << " per delivery";
+      std::cout << "\n";
+    }
   }
   if (trace_units > 0) {
     trace::RenderOptions r;
@@ -885,7 +973,8 @@ int run_resume(int argc, char** argv) {
   const double rho =
       spec.has_injector ? spec.injector.rho.to_double() : 0.0;
   report_run(spec, rho, run.engine->stats(), run.engine->channel_stats(),
-             run.engine->trace().slots(), json, trace_units);
+             run.engine->trace().slots(), json, trace_units,
+             &run.engine->energy_meter());
   return 0;
 }
 
@@ -933,6 +1022,10 @@ ServeOptions parse_serve_args(int argc, char** argv) {
       opt.grid.checkpoint_dir = value("--checkpoint-dir=");
     else if (arg.rfind("--telemetry=", 0) == 0)
       opt.grid.telemetry_path = value("--telemetry=");
+    else if (arg.rfind("--restrained-k=", 0) == 0)
+      parse_restrained_arg(value("--restrained-k="), opt.grid);
+    else if (arg.rfind("--energy-model=", 0) == 0)
+      parse_energy_arg(value("--energy-model="), opt.grid);
     else if (arg == "--fuzz")
       opt.fuzz = true;
     else if (arg.rfind("--cases=", 0) == 0)
@@ -1021,7 +1114,8 @@ int run_serve(int argc, char** argv) {
     std::cout << verify::summarize(result);
     return result.failures.empty() ? 0 : 1;
   }
-  return print_grid_results(outcome.records, opt.grid.csv_path);
+  return print_grid_results(outcome.records, opt.grid.csv_path,
+                            opt.grid.energy_enabled);
 }
 
 int run_worker(int argc, char** argv) {
@@ -1095,6 +1189,10 @@ LiveServeOptions parse_live_serve_args(int argc, char** argv) {
       opt.run.trace_units = arg_units(value("--trace="), "--trace");
     else if (arg.rfind("--telemetry=", 0) == 0)
       opt.run.telemetry_path = value("--telemetry=");
+    else if (arg.rfind("--restrained-k=", 0) == 0)
+      parse_restrained_arg(value("--restrained-k="), opt.run);
+    else if (arg.rfind("--energy-model=", 0) == 0)
+      parse_energy_arg(value("--energy-model="), opt.run);
     else if (arg == "--virtual")
       opt.virtual_mode = true;
     else if (arg.rfind("--port=", 0) == 0)
@@ -1187,7 +1285,7 @@ int run_live_serve(int argc, char** argv) {
                      {"injected", rep.stats.injected_packets},
                      {"delivered", rep.stats.delivered_packets}});
     report_run(dc.spec, opt.run.rho, rep.stats, rep.channel, rep.trace,
-               opt.run.json, opt.run.trace_units);
+               opt.run.json, opt.run.trace_units, &rep.energy);
     // Verdict on stderr: stdout must stay identical to run mode, which
     // has no stability probe.
     std::cerr << "live: verdict=" << analysis::to_string(rep.verdict) << " ("
@@ -1225,7 +1323,7 @@ int run_live_serve(int argc, char** argv) {
                    {"delivered", daemon->stats().delivered_packets}});
   report_run(dc.spec, opt.run.rho, daemon->stats(),
              daemon->live_channel_stats(), daemon->trace().slots(),
-             opt.run.json, opt.run.trace_units);
+             opt.run.json, opt.run.trace_units, &daemon->energy_meter());
   std::cerr << "live: verdict=" << analysis::to_string(daemon->verdict())
             << " (" << daemon->backlog_samples().size() << " samples)\n";
   return 0;
@@ -1328,7 +1426,8 @@ int main(int argc, char** argv) {
        {"injected", engine->stats().injected_packets},
        {"delivered", engine->stats().delivered_packets}});
   report_run(spec, opt.rho, engine->stats(), engine->channel_stats(),
-             engine->trace().slots(), opt.json, opt.trace_units);
+             engine->trace().slots(), opt.json, opt.trace_units,
+             &engine->energy_meter());
   if (saver && !saver->latest().empty())
     std::cerr << "checkpoint: " << saver->latest()
               << " (continue: asyncmac_cli resume " << saver->latest()
